@@ -1,0 +1,27 @@
+//! Ablations: the Section 9 design-choice what-ifs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use t3d_bench_suite::{banner, quick};
+use t3d_microbench::probes::ablation;
+
+fn bench(c: &mut Criterion) {
+    banner("Ablations (annex policy, write merging, prefetch depth, BLT start-up)");
+    for t in ablation::ablation_tables() {
+        println!("{t}");
+    }
+
+    let mut g = c.benchmark_group("ablations");
+    g.bench_function("annex_policy_probe", |b| {
+        b.iter(|| {
+            std::hint::black_box(ablation::annex_policy_read_cost(
+                splitc::AnnexPolicy::HashedMulti,
+                4,
+                32,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! { name = benches; config = quick(); targets = bench }
+criterion_main!(benches);

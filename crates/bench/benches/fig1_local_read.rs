@@ -1,0 +1,33 @@
+//! Figure 1: local read latency profile (T3D and DEC workstation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use t3d_bench_suite::{banner, quick};
+use t3d_machine::{Machine, MachineConfig};
+use t3d_microbench::probes::local;
+
+fn bench(c: &mut Criterion) {
+    banner("Figure 1: local read latency (avg ns)");
+    let sizes = vec![4 * 1024, 8 * 1024, 64 * 1024, 256 * 1024];
+    println!("{}", local::read_profile(&sizes, 1 << 20).to_table());
+    println!(
+        "{}",
+        local::workstation_read_profile(&sizes, 1 << 20).to_table()
+    );
+
+    let mut g = c.benchmark_group("fig1_local_read");
+    let mut m = Machine::new(MachineConfig::t3d(1));
+    g.bench_function("probe_64k_stride32", |b| {
+        b.iter(|| {
+            m.reset_timing();
+            let mut a = 0u64;
+            while a < 64 * 1024 {
+                std::hint::black_box(m.ld8(0, a));
+                a += 32;
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group! { name = benches; config = quick(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 2: local write cost profile.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use t3d_bench_suite::{banner, quick};
+use t3d_machine::{Machine, MachineConfig};
+use t3d_microbench::probes::local;
+
+fn bench(c: &mut Criterion) {
+    banner("Figure 2: local write cost (avg ns)");
+    let sizes = vec![4 * 1024, 64 * 1024, 256 * 1024];
+    println!("{}", local::write_profile(&sizes, 1 << 20).to_table());
+
+    let mut g = c.benchmark_group("fig2_local_write");
+    let mut m = Machine::new(MachineConfig::t3d(1));
+    g.bench_function("probe_64k_stride8", |b| {
+        b.iter(|| {
+            m.reset_timing();
+            let mut a = 0u64;
+            while a < 64 * 1024 {
+                m.st8(0, a, a);
+                a += 8;
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group! { name = benches; config = quick(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 4: remote read latency (uncached / cached / Split-C).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use t3d_bench_suite::{banner, quick};
+use t3d_machine::{Machine, MachineConfig};
+use t3d_microbench::probes::remote;
+use t3d_shell::{AnnexEntry, FuncCode};
+
+fn bench(c: &mut Criterion) {
+    banner("Figure 4: remote read latency (avg ns)");
+    for p in remote::read_profiles(&[64 * 1024], 1 << 20) {
+        println!("{}", p.to_table());
+    }
+
+    let mut g = c.benchmark_group("fig4_remote_read");
+    let mut m = Machine::new(MachineConfig::t3d(2));
+    m.annex_set(
+        0,
+        1,
+        AnnexEntry {
+            pe: 1,
+            func: FuncCode::Uncached,
+        },
+    );
+    g.bench_function("uncached_64k", |b| {
+        b.iter(|| {
+            m.reset_timing();
+            let mut a = 0u64;
+            while a < 64 * 1024 {
+                std::hint::black_box(m.ld8(0, m.va(1, a)));
+                a += 64;
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group! { name = benches; config = quick(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 5: blocking remote write latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use t3d_bench_suite::{banner, quick};
+use t3d_machine::{Machine, MachineConfig};
+use t3d_microbench::probes::remote;
+use t3d_shell::{AnnexEntry, FuncCode};
+
+fn bench(c: &mut Criterion) {
+    banner("Figure 5: remote write latency (avg ns)");
+    for p in remote::write_profiles(&[64 * 1024], 1 << 20) {
+        println!("{}", p.to_table());
+    }
+
+    let mut g = c.benchmark_group("fig5_remote_write");
+    let mut m = Machine::new(MachineConfig::t3d(2));
+    m.annex_set(
+        0,
+        1,
+        AnnexEntry {
+            pe: 1,
+            func: FuncCode::Uncached,
+        },
+    );
+    g.bench_function("blocking_write_kernel", |b| {
+        b.iter(|| {
+            m.reset_timing();
+            for i in 0..256u64 {
+                m.st8(0, m.va(1, i * 64), i);
+                m.memory_barrier(0);
+                m.wait_write_acks(0);
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group! { name = benches; config = quick(); targets = bench }
+criterion_main!(benches);

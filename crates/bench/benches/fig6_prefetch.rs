@@ -1,0 +1,26 @@
+//! Figure 6 + Section 5.2 table: the binding prefetch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use t3d_bench_suite::{banner, quick};
+use t3d_machine::{Machine, MachineConfig};
+use t3d_microbench::probes::prefetch;
+use t3d_microbench::report::series_table;
+
+fn bench(c: &mut Criterion) {
+    banner("Figure 6: prefetch group sweep (avg ns per element)");
+    println!(
+        "{}",
+        series_table("prefetch", "group", &prefetch::group_sweep())
+    );
+    println!("{}", prefetch::cost_breakdown());
+
+    let mut g = c.benchmark_group("fig6_prefetch");
+    let mut m = Machine::new(MachineConfig::t3d(2));
+    g.bench_function("group16_kernel", |b| {
+        b.iter(|| std::hint::black_box(prefetch::raw_group_cost(&mut m, 16)))
+    });
+    g.finish();
+}
+
+criterion_group! { name = benches; config = quick(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 7: non-blocking remote writes and Split-C put.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use splitc::{GlobalPtr, SplitC};
+use t3d_bench_suite::{banner, quick};
+use t3d_machine::MachineConfig;
+use t3d_microbench::probes::put;
+
+fn bench(c: &mut Criterion) {
+    banner("Figure 7: non-blocking remote write / put (avg ns)");
+    for p in put::nonblocking_profiles(&[64 * 1024], 1 << 20) {
+        println!("{}", p.to_table());
+    }
+
+    let mut g = c.benchmark_group("fig7_put");
+    let mut sc = SplitC::new(MachineConfig::t3d(2));
+    let dst = sc.alloc(256 * 64, 8);
+    g.bench_function("put_kernel", |b| {
+        b.iter(|| {
+            sc.machine().reset_timing();
+            sc.on(0, |ctx| {
+                for i in 0..256u64 {
+                    ctx.put(GlobalPtr::new(1, dst + i * 64), i);
+                }
+                ctx.sync();
+            });
+        })
+    });
+    g.finish();
+}
+
+criterion_group! { name = benches; config = quick(); targets = bench }
+criterion_main!(benches);

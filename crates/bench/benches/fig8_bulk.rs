@@ -1,0 +1,49 @@
+//! Figure 8: bulk transfer bandwidth by mechanism.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use splitc::{GlobalPtr, SplitC};
+use t3d_bench_suite::{banner, quick};
+use t3d_machine::MachineConfig;
+use t3d_microbench::probes::bulk;
+use t3d_microbench::report::series_table;
+
+fn bench(c: &mut Criterion) {
+    banner("Figure 8: bulk bandwidth (MB/s)");
+    let sizes = vec![
+        8,
+        32,
+        64,
+        128,
+        1024,
+        8 * 1024,
+        16 * 1024,
+        64 * 1024,
+        512 * 1024,
+    ];
+    let reads = bulk::read_bandwidth(&sizes);
+    println!("{}", series_table("bulk READ", "bytes", &reads));
+    println!(
+        "{}",
+        series_table("bulk WRITE", "bytes", &bulk::write_bandwidth(&sizes))
+    );
+    for &n in &sizes {
+        println!(
+            "best read mechanism at {n:>7} B: {}",
+            bulk::best_read_mechanism(&reads, n)
+        );
+    }
+
+    let mut g = c.benchmark_group("fig8_bulk");
+    g.bench_function("bulk_read_8k_kernel", |b| {
+        b.iter(|| {
+            let mut sc = SplitC::new(MachineConfig::t3d(2));
+            let src = sc.alloc(8192, 8);
+            let dst = sc.alloc(8192, 8);
+            sc.on(0, |ctx| ctx.bulk_read(dst, GlobalPtr::new(1, src), 8192));
+        })
+    });
+    g.finish();
+}
+
+criterion_group! { name = benches; config = quick(); targets = bench }
+criterion_main!(benches);

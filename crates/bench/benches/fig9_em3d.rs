@@ -1,0 +1,38 @@
+//! Figure 9: EM3D time per edge vs remote-edge fraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use em3d::{fig9_sweep, run_version, Em3dParams, Version};
+use t3d_bench_suite::{banner, quick};
+
+fn bench(c: &mut Criterion) {
+    banner("Figure 9: EM3D us/edge vs % remote edges (8 PEs, reduced size)");
+    let params = Em3dParams {
+        nodes_per_pe: 120,
+        degree: 10,
+        pct_remote: 0.0,
+        steps: 1,
+        seed: 0xE3D,
+    };
+    let sweep = fig9_sweep(8, params, &[0.0, 5.0, 10.0, 20.0, 40.0]);
+    print!("{:>10}", "% remote");
+    for (label, _) in &sweep {
+        print!("{label:>9}");
+    }
+    println!();
+    for (i, &(pct, _)) in sweep[0].1.iter().enumerate() {
+        print!("{pct:>10.0}");
+        for (_, pts) in &sweep {
+            print!("{:>9.3}", pts[i].1);
+        }
+        println!();
+    }
+
+    let mut g = c.benchmark_group("fig9_em3d");
+    g.bench_function("bulk_version_tiny", |b| {
+        b.iter(|| run_version(4, Em3dParams::tiny(20.0), Version::Bulk))
+    });
+    g.finish();
+}
+
+criterion_group! { name = benches; config = quick(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Section 7: synchronization and messaging cost table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use t3d_bench_suite::{banner, quick};
+use t3d_microbench::probes::sync;
+
+fn bench(c: &mut Criterion) {
+    banner("Section 7 table: synchronization & messaging");
+    println!("{}", sync::sync_table());
+
+    let mut g = c.benchmark_group("tab_sync");
+    g.bench_function("probe_suite", |b| {
+        b.iter(|| std::hint::black_box(sync::sync_costs()))
+    });
+    g.finish();
+}
+
+criterion_group! { name = benches; config = quick(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Shared configuration for the Criterion bench harness.
+//!
+//! Each `benches/figN_*.rs` target regenerates the corresponding paper
+//! artifact: it *prints* the simulated latency/bandwidth series once (the
+//! reproduction output — virtual time), and then lets Criterion measure
+//! the host-side cost of the underlying probe kernels (useful for
+//! tracking simulator performance regressions). The virtual-time numbers
+//! are the ones compared against the paper in `EXPERIMENTS.md`.
+
+/// Criterion settings that keep the full suite's wall time reasonable.
+pub fn quick() -> criterion::Criterion {
+    criterion::Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(600))
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .configure_from_args()
+}
+
+/// Prints a banner separating reproduction output from Criterion noise.
+pub fn banner(title: &str) {
+    println!("\n==== {title} ====");
+}

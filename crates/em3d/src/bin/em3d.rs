@@ -1,0 +1,105 @@
+//! `em3d` — run the EM3D application study from the command line.
+//!
+//! ```sh
+//! em3d [--pes N] [--nodes N] [--degree D] [--steps S] [--seed X]
+//!      [--remote P1,P2,...] [--versions V1,V2,...]
+//! ```
+//!
+//! Defaults reproduce a reduced Figure 9; `--pes 32 --nodes 500
+//! --degree 20` is the paper's configuration.
+
+use em3d::{run_version, Em3dParams, Version};
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn parse_list(args: &[String], flag: &str, default: &str) -> Vec<String> {
+    let raw = args
+        .iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_string());
+    raw.split(',').map(str::trim).map(String::from).collect()
+}
+
+fn version_by_name(name: &str) -> Option<Version> {
+    Version::all()
+        .into_iter()
+        .find(|v| v.label().eq_ignore_ascii_case(name))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "usage: em3d [--pes N] [--nodes N] [--degree D] [--steps S] [--seed X]\n\
+             \x20           [--remote P1,P2,...] [--versions Simple,Bundle,...]\n\
+             versions: {}",
+            Version::all().map(|v| v.label()).join(", ")
+        );
+        return;
+    }
+    let pes: u32 = parse_flag(&args, "--pes", 8);
+    let base = Em3dParams {
+        nodes_per_pe: parse_flag(&args, "--nodes", 100),
+        degree: parse_flag(&args, "--degree", 10),
+        pct_remote: 0.0,
+        steps: parse_flag(&args, "--steps", 1),
+        seed: parse_flag(&args, "--seed", 0xE3D),
+    };
+    let pcts: Vec<f64> = parse_list(&args, "--remote", "0,5,10,20,40")
+        .iter()
+        .map(|s| s.parse().expect("--remote takes numbers"))
+        .collect();
+    let versions: Vec<Version> = parse_list(
+        &args,
+        "--versions",
+        "Simple,Bundle,Unroll,Get,Put,Bulk,StoreSync",
+    )
+    .iter()
+    .map(|s| version_by_name(s).unwrap_or_else(|| panic!("unknown version `{s}`")))
+    .collect();
+
+    let show_stats = args.iter().any(|a| a == "--stats");
+    println!(
+        "EM3D: {pes} PEs, {} nodes/PE, degree {}, {} step(s) (us per edge)\n",
+        base.nodes_per_pe, base.degree, base.steps
+    );
+    print!("{:>9}", "% remote");
+    for v in &versions {
+        print!("{:>10}", v.label());
+    }
+    println!();
+    for &pct in &pcts {
+        print!("{pct:>9.0}");
+        let mut stats = Vec::new();
+        for &v in &versions {
+            let mut p = base;
+            p.pct_remote = pct;
+            let r = run_version(pes, p, v);
+            print!("{:>10.3}", r.us_per_edge);
+            stats.push((v, r.ops));
+        }
+        println!();
+        if show_stats {
+            for (v, ops) in stats {
+                println!(
+                    "          {:>10}: remote ops {} (loads {}, stores {}, fetches {}, blts {}), barriers via {} fences",
+                    v.label(),
+                    ops.remote_ops(),
+                    ops.loads_remote,
+                    ops.stores_remote,
+                    ops.fetches,
+                    ops.blts,
+                    ops.memory_barriers,
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! A processor-eye view of the machine: the handle micro-benchmark
+//! probes are written against.
+
+use crate::machine::{BltHandle, Machine};
+use t3d_shell::blt::BltDirection;
+use t3d_shell::{AnnexEntry, FuncCode, Message, PopError};
+
+/// Exclusive access to the machine from the point of view of one node.
+///
+/// Probes written against `Cpu` read like the paper's assembly probes:
+/// loads, stores, `fetch` hints, memory barriers, annex updates.
+///
+/// # Example
+///
+/// ```
+/// use t3d_machine::{Cpu, Machine, MachineConfig};
+///
+/// let mut m = Machine::new(MachineConfig::t3d(2));
+/// let mut cpu = Cpu::new(&mut m, 0);
+/// cpu.st8(0x100, 7);
+/// assert_eq!(cpu.ld8(0x100), 7);
+/// ```
+#[derive(Debug)]
+pub struct Cpu<'m> {
+    m: &'m mut Machine,
+    pe: usize,
+}
+
+impl<'m> Cpu<'m> {
+    /// Binds a CPU handle to node `pe`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` does not exist.
+    pub fn new(m: &'m mut Machine, pe: usize) -> Self {
+        assert!(pe < m.nodes(), "PE {pe} out of range");
+        Cpu { m, pe }
+    }
+
+    /// This node's id.
+    pub fn pe(&self) -> usize {
+        self.pe
+    }
+
+    /// Number of nodes in the machine.
+    pub fn nodes(&self) -> usize {
+        self.m.nodes()
+    }
+
+    /// The underlying machine.
+    pub fn machine(&mut self) -> &mut Machine {
+        self.m
+    }
+
+    /// This node's virtual time in cycles.
+    pub fn clock(&self) -> u64 {
+        self.m.clock(self.pe)
+    }
+
+    /// This node's virtual time in nanoseconds.
+    pub fn clock_ns(&self) -> f64 {
+        self.m.clock(self.pe) as f64 * self.m.cycle_ns()
+    }
+
+    /// Charges computation cycles.
+    pub fn advance(&mut self, cycles: u64) {
+        self.m.advance(self.pe, cycles);
+    }
+
+    /// Builds a virtual address from an annex index and offset.
+    pub fn va(&self, annex_idx: usize, offset: u64) -> u64 {
+        self.m.va(annex_idx, offset)
+    }
+
+    /// Updates an annex register (23 cycles).
+    pub fn annex_set(&mut self, idx: usize, pe: u32, func: FuncCode) {
+        self.m.annex_set(self.pe, idx, AnnexEntry { pe, func });
+    }
+
+    /// Loads a 64-bit word.
+    pub fn ld8(&mut self, va: u64) -> u64 {
+        self.m.ld8(self.pe, va)
+    }
+
+    /// Loads bytes.
+    pub fn ld(&mut self, va: u64, buf: &mut [u8]) {
+        self.m.ld(self.pe, va, buf);
+    }
+
+    /// Stores a 64-bit word (non-blocking).
+    pub fn st8(&mut self, va: u64, value: u64) {
+        self.m.st8(self.pe, va, value);
+    }
+
+    /// Stores bytes (non-blocking, within one cache line).
+    pub fn st(&mut self, va: u64, bytes: &[u8]) {
+        self.m.st(self.pe, va, bytes);
+    }
+
+    /// Memory barrier.
+    pub fn memory_barrier(&mut self) {
+        self.m.memory_barrier(self.pe);
+    }
+
+    /// Polls the remote-write status bit once.
+    pub fn poll_status(&mut self) -> bool {
+        self.m.poll_status(self.pe)
+    }
+
+    /// Waits for all remote writes that left the processor to be
+    /// acknowledged.
+    pub fn wait_write_acks(&mut self) {
+        self.m.wait_write_acks(self.pe);
+    }
+
+    /// Issues a binding prefetch; `false` if the queue is full.
+    pub fn fetch(&mut self, va: u64) -> bool {
+        self.m.fetch(self.pe, va)
+    }
+
+    /// Pops the prefetch queue.
+    ///
+    /// # Errors
+    ///
+    /// See [`Machine::pop_prefetch`].
+    pub fn pop_prefetch(&mut self) -> Result<u64, PopError> {
+        self.m.pop_prefetch(self.pe)
+    }
+
+    /// Starts a BLT transfer.
+    pub fn blt_start(
+        &mut self,
+        dir: BltDirection,
+        local_off: u64,
+        target_pe: usize,
+        remote_off: u64,
+        bytes: u64,
+    ) -> BltHandle {
+        self.m
+            .blt_start(self.pe, dir, local_off, target_pe, remote_off, bytes)
+    }
+
+    /// Starts a strided BLT transfer.
+    #[allow(clippy::too_many_arguments)]
+    pub fn blt_start_strided(
+        &mut self,
+        dir: BltDirection,
+        local_off: u64,
+        target_pe: usize,
+        remote_off: u64,
+        count: u64,
+        elem_bytes: u64,
+        stride_bytes: u64,
+    ) -> BltHandle {
+        self.m.blt_start_strided(
+            self.pe,
+            dir,
+            local_off,
+            target_pe,
+            remote_off,
+            count,
+            elem_bytes,
+            stride_bytes,
+        )
+    }
+
+    /// Waits for a BLT transfer to complete.
+    pub fn blt_wait(&mut self, handle: BltHandle) {
+        self.m.blt_wait(self.pe, handle);
+    }
+
+    /// Sends a four-word message.
+    pub fn msg_send(&mut self, dst: usize, words: [u64; 4]) {
+        self.m.msg_send(self.pe, dst, words);
+    }
+
+    /// Receives a message, if one has arrived.
+    pub fn msg_receive(&mut self) -> Option<Message> {
+        self.m.msg_receive(self.pe)
+    }
+
+    /// Remote fetch&increment.
+    pub fn fetch_inc(&mut self, target_pe: usize, reg: usize) -> u64 {
+        self.m.fetch_inc(self.pe, target_pe, reg)
+    }
+
+    /// Loads the swap operand register.
+    pub fn swap_load(&mut self, value: u64) {
+        self.m.swap_load(self.pe, value);
+    }
+
+    /// Atomic exchange of the swap register with the word at `va`.
+    pub fn atomic_swap(&mut self, va: u64) -> u64 {
+        self.m.atomic_swap(self.pe, va)
+    }
+
+    /// Functional memory read (no timing).
+    pub fn peek8(&self, off: u64) -> u64 {
+        self.m.peek8(self.pe, off)
+    }
+
+    /// Functional memory write (no timing).
+    pub fn poke8(&mut self, off: u64, v: u64) {
+        self.m.poke8(self.pe, off, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    #[test]
+    fn cpu_forwards_to_machine() {
+        let mut m = Machine::new(MachineConfig::t3d(2));
+        let mut cpu = Cpu::new(&mut m, 1);
+        cpu.st8(0x40, 5);
+        cpu.memory_barrier();
+        assert_eq!(cpu.ld8(0x40), 5);
+        assert!(cpu.clock() > 0);
+        assert_eq!(cpu.pe(), 1);
+        assert_eq!(cpu.nodes(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_pe_panics() {
+        let mut m = Machine::new(MachineConfig::t3d(2));
+        let _ = Cpu::new(&mut m, 5);
+    }
+}

@@ -1,0 +1,1259 @@
+//! The machine: N nodes wired through the shell and torus, in
+//! deterministic virtual time.
+
+use crate::config::MachineConfig;
+use crate::node::Node;
+use crate::trace::{TraceEvent, TraceKind, Tracer};
+use t3d_memsys::{RemoteSink, WriteTarget};
+use t3d_shell::blt::BltDirection;
+use t3d_shell::{AnnexEntry, BarrierUnit, FuncCode, Message, PopError};
+use t3d_torus::Torus;
+
+/// Handle to an in-flight BLT transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BltHandle {
+    /// Virtual time at which the DMA completes.
+    pub completion: u64,
+    /// Cycles the initiating processor was stalled in the OS invocation.
+    pub startup_cy: u64,
+    /// Cycles of overlappable DMA streaming.
+    pub stream_cy: u64,
+}
+
+/// The simulated CRAY-T3D.
+#[derive(Debug)]
+pub struct Machine {
+    cfg: MachineConfig,
+    torus: Torus,
+    nodes: Vec<Node>,
+    barrier: BarrierUnit,
+    tracer: Tracer,
+}
+
+impl Machine {
+    /// Builds a machine from a configuration.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let torus = Torus::new(cfg.torus);
+        let n = torus.nodes();
+        Machine {
+            nodes: (0..n).map(|pe| Node::new(&cfg, pe)).collect(),
+            barrier: BarrierUnit::new(&cfg.shell, n as usize),
+            torus,
+            cfg,
+            tracer: Tracer::default(),
+        }
+    }
+
+    /// The configuration this machine was built with.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Number of processing elements.
+    pub fn nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The torus geometry.
+    pub fn torus(&self) -> &Torus {
+        &self.torus
+    }
+
+    /// Immutable access to a node (instrumentation and tests).
+    pub fn node(&self, pe: usize) -> &Node {
+        &self.nodes[pe]
+    }
+
+    /// Mutable access to a node (advanced probes and setup).
+    pub fn node_mut(&mut self, pe: usize) -> &mut Node {
+        &mut self.nodes[pe]
+    }
+
+    /// Nanoseconds per cycle.
+    pub fn cycle_ns(&self) -> f64 {
+        self.cfg.cycle_ns()
+    }
+
+    /// A node's virtual time, in cycles.
+    pub fn clock(&self, pe: usize) -> u64 {
+        self.nodes[pe].clock
+    }
+
+    /// Charges `cycles` of computation to a node.
+    pub fn advance(&mut self, pe: usize, cycles: u64) {
+        self.nodes[pe].clock += cycles;
+    }
+
+    /// Number of physical-address bits forming the local offset.
+    pub fn offset_bits(&self) -> u32 {
+        self.cfg.mem.offset_bits
+    }
+
+    /// Builds a virtual address from an annex index and local offset.
+    pub fn va(&self, annex_idx: usize, offset: u64) -> u64 {
+        t3d_shell::annex::pa_with_annex(offset, annex_idx, self.offset_bits())
+    }
+
+    /// Splits a virtual address into `(annex index, local offset)`.
+    pub fn split_va(&self, va: u64) -> (usize, u64) {
+        t3d_shell::annex::split_pa(va, self.offset_bits())
+    }
+
+    fn line_mask(&self) -> u64 {
+        self.cfg.mem.l1.line as u64 - 1
+    }
+
+    fn rtt_cy(&self, a: usize, b: usize) -> u64 {
+        self.torus.round_trip_cy(a as u32, b as u32).round() as u64
+    }
+
+    fn one_way_cy(&self, a: usize, b: usize) -> u64 {
+        self.torus.one_way_cy(a as u32, b as u32).round() as u64
+    }
+
+    /// Enables event tracing with a buffer of `cap` events.
+    pub fn enable_trace(&mut self, cap: usize) {
+        self.tracer.enable(cap);
+    }
+
+    /// Disables event tracing.
+    pub fn disable_trace(&mut self) {
+        self.tracer.disable();
+    }
+
+    /// The trace buffer (events, drop count, text dump).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Clears the trace buffer.
+    pub fn clear_trace(&mut self) {
+        self.tracer.clear();
+    }
+
+    #[inline]
+    fn trace(&mut self, pe: usize, kind: TraceKind, addr: u64, start: u64) {
+        if self.tracer.is_enabled() {
+            let cycles = self.nodes[pe].clock - start;
+            self.tracer.record(TraceEvent {
+                pe: pe as u32,
+                kind,
+                addr,
+                start,
+                cycles,
+            });
+        }
+    }
+
+    /// Queueing delay at `target`'s shell for a request that becomes
+    /// eligible at `ready` and occupies the shell for `occupancy_cy`.
+    /// Zero unless contention modeling is enabled.
+    fn contend(&mut self, target: usize, ready: u64, occupancy_cy: u64) -> u64 {
+        if !self.cfg.contention {
+            return 0;
+        }
+        let start = ready.max(self.nodes[target].shell_busy_until);
+        self.nodes[target].shell_busy_until = start + occupancy_cy;
+        start - ready
+    }
+
+    // ------------------------------------------------------------------
+    // Annex management
+    // ------------------------------------------------------------------
+
+    /// Updates an annex register (23 cycles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is 0 or the target PE does not exist.
+    pub fn annex_set(&mut self, pe: usize, idx: usize, entry: AnnexEntry) {
+        assert!(
+            (entry.pe as usize) < self.nodes.len(),
+            "annex target PE {} does not exist",
+            entry.pe
+        );
+        let cost = self.nodes[pe].annex.update(idx, entry);
+        self.nodes[pe].clock += cost;
+    }
+
+    /// Reads an annex register (free: it is processor state).
+    pub fn annex_entry(&self, pe: usize, idx: usize) -> AnnexEntry {
+        self.nodes[pe].annex.entry(idx)
+    }
+
+    // ------------------------------------------------------------------
+    // Loads and stores
+    // ------------------------------------------------------------------
+
+    /// Loads a 64-bit word at `va`.
+    pub fn ld8(&mut self, pe: usize, va: u64) -> u64 {
+        let mut buf = [0u8; 8];
+        self.ld(pe, va, &mut buf);
+        u64::from_le_bytes(buf)
+    }
+
+    /// Loads `buf.len()` bytes at `va` (annex-translated). Remote loads
+    /// must not cross a cache line.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range accesses, or on remote accesses through an
+    /// annex entry whose function code is not a read flavour.
+    pub fn ld(&mut self, pe: usize, va: u64, buf: &mut [u8]) {
+        let (aidx, off) = self.split_va(va);
+        if aidx == 0 {
+            self.nodes[pe].ops.loads_local += 1;
+            let now = self.nodes[pe].clock;
+            let cost = self.nodes[pe].port.read(now, va, buf);
+            self.nodes[pe].clock = now + cost;
+            self.deliver_outbox(pe);
+            self.trace(pe, TraceKind::LoadLocal, va, now);
+            return;
+        }
+        let line_pa = va & !self.line_mask();
+        assert!(
+            (va - line_pa) as usize + buf.len() <= self.cfg.mem.l1.line,
+            "remote load must not cross a cache line"
+        );
+        self.nodes[pe].ops.loads_remote += 1;
+        let entry = self.nodes[pe].annex.entry(aidx);
+        let target = entry.pe as usize;
+        let now = self.nodes[pe].clock;
+        // Push out anything due, so our own earlier stores can land.
+        self.nodes[pe].port.apply_due(now);
+        self.deliver_outbox(pe);
+
+        let mut cost = self.nodes[pe].port.tlb_access(va);
+        // A line previously brought over by a cached read may satisfy
+        // this load entirely locally (and possibly stale!).
+        if let Some(line) = self.nodes[pe].port.l1().lookup(va) {
+            let o = (va - line_pa) as usize;
+            buf.copy_from_slice(&line[o..o + buf.len()]);
+            self.nodes[pe].clock = now + cost + self.cfg.mem.l1.hit_cy;
+            return;
+        }
+        match entry.func {
+            FuncCode::Uncached => {
+                let target_clock = self.nodes[target].clock;
+                self.nodes[target].port.apply_due(target_clock);
+                self.deliver_outbox(target);
+                let dram = self.nodes[target].port.service_remote_read(off, buf);
+                let ready = now
+                    + cost
+                    + self.cfg.shell.remote_read_shell_cy / 2
+                    + self.one_way_cy(pe, target);
+                let queue = self.contend(target, ready, dram + 5);
+                cost +=
+                    self.cfg.shell.remote_read_shell_cy + self.rtt_cy(pe, target) + dram + queue;
+                // Our own pending stores to the same full PA forward.
+                if self.nodes[pe].port.has_pending_line(line_pa) {
+                    let mut line_buf = vec![0u8; self.cfg.mem.l1.line];
+                    let line_off = off & !self.line_mask();
+                    self.nodes[target].port.peek_mem(line_off, &mut line_buf);
+                    self.nodes[pe].port.forward_pending(line_pa, &mut line_buf);
+                    let o = (va - line_pa) as usize;
+                    buf.copy_from_slice(&line_buf[o..o + buf.len()]);
+                }
+            }
+            FuncCode::Cached => {
+                let target_clock = self.nodes[target].clock;
+                self.nodes[target].port.apply_due(target_clock);
+                self.deliver_outbox(target);
+                let line_off = off & !self.line_mask();
+                let mut line_buf = vec![0u8; self.cfg.mem.l1.line];
+                let dram = self.nodes[target]
+                    .port
+                    .service_remote_read(line_off, &mut line_buf);
+                let ready = now
+                    + cost
+                    + self.cfg.shell.remote_read_shell_cy / 2
+                    + self.one_way_cy(pe, target);
+                let queue = self.contend(target, ready, dram + 5);
+                cost += self.cfg.shell.remote_read_shell_cy
+                    + self.cfg.shell.cached_read_extra_cy
+                    + self.rtt_cy(pe, target)
+                    + dram
+                    + queue;
+                if self.nodes[pe].port.has_pending_line(line_pa) {
+                    self.nodes[pe].port.forward_pending(line_pa, &mut line_buf);
+                }
+                self.nodes[pe].port.install_remote_line(line_pa, &line_buf);
+                let o = (va - line_pa) as usize;
+                buf.copy_from_slice(&line_buf[o..o + buf.len()]);
+            }
+            other => panic!("annex function code {other:?} is not a load flavour"),
+        }
+        self.nodes[pe].clock = now + cost;
+        self.trace(pe, TraceKind::LoadRemote(entry.pe), va, now);
+    }
+
+    /// Stores a 64-bit word at `va`.
+    pub fn st8(&mut self, pe: usize, va: u64, value: u64) {
+        self.st(pe, va, &value.to_le_bytes());
+    }
+
+    /// Stores `bytes` at `va` (annex-translated). The store is
+    /// non-blocking: it enters the write buffer and, for remote targets,
+    /// is acknowledged asynchronously (poll with
+    /// [`Machine::wait_write_acks`] after a [`Machine::memory_barrier`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store crosses a cache line or is out of range.
+    pub fn st(&mut self, pe: usize, va: u64, bytes: &[u8]) {
+        let (aidx, off) = self.split_va(va);
+        let now = self.nodes[pe].clock;
+        let cost = if aidx == 0 {
+            self.nodes[pe].ops.stores_local += 1;
+            self.nodes[pe].port.write(now, va, bytes)
+        } else {
+            self.nodes[pe].ops.stores_remote += 1;
+            let entry = self.nodes[pe].annex.entry(aidx);
+            let target = entry.pe as usize;
+            assert!(
+                target < self.nodes.len(),
+                "store to nonexistent PE {target}"
+            );
+            // Off-page accesses at the target slow the injection stream:
+            // the Figure 7 sensitivity at 16 KB strides.
+            let line_off = off & !self.line_mask();
+            let page_penalty = self.nodes[target]
+                .port
+                .dram()
+                .peek(line_off)
+                .saturating_sub(self.cfg.mem.dram.page_hit_cy);
+            let sink = RemoteSink {
+                pe: entry.pe,
+                remote_line_pa: line_off,
+                base_cy: self.cfg.shell.remote_write_base_cy + page_penalty,
+                per_word_cy: self.cfg.shell.remote_write_word_cy,
+                ack_rtt_cy: self.cfg.shell.write_ack_rtt_cy + self.rtt_cy(pe, target),
+            };
+            self.nodes[pe]
+                .port
+                .write_to(now, va, bytes, WriteTarget::Remote(sink))
+        };
+        self.nodes[pe].clock = now + cost;
+        self.deliver_outbox(pe);
+        let kind = if aidx == 0 {
+            TraceKind::StoreLocal
+        } else {
+            TraceKind::StoreRemote(self.nodes[pe].annex.entry(aidx).pe)
+        };
+        self.trace(pe, kind, va, now);
+    }
+
+    /// Issues a memory barrier: drains the write buffer (pushing out any
+    /// pending prefetch requests with it).
+    pub fn memory_barrier(&mut self, pe: usize) {
+        self.nodes[pe].ops.memory_barriers += 1;
+        let now = self.nodes[pe].clock;
+        let cost = self.nodes[pe].port.memory_barrier(now);
+        self.nodes[pe].clock = now + cost;
+        let t = self.nodes[pe].clock;
+        self.nodes[pe].prefetch.note_memory_barrier(t);
+        self.deliver_outbox(pe);
+        self.trace(pe, TraceKind::MemoryBarrier, 0, now);
+    }
+
+    /// Polls the remote-write status bit once: `true` if no remote write
+    /// *known to the shell* is outstanding. Writes still in the write
+    /// buffer are invisible — the Section 4.3 trap.
+    pub fn poll_status(&mut self, pe: usize) -> bool {
+        let now = self.nodes[pe].clock;
+        let (clear, cost) = self.nodes[pe].acks.poll(now);
+        self.nodes[pe].clock = now + cost;
+        clear
+    }
+
+    /// Spins until every remote write that has left the processor is
+    /// acknowledged. (Fence first — see [`Machine::poll_status`].)
+    pub fn wait_write_acks(&mut self, pe: usize) {
+        self.nodes[pe].ops.ack_waits += 1;
+        let now = self.nodes[pe].clock;
+        let cost = self.nodes[pe].acks.wait_clear(now);
+        self.nodes[pe].clock = now + cost;
+        self.trace(pe, TraceKind::AckWait, 0, now);
+    }
+
+    /// Delivers retired remote writes from `pe`'s write buffer to their
+    /// targets, charging target DRAM and scheduling acknowledgements.
+    fn deliver_outbox(&mut self, pe: usize) {
+        let retired = self.nodes[pe].port.take_outbox();
+        for r in retired {
+            let WriteTarget::Remote(sink) = r.target else {
+                unreachable!("outbox only carries remote writes")
+            };
+            let target = sink.pe as usize;
+            let dram = self.nodes[target].port.service_remote_write(
+                sink.remote_line_pa,
+                &r.data,
+                Some(r.mask),
+            );
+            let queue = self.contend(target, r.completion + sink.ack_rtt_cy / 2, dram + 5);
+            let arrival = r.completion + sink.ack_rtt_cy / 2 + dram + queue;
+            let ack = r.completion + sink.ack_rtt_cy + dram + queue;
+            let bytes = r.mask.count_ones() as u64;
+            self.nodes[target].incoming.push((arrival, bytes));
+            self.nodes[pe].acks.expect_ack(ack);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Prefetch
+    // ------------------------------------------------------------------
+
+    /// Issues a binding prefetch of the word at `va`. Returns `false` if
+    /// the 16-entry queue is full (the caller must pop first).
+    pub fn fetch(&mut self, pe: usize, va: u64) -> bool {
+        self.nodes[pe].ops.fetches += 1;
+        let (aidx, off) = self.split_va(va);
+        let target = if aidx == 0 {
+            pe
+        } else {
+            self.nodes[pe].annex.entry(aidx).pe as usize
+        };
+        let now = self.nodes[pe].clock;
+        let tlb = self.nodes[pe].port.tlb_access(va);
+        let target_clock = self.nodes[target].clock;
+        self.nodes[target].port.apply_due(target_clock);
+        self.deliver_outbox(target);
+        let mut buf = [0u8; 8];
+        let dram = self.nodes[target].port.service_remote_read(off, &mut buf);
+        let ready = now + tlb + self.cfg.shell.prefetch_net_cy / 2 + self.one_way_cy(pe, target);
+        let queue = self.contend(target, ready, dram + 5);
+        let latency = self.cfg.shell.prefetch_net_cy + self.rtt_cy(pe, target) + dram + queue;
+        let issued =
+            match self.nodes[pe]
+                .prefetch
+                .issue(now + tlb, u64::from_le_bytes(buf), latency)
+            {
+                Some(c) => {
+                    self.nodes[pe].clock = now + tlb + c;
+                    true
+                }
+                None => {
+                    self.nodes[pe].clock = now + tlb;
+                    false
+                }
+            };
+        self.trace(pe, TraceKind::Fetch(target as u32), va, now);
+        issued
+    }
+
+    /// Pops the prefetch queue (a 23-cycle off-chip load), waiting for
+    /// the data to arrive if necessary.
+    ///
+    /// # Errors
+    ///
+    /// [`PopError::Empty`] if nothing is outstanding;
+    /// [`PopError::NotDeparted`] if the oldest fetch is still in the
+    /// write buffer (fence first).
+    pub fn pop_prefetch(&mut self, pe: usize) -> Result<u64, PopError> {
+        self.nodes[pe].ops.pops += 1;
+        let now = self.nodes[pe].clock;
+        let (value, cost) = self.nodes[pe].prefetch.pop(now)?;
+        self.nodes[pe].clock = now + cost;
+        self.trace(pe, TraceKind::Pop, 0, now);
+        Ok(value)
+    }
+
+    /// Outstanding prefetches on a node.
+    pub fn prefetch_outstanding(&self, pe: usize) -> usize {
+        self.nodes[pe].prefetch.outstanding()
+    }
+
+    // ------------------------------------------------------------------
+    // Block transfer engine
+    // ------------------------------------------------------------------
+
+    /// Starts a BLT transfer of `bytes` between `pe`'s local memory at
+    /// `local_off` and `target_pe`'s memory at `remote_off`. The
+    /// initiating processor is stalled for the OS invocation (180 µs);
+    /// the DMA itself completes at `BltHandle::completion` and can be
+    /// overlapped. Data moves immediately in simulation; destination
+    /// cache lines are invalidated (DMA bypasses caches).
+    pub fn blt_start(
+        &mut self,
+        pe: usize,
+        dir: BltDirection,
+        local_off: u64,
+        target_pe: usize,
+        remote_off: u64,
+        bytes: u64,
+    ) -> BltHandle {
+        self.nodes[pe].ops.blts += 1;
+        let mut data = vec![0u8; bytes as usize];
+        match dir {
+            BltDirection::Read => {
+                self.nodes[target_pe].port.peek_mem(remote_off, &mut data);
+                self.poke_and_invalidate(pe, local_off, &data);
+            }
+            BltDirection::Write => {
+                self.nodes[pe].port.peek_mem(local_off, &mut data);
+                self.poke_and_invalidate(target_pe, remote_off, &data);
+            }
+        }
+        let now = self.nodes[pe].clock;
+        let timing = self.nodes[pe].blt.start(now, dir, bytes);
+        self.nodes[pe].clock = now + timing.startup_cy;
+        self.trace(pe, TraceKind::Blt(target_pe as u32), remote_off, now);
+        BltHandle {
+            completion: now + timing.total_cy(),
+            startup_cy: timing.startup_cy,
+            stream_cy: timing.stream_cy,
+        }
+    }
+
+    /// Starts a *strided* BLT transfer: `count` elements of
+    /// `elem_bytes`, read from consecutive positions on the local side
+    /// and placed `stride_bytes` apart on the remote side (`Write`), or
+    /// gathered from `stride_bytes` apart remotely into consecutive
+    /// local positions (`Read`). The engine moves the same number of
+    /// bytes as the contiguous form but pays the remote DRAM's page
+    /// behaviour on every element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` or `elem_bytes` is zero, or if
+    /// `stride_bytes < elem_bytes` (overlapping elements).
+    #[allow(clippy::too_many_arguments)]
+    pub fn blt_start_strided(
+        &mut self,
+        pe: usize,
+        dir: BltDirection,
+        local_off: u64,
+        target_pe: usize,
+        remote_off: u64,
+        count: u64,
+        elem_bytes: u64,
+        stride_bytes: u64,
+    ) -> BltHandle {
+        self.nodes[pe].ops.blts += 1;
+        assert!(count > 0 && elem_bytes > 0, "strided BLT must move data");
+        assert!(
+            stride_bytes >= elem_bytes,
+            "stride must not overlap elements"
+        );
+        let mut elem = vec![0u8; elem_bytes as usize];
+        // Strided access defeats the remote controller's open page when
+        // the stride crosses DRAM pages; charge it element by element.
+        let mut extra = 0u64;
+        for i in 0..count {
+            let r_off = remote_off + i * stride_bytes;
+            let l_off = local_off + i * elem_bytes;
+            match dir {
+                BltDirection::Read => {
+                    self.nodes[target_pe].port.peek_mem(r_off, &mut elem);
+                    self.poke_and_invalidate(pe, l_off, &elem);
+                }
+                BltDirection::Write => {
+                    self.nodes[pe].port.peek_mem(l_off, &mut elem);
+                    self.poke_and_invalidate(target_pe, r_off, &elem);
+                }
+            }
+            let line = r_off & !self.line_mask();
+            let dram = self.nodes[target_pe].port.dram_mut().access(line);
+            extra += dram.saturating_sub(self.cfg.mem.dram.page_hit_cy);
+        }
+        let now = self.nodes[pe].clock;
+        let timing = self.nodes[pe].blt.start(now, dir, count * elem_bytes);
+        self.nodes[pe].clock = now + timing.startup_cy;
+        self.trace(pe, TraceKind::Blt(target_pe as u32), remote_off, now);
+        BltHandle {
+            completion: now + timing.total_cy() + extra,
+            startup_cy: timing.startup_cy,
+            stream_cy: timing.stream_cy + extra,
+        }
+    }
+
+    /// Blocks until a BLT transfer completes.
+    pub fn blt_wait(&mut self, pe: usize, handle: BltHandle) {
+        let n = &mut self.nodes[pe];
+        n.clock = n.clock.max(handle.completion);
+    }
+
+    fn poke_and_invalidate(&mut self, pe: usize, off: u64, data: &[u8]) {
+        self.nodes[pe].port.poke_mem(off, data);
+        let line = self.cfg.mem.l1.line as u64;
+        let mut a = off & !self.line_mask();
+        while a < off + data.len() as u64 {
+            self.nodes[pe].port.l1_mut().invalidate(a);
+            a += line;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Messages
+    // ------------------------------------------------------------------
+
+    /// Sends a four-word message (the 122-cycle PAL call).
+    pub fn msg_send(&mut self, pe: usize, dst: usize, words: [u64; 4]) {
+        self.nodes[pe].ops.msgs_sent += 1;
+        let now = self.nodes[pe].clock;
+        self.nodes[pe].clock += self.cfg.shell.msg_send_cy;
+        let arrival = self.nodes[pe].clock + self.one_way_cy(pe, dst);
+        self.nodes[dst].msgq.deliver(Message {
+            from: pe as u32,
+            words,
+            arrival,
+        });
+        self.trace(pe, TraceKind::MsgSend(dst as u32), 0, now);
+    }
+
+    /// Receives the oldest arrived message, paying the 25 µs interrupt
+    /// (plus dispatch, in handler mode). `None` if nothing has arrived.
+    pub fn msg_receive(&mut self, pe: usize) -> Option<Message> {
+        let now = self.nodes[pe].clock;
+        self.nodes[pe].ops.msgs_received += 1;
+        let (msg, cost) = self.nodes[pe].msgq.receive(now)?;
+        self.nodes[pe].clock = now + cost;
+        self.trace(pe, TraceKind::MsgRecv, 0, now);
+        Some(msg)
+    }
+
+    // ------------------------------------------------------------------
+    // Atomic operations
+    // ------------------------------------------------------------------
+
+    /// Remote fetch&increment on `target_pe`'s register `reg`.
+    pub fn fetch_inc(&mut self, pe: usize, target_pe: usize, reg: usize) -> u64 {
+        self.nodes[pe].ops.atomics += 1;
+        let now = self.nodes[pe].clock;
+        let ready = now + self.cfg.shell.remote_read_shell_cy / 2 + self.one_way_cy(pe, target_pe);
+        let queue = self.contend(target_pe, ready, 20);
+        let cost = self.cfg.shell.remote_read_shell_cy
+            + self.rtt_cy(pe, target_pe)
+            + self.cfg.shell.amo_extra_cy
+            + queue;
+        self.nodes[pe].clock += cost;
+        self.trace(pe, TraceKind::FetchInc(target_pe as u32), reg as u64, now);
+        self.nodes[target_pe].fetchinc.fetch_inc(reg)
+    }
+
+    /// Loads this node's swap operand register.
+    pub fn swap_load(&mut self, pe: usize, value: u64) {
+        self.nodes[pe].swap.load(value);
+    }
+
+    /// Atomically exchanges the swap register with the word at `va`
+    /// (annex function code `Swap` for remote targets). Returns the old
+    /// memory value (now also in the register).
+    pub fn atomic_swap(&mut self, pe: usize, va: u64) -> u64 {
+        self.nodes[pe].ops.atomics += 1;
+        let (aidx, off) = self.split_va(va);
+        let target = if aidx == 0 {
+            pe
+        } else {
+            let entry = self.nodes[pe].annex.entry(aidx);
+            assert_eq!(
+                entry.func,
+                FuncCode::Swap,
+                "annex entry must select the swap flavour"
+            );
+            entry.pe as usize
+        };
+        let target_clock = self.nodes[target].clock;
+        self.nodes[target].port.apply_due(target_clock);
+        self.deliver_outbox(target);
+        let mut buf = [0u8; 8];
+        let dram = self.nodes[target].port.service_remote_read(off, &mut buf);
+        let old_mem = u64::from_le_bytes(buf);
+        let to_mem = self.nodes[pe].swap.exchange(old_mem);
+        self.nodes[target]
+            .port
+            .service_remote_write(off, &to_mem.to_le_bytes(), None);
+        let now = self.nodes[pe].clock;
+        let ready = now + self.cfg.shell.remote_read_shell_cy / 2 + self.one_way_cy(pe, target);
+        let queue = self.contend(target, ready, dram + 20);
+        let cost = self.cfg.shell.remote_read_shell_cy
+            + self.rtt_cy(pe, target)
+            + self.cfg.shell.amo_extra_cy
+            + dram
+            + queue;
+        self.nodes[pe].clock += cost;
+        self.trace(pe, TraceKind::Swap(target as u32), va, now);
+        old_mem
+    }
+
+    // ------------------------------------------------------------------
+    // Barriers
+    // ------------------------------------------------------------------
+
+    /// Global hardware barrier: aligns every node's clock to the last
+    /// arrival plus the wire latency (plus start/end instruction costs).
+    /// All pending writes are fenced first, as `allStoreSync` requires.
+    pub fn barrier_all(&mut self) {
+        for pe in 0..self.nodes.len() {
+            self.memory_barrier(pe);
+        }
+        for pe in 0..self.nodes.len() {
+            let t = self.nodes[pe].clock + self.cfg.shell.barrier_start_cy;
+            self.barrier.start(pe, t);
+        }
+        let done = self.barrier.completion_time().expect("all nodes arrived");
+        self.barrier.reset();
+        for pe in 0..self.nodes.len() {
+            let start = self.nodes[pe].clock;
+            self.nodes[pe].clock = done + self.cfg.shell.barrier_end_cy;
+            self.trace(pe, TraceKind::Barrier, 0, start);
+        }
+    }
+
+    /// Completed machine-wide barrier episodes.
+    pub fn barrier_episodes(&self) -> u64 {
+        self.barrier.episodes()
+    }
+
+    // ------------------------------------------------------------------
+    // Fuzzy barrier (Section 7.5)
+    // ------------------------------------------------------------------
+
+    /// Executes the start-barrier instruction: announces arrival on the
+    /// global-OR wire and returns immediately — the processor may keep
+    /// doing useful work before [`Machine::fuzzy_barrier_end_all`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if this node already started the current episode.
+    pub fn fuzzy_barrier_start(&mut self, pe: usize) {
+        self.nodes[pe].clock += self.cfg.shell.barrier_start_cy;
+        let t = self.nodes[pe].clock;
+        self.barrier.start(pe, t);
+    }
+
+    /// Completes the fuzzy barrier for *all* nodes (driver-level: every
+    /// node must have executed start-barrier). Each node's clock
+    /// advances only if the wire settled after its own work finished —
+    /// work placed between start and end is overlapped with the wait.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some node has not executed start-barrier.
+    pub fn fuzzy_barrier_end_all(&mut self) {
+        let done = self
+            .barrier
+            .completion_time()
+            .expect("every node must start-barrier before end-barrier");
+        self.barrier.reset();
+        for node in &mut self.nodes {
+            node.clock = node.clock.max(done) + self.cfg.shell.barrier_end_cy;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Functional helpers
+    // ------------------------------------------------------------------
+
+    /// Reads a node's memory functionally (no timing).
+    pub fn peek_mem(&self, pe: usize, off: u64, buf: &mut [u8]) {
+        self.nodes[pe].port.peek_mem(off, buf);
+    }
+
+    /// Writes a node's memory functionally (no timing); flushes any
+    /// cached copy so the value is authoritative.
+    pub fn poke_mem(&mut self, pe: usize, off: u64, bytes: &[u8]) {
+        self.poke_and_invalidate(pe, off, bytes);
+    }
+
+    /// Reads a u64 functionally.
+    pub fn peek8(&self, pe: usize, off: u64) -> u64 {
+        let mut b = [0u8; 8];
+        self.peek_mem(pe, off, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a u64 functionally.
+    pub fn poke8(&mut self, pe: usize, off: u64, v: u64) {
+        self.poke_mem(pe, off, &v.to_le_bytes());
+    }
+
+    /// Resets every node's timing state (caches, TLB, DRAM pages, write
+    /// buffers, clocks) while preserving memory contents. Probes call
+    /// this between trials.
+    pub fn reset_timing(&mut self) {
+        for pe in 0..self.nodes.len() {
+            self.nodes[pe].port.reset_timing();
+            self.deliver_outbox(pe);
+        }
+        for node in &mut self.nodes {
+            node.clock = 0;
+            node.incoming.clear();
+            node.acks.wait_clear(u64::MAX / 2);
+            node.shell_busy_until = 0;
+        }
+    }
+
+    /// A node's operation counters.
+    pub fn op_stats(&self, pe: usize) -> crate::node::OpStats {
+        self.nodes[pe].ops
+    }
+
+    /// Clears a node's operation counters.
+    pub fn clear_op_stats(&mut self, pe: usize) {
+        self.nodes[pe].ops = crate::node::OpStats::default();
+    }
+
+    /// Earliest virtual time at which `target_bytes` of remote-write data
+    /// had arrived at `pe` (for `storeSync`).
+    pub fn arrival_time_of(&self, pe: usize, target_bytes: u64) -> Option<u64> {
+        self.nodes[pe].arrival_time_of(target_bytes)
+    }
+
+    /// Clears a node's arrival log (a new `storeSync` epoch).
+    pub fn clear_incoming(&mut self, pe: usize) {
+        self.nodes[pe].incoming.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine2() -> Machine {
+        Machine::new(MachineConfig::t3d(2))
+    }
+
+    fn set_annex(m: &mut Machine, pe: usize, idx: usize, target: u32, func: FuncCode) {
+        m.annex_set(pe, idx, AnnexEntry { pe: target, func });
+    }
+
+    #[test]
+    fn local_load_store_roundtrip() {
+        let mut m = machine2();
+        m.st8(0, 0x1000, 77);
+        assert_eq!(m.ld8(0, 0x1000), 77);
+    }
+
+    #[test]
+    fn uncached_remote_read_costs_about_91_cycles() {
+        let mut m = machine2();
+        m.poke8(1, 0x2000, 5);
+        set_annex(&mut m, 0, 1, 1, FuncCode::Uncached);
+        // Warm the TLB so we measure the steady-state cost the paper plots.
+        let _ = m.ld8(0, m.va(1, 0x2008));
+        let t0 = m.clock(0);
+        let v = m.ld8(0, m.va(1, 0x2000));
+        let cost = m.clock(0) - t0;
+        assert_eq!(v, 5);
+        assert!(
+            (85..=97).contains(&cost),
+            "uncached adjacent remote read cost {cost} cy (paper: ~91)"
+        );
+    }
+
+    #[test]
+    fn cached_remote_read_costs_more_but_then_hits() {
+        let mut m = machine2();
+        m.poke8(1, 0x3000, 9);
+        m.poke8(1, 0x3008, 10);
+        set_annex(&mut m, 0, 1, 1, FuncCode::Cached);
+        let _ = m.ld8(0, m.va(1, 0x4000)); // TLB warm
+        let t0 = m.clock(0);
+        assert_eq!(m.ld8(0, m.va(1, 0x3000)), 9);
+        let first = m.clock(0) - t0;
+        assert!(
+            (105..=125).contains(&first),
+            "cached adjacent remote read cost {first} cy (paper: ~114)"
+        );
+        let t1 = m.clock(0);
+        assert_eq!(
+            m.ld8(0, m.va(1, 0x3008)),
+            10,
+            "next word came with the line"
+        );
+        assert_eq!(m.clock(0) - t1, 1, "line hit");
+    }
+
+    #[test]
+    fn cached_remote_line_goes_stale() {
+        let mut m = machine2();
+        m.poke8(1, 0x3000, 1);
+        set_annex(&mut m, 0, 1, 1, FuncCode::Cached);
+        assert_eq!(m.ld8(0, m.va(1, 0x3000)), 1);
+        // Owner updates its memory; no coherence traffic.
+        m.st8(1, 0x3000, 2);
+        m.memory_barrier(1);
+        assert_eq!(m.ld8(0, m.va(1, 0x3000)), 1, "stale cached copy");
+        // Explicit flush (23 cycles) makes the next read fresh.
+        let va = m.va(1, 0x3000);
+        let flush = m.node_mut(0).port.flush_line(va);
+        m.advance(0, flush);
+        assert_eq!(m.ld8(0, va), 2);
+    }
+
+    #[test]
+    fn blocking_remote_write_costs_about_130_cycles() {
+        let mut m = machine2();
+        set_annex(&mut m, 0, 1, 1, FuncCode::Uncached);
+        let va = m.va(1, 0x5000);
+        // Warm TLB.
+        m.st8(0, va, 1);
+        m.memory_barrier(0);
+        m.wait_write_acks(0);
+        let t0 = m.clock(0);
+        m.st8(0, va, 42);
+        m.memory_barrier(0);
+        m.wait_write_acks(0);
+        let cost = m.clock(0) - t0;
+        assert!(
+            (120..=140).contains(&cost),
+            "blocking remote write cost {cost} cy (paper: ~130)"
+        );
+        assert_eq!(m.peek8(1, 0x5000), 42);
+    }
+
+    #[test]
+    fn nonblocking_remote_write_sustains_17_cycles() {
+        let mut m = machine2();
+        set_annex(&mut m, 0, 1, 1, FuncCode::Uncached);
+        let t0 = m.clock(0);
+        let n = 128u64;
+        for i in 0..n {
+            let va = m.va(1, 0x8000 + i * 64);
+            m.st8(0, va, i);
+        }
+        let avg = (m.clock(0) - t0) as f64 / n as f64;
+        assert!(
+            (15.0..20.0).contains(&avg),
+            "non-blocking remote write interval {avg} cy (paper: ~17)"
+        );
+    }
+
+    #[test]
+    fn status_bit_invisible_to_buffered_writes() {
+        // Section 4.3: poll without fencing sees a clear bit even though
+        // a write sits in the buffer.
+        let mut m = machine2();
+        set_annex(&mut m, 0, 1, 1, FuncCode::Uncached);
+        let va = m.va(1, 0x6000);
+        m.st8(0, va, 1);
+        assert!(
+            m.poll_status(0),
+            "bit appears clear: the write is still buffered"
+        );
+        m.memory_barrier(0);
+        assert!(
+            !m.poll_status(0),
+            "after the fence the write is visible in flight"
+        );
+    }
+
+    #[test]
+    fn prefetch_roundtrip() {
+        let mut m = machine2();
+        m.poke8(1, 0x7000, 123);
+        set_annex(&mut m, 0, 1, 1, FuncCode::Uncached);
+        let va = m.va(1, 0x7000);
+        assert!(m.fetch(0, va));
+        m.memory_barrier(0);
+        assert_eq!(m.pop_prefetch(0), Ok(123));
+    }
+
+    #[test]
+    fn prefetch_pop_without_fence_is_a_hazard() {
+        let mut m = machine2();
+        set_annex(&mut m, 0, 1, 1, FuncCode::Uncached);
+        m.fetch(0, m.va(1, 0x7000));
+        assert_eq!(m.pop_prefetch(0), Err(PopError::NotDeparted));
+    }
+
+    #[test]
+    fn blt_moves_data_and_charges_startup() {
+        let mut m = machine2();
+        for i in 0..64u64 {
+            m.poke8(1, 0x9000 + i * 8, i);
+        }
+        let t0 = m.clock(0);
+        let h = m.blt_start(0, BltDirection::Read, 0xA000, 1, 0x9000, 512);
+        assert!(
+            m.clock(0) - t0 >= 27_000,
+            "OS invocation stalls the processor"
+        );
+        m.blt_wait(0, h);
+        for i in 0..64u64 {
+            assert_eq!(m.peek8(0, 0xA000 + i * 8), i);
+        }
+    }
+
+    #[test]
+    fn strided_blt_gathers_columns() {
+        let mut m = machine2();
+        // A 8x8 matrix of u64 on PE 1, row-major; gather column 3.
+        for r in 0..8u64 {
+            for c in 0..8u64 {
+                m.poke8(1, 0x4000 + (r * 8 + c) * 8, r * 100 + c);
+            }
+        }
+        let h = m.blt_start_strided(
+            0,
+            BltDirection::Read,
+            0x5000,
+            1,
+            0x4000 + 3 * 8,
+            8,  // count
+            8,  // elem bytes
+            64, // stride: one row
+        );
+        m.blt_wait(0, h);
+        for r in 0..8u64 {
+            assert_eq!(m.peek8(0, 0x5000 + r * 8), r * 100 + 3, "row {r}");
+        }
+        assert!(h.startup_cy >= 27_000, "still an OS invocation");
+    }
+
+    #[test]
+    fn strided_blt_scatter_writes() {
+        let mut m = machine2();
+        for i in 0..4u64 {
+            m.poke8(0, 0x6000 + i * 8, 7 + i);
+        }
+        let h = m.blt_start_strided(0, BltDirection::Write, 0x6000, 1, 0x7000, 4, 8, 256);
+        m.blt_wait(0, h);
+        for i in 0..4u64 {
+            assert_eq!(m.peek8(1, 0x7000 + i * 256), 7 + i);
+        }
+    }
+
+    #[test]
+    fn strided_blt_page_misses_slow_the_stream() {
+        let mut m = machine2();
+        let contiguous = m.blt_start_strided(0, BltDirection::Read, 0x1000, 1, 0x0, 64, 8, 8);
+        let mut m2 = machine2();
+        let strided = m2.blt_start_strided(0, BltDirection::Read, 0x1000, 1, 0x0, 64, 8, 16 * 1024);
+        assert!(
+            strided.stream_cy > contiguous.stream_cy,
+            "page-missing stride streams slower: {} vs {}",
+            strided.stream_cy,
+            contiguous.stream_cy
+        );
+    }
+
+    #[test]
+    fn message_send_receive() {
+        let mut m = machine2();
+        m.msg_send(0, 1, [1, 2, 3, 4]);
+        // Receiver polls; arrival takes network time.
+        m.advance(1, 200);
+        let msg = m.msg_receive(1).expect("message arrived");
+        assert_eq!(msg.words, [1, 2, 3, 4]);
+        assert_eq!(msg.from, 0);
+    }
+
+    #[test]
+    fn message_receive_costs_the_interrupt() {
+        let mut m = machine2();
+        m.msg_send(0, 1, [0; 4]);
+        m.advance(1, 1000);
+        let t0 = m.clock(1);
+        m.msg_receive(1).unwrap();
+        assert!(m.clock(1) - t0 >= 3750, "25 us interrupt");
+    }
+
+    #[test]
+    fn handler_mode_charges_the_dispatch_switch() {
+        let mut cfg = MachineConfig::t3d(2);
+        cfg.msg_mode = t3d_shell::ReceiveMode::Handler;
+        let mut m = Machine::new(cfg);
+        m.msg_send(0, 1, [0; 4]);
+        m.advance(1, 1_000);
+        let t0 = m.clock(1);
+        m.msg_receive(1).unwrap();
+        assert!(
+            m.clock(1) - t0 >= 3_750 + 4_950,
+            "interrupt + handler switch charged"
+        );
+    }
+
+    #[test]
+    fn fetch_inc_is_remote_and_atomic() {
+        let mut m = machine2();
+        assert_eq!(m.fetch_inc(0, 1, 0), 0);
+        assert_eq!(m.fetch_inc(0, 1, 0), 1);
+        assert_eq!(m.fetch_inc(1, 1, 0), 2, "owner sees the same counter");
+        let t0 = m.clock(0);
+        m.fetch_inc(0, 1, 1);
+        let cost = m.clock(0) - t0;
+        assert!(
+            (100..200).contains(&cost),
+            "f&i cost {cost} cy (paper: ~1 us incl. overheads)"
+        );
+    }
+
+    #[test]
+    fn atomic_swap_exchanges() {
+        let mut m = machine2();
+        m.poke8(1, 0xB000, 5);
+        set_annex(&mut m, 0, 1, 1, FuncCode::Swap);
+        m.swap_load(0, 9);
+        let old = m.atomic_swap(0, m.va(1, 0xB000));
+        assert_eq!(old, 5);
+        assert_eq!(m.peek8(1, 0xB000), 9);
+    }
+
+    #[test]
+    fn fuzzy_barrier_overlaps_work() {
+        // Plain barrier: arrive, wait, then do 2000 cycles of work.
+        let mut m = machine2();
+        m.advance(0, 100);
+        m.advance(1, 3_000); // the straggler
+        m.barrier_all();
+        m.advance(0, 2_000);
+        let plain = m.clock(0);
+
+        // Fuzzy barrier: announce arrival, do the 2000 cycles while the
+        // straggler arrives, then complete.
+        let mut m = machine2();
+        m.advance(0, 100);
+        m.advance(1, 3_000);
+        m.fuzzy_barrier_start(0);
+        m.fuzzy_barrier_start(1);
+        m.advance(0, 2_000); // overlapped with the wait
+        m.fuzzy_barrier_end_all();
+        let fuzzy = m.clock(0);
+
+        assert!(
+            fuzzy + 1_500 < plain,
+            "fuzzy barrier hides the overlapped work: {fuzzy} vs {plain} cy"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "start-barrier before end-barrier")]
+    fn fuzzy_end_requires_all_starts() {
+        let mut m = machine2();
+        m.fuzzy_barrier_start(0);
+        m.fuzzy_barrier_end_all();
+    }
+
+    #[test]
+    fn barrier_aligns_clocks() {
+        let mut m = machine2();
+        m.advance(0, 100);
+        m.advance(1, 5000);
+        m.barrier_all();
+        assert_eq!(m.clock(0), m.clock(1));
+        assert!(m.clock(0) >= 5000 + 50);
+        assert_eq!(m.barrier_episodes(), 1);
+    }
+
+    #[test]
+    fn trace_records_the_operation_stream() {
+        let mut m = machine2();
+        m.enable_trace(64);
+        set_annex(&mut m, 0, 1, 1, FuncCode::Uncached);
+        m.st8(0, m.va(1, 0x100), 1);
+        m.memory_barrier(0);
+        m.wait_write_acks(0);
+        let _ = m.ld8(0, m.va(1, 0x100));
+        let kinds: Vec<TraceKind> = m.tracer().events().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TraceKind::StoreRemote(1),
+                TraceKind::MemoryBarrier,
+                TraceKind::AckWait,
+                TraceKind::LoadRemote(1),
+            ]
+        );
+        let total: u64 = m.tracer().events().map(|e| e.cycles).sum();
+        assert!(total > 0);
+        assert!(m.tracer().dump().contains("st.remote->1"));
+        m.clear_trace();
+        assert!(m.tracer().is_empty());
+    }
+
+    #[test]
+    fn tracing_off_costs_nothing_and_records_nothing() {
+        let mut m = machine2();
+        m.st8(0, 0x40, 1);
+        assert!(m.tracer().is_empty());
+    }
+
+    #[test]
+    fn contention_serializes_a_hot_spot() {
+        // All nodes fetch&increment PE 0's counter at the same virtual
+        // time: with contention on, the later requests queue.
+        let run = |contend: bool| -> u64 {
+            let cfg = if contend {
+                MachineConfig::t3d_contended(8)
+            } else {
+                MachineConfig::t3d(8)
+            };
+            let mut m = Machine::new(cfg);
+            for pe in 1..8 {
+                let _ = m.fetch_inc(pe, 0, 0);
+            }
+            (1..8).map(|pe| m.clock(pe)).max().unwrap()
+        };
+        let free = run(false);
+        let contended = run(true);
+        assert!(
+            contended > free + 100,
+            "hot-spot queueing must show: {contended} vs {free} cy"
+        );
+        // The counter still counts correctly either way.
+    }
+
+    #[test]
+    fn contention_off_by_default_changes_nothing() {
+        let mut m = machine2();
+        set_annex(&mut m, 0, 1, 1, FuncCode::Uncached);
+        let _ = m.ld8(0, m.va(1, 0x2008));
+        let t0 = m.clock(0);
+        let _ = m.ld8(0, m.va(1, 0x2000));
+        let cost = m.clock(0) - t0;
+        assert!((85..=97).contains(&cost), "calibration intact: {cost} cy");
+    }
+
+    #[test]
+    fn write_buffer_synonym_hazard_end_to_end() {
+        // Two annex entries name PE 1; a store through one is invisible
+        // to an immediately following load through the other.
+        let mut m = machine2();
+        m.poke8(1, 0xC000, 1);
+        set_annex(&mut m, 0, 1, 1, FuncCode::Uncached);
+        set_annex(&mut m, 0, 2, 1, FuncCode::Uncached);
+        m.st8(0, m.va(1, 0xC000), 2);
+        let stale = m.ld8(0, m.va(2, 0xC000));
+        assert_eq!(stale, 1, "synonym read bypassed the buffered store");
+        // Same-annex read forwards correctly.
+        let fresh = m.ld8(0, m.va(1, 0xC000));
+        assert_eq!(fresh, 2);
+        // After fencing and acknowledgement everything agrees.
+        m.memory_barrier(0);
+        m.wait_write_acks(0);
+        assert_eq!(m.ld8(0, m.va(2, 0xC000)), 2);
+    }
+
+    #[test]
+    fn store_arrivals_logged_for_store_sync() {
+        let mut m = machine2();
+        set_annex(&mut m, 0, 1, 1, FuncCode::Uncached);
+        for i in 0..4u64 {
+            m.st8(0, m.va(1, 0xD000 + i * 64), i);
+        }
+        m.memory_barrier(0);
+        let t = m.arrival_time_of(1, 32).expect("32 bytes arrived");
+        assert!(t > 0);
+        assert_eq!(m.arrival_time_of(1, 33), None);
+    }
+
+    #[test]
+    fn remote_write_invalidate_keeps_owner_coherent() {
+        let mut m = machine2();
+        // Owner caches its own line.
+        m.poke8(1, 0xE000, 1);
+        assert_eq!(m.ld8(1, 0xE000), 1);
+        // Remote write arrives; owner's next read must see it.
+        set_annex(&mut m, 0, 1, 1, FuncCode::Uncached);
+        m.st8(0, m.va(1, 0xE000), 2);
+        m.memory_barrier(0);
+        m.wait_write_acks(0);
+        assert_eq!(
+            m.ld8(1, 0xE000),
+            2,
+            "cache-invalidate mode flushed the line"
+        );
+    }
+}

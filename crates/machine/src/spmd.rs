@@ -1,0 +1,181 @@
+//! Deterministic SPMD phase driver.
+//!
+//! Split-C programs are SPMD: one thread of control per processor. The
+//! paper's application study (EM3D, Section 8) is bulk-synchronous —
+//! phases of local computation and communication separated by global
+//! barriers. [`Spmd`] executes such programs deterministically: within a
+//! phase, the per-node closure runs for node 0..P−1 *sequentially*
+//! against the shared machine, each accumulating its own virtual clock;
+//! [`Spmd::barrier`] aligns the clocks (and fences all outstanding
+//! writes), exactly as the hardware barrier plus `allStoreSync` would.
+//!
+//! Correctness contract: within a phase, a node must not *wait on* values
+//! produced by a higher-numbered node in the same phase (bulk-synchronous
+//! programs never do — cross-node data is consumed only after a barrier).
+//! Arrival *times* of stores are recorded precisely, so `storeSync`-style
+//! waiting across a phase boundary is exact.
+
+use crate::cpu::Cpu;
+use crate::machine::Machine;
+
+/// Phase-structured SPMD execution over a machine.
+///
+/// # Example
+///
+/// ```
+/// use t3d_machine::{Machine, MachineConfig, Spmd};
+///
+/// let mut m = Machine::new(MachineConfig::t3d(4));
+/// let mut spmd = Spmd::new(&mut m);
+/// spmd.phase(|cpu| {
+///     let me = cpu.pe() as u64;
+///     cpu.st8(0x100, me);
+/// });
+/// spmd.barrier();
+/// spmd.phase(|cpu| {
+///     assert_eq!(cpu.ld8(0x100), cpu.pe() as u64);
+/// });
+/// ```
+#[derive(Debug)]
+pub struct Spmd<'m> {
+    m: &'m mut Machine,
+    phases: u64,
+}
+
+impl<'m> Spmd<'m> {
+    /// Creates a driver over a machine.
+    pub fn new(m: &'m mut Machine) -> Self {
+        Spmd { m, phases: 0 }
+    }
+
+    /// The underlying machine.
+    pub fn machine(&mut self) -> &mut Machine {
+        self.m
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.m.nodes()
+    }
+
+    /// Runs one phase: the closure executes once per node, in node order.
+    pub fn phase<F: FnMut(&mut Cpu)>(&mut self, mut f: F) {
+        for pe in 0..self.m.nodes() {
+            let mut cpu = Cpu::new(self.m, pe);
+            f(&mut cpu);
+        }
+        self.phases += 1;
+    }
+
+    /// Global barrier: fences all writes and aligns all clocks.
+    pub fn barrier(&mut self) {
+        self.m.barrier_all();
+    }
+
+    /// Fuzzy barrier around a slice of overlappable work: every node
+    /// fences, executes start-barrier, runs `overlapped`, and the
+    /// end-barrier completes — so `overlapped` hides in the wait for the
+    /// slowest node (Section 7.5).
+    pub fn fuzzy_barrier<F: FnMut(&mut Cpu)>(&mut self, mut overlapped: F) {
+        for pe in 0..self.m.nodes() {
+            self.m.memory_barrier(pe);
+            self.m.fuzzy_barrier_start(pe);
+            let mut cpu = Cpu::new(self.m, pe);
+            overlapped(&mut cpu);
+        }
+        self.m.fuzzy_barrier_end_all();
+    }
+
+    /// Phases executed so far.
+    pub fn phases(&self) -> u64 {
+        self.phases
+    }
+
+    /// The maximum clock across nodes (total elapsed virtual time).
+    pub fn max_clock(&self) -> u64 {
+        (0..self.m.nodes())
+            .map(|pe| self.m.clock(pe))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use t3d_shell::FuncCode;
+
+    #[test]
+    fn phases_run_every_node() {
+        let mut m = Machine::new(MachineConfig::t3d(4));
+        let mut spmd = Spmd::new(&mut m);
+        let mut seen = Vec::new();
+        spmd.phase(|cpu| seen.push(cpu.pe()));
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+        assert_eq!(spmd.phases(), 1);
+    }
+
+    #[test]
+    fn barrier_aligns_after_uneven_work() {
+        let mut m = Machine::new(MachineConfig::t3d(4));
+        let mut spmd = Spmd::new(&mut m);
+        spmd.phase(|cpu| {
+            let work = 100 * (cpu.pe() as u64 + 1);
+            cpu.advance(work);
+        });
+        spmd.barrier();
+        let clocks: Vec<u64> = (0..4).map(|pe| spmd.machine().clock(pe)).collect();
+        assert!(clocks.windows(2).all(|w| w[0] == w[1]));
+        assert!(clocks[0] >= 400);
+    }
+
+    #[test]
+    fn fuzzy_barrier_runs_overlapped_work_and_synchronizes() {
+        let mut m = Machine::new(MachineConfig::t3d(4));
+        let mut spmd = Spmd::new(&mut m);
+        spmd.phase(|cpu| {
+            let skew = 1000 * cpu.pe() as u64;
+            cpu.advance(skew);
+        });
+        let mut ran = 0;
+        spmd.fuzzy_barrier(|cpu| {
+            cpu.advance(500);
+            ran += 1;
+        });
+        assert_eq!(ran, 4);
+        let clocks: Vec<u64> = (0..4).map(|pe| spmd.machine().clock(pe)).collect();
+        // Unlike a plain barrier, the fuzzy barrier does NOT align the
+        // clocks: each node merely cannot pass before the wire settled
+        // (last arrival ~3009 + 50). The fast nodes' overlapped work is
+        // hidden inside the wait.
+        let settle = 3_000 + 4 + 5 + 50;
+        assert!(clocks.iter().all(|&c| c >= settle), "{clocks:?}");
+        assert!(
+            clocks[0] < clocks[3],
+            "fast node exits near the wire settle, straggler later: {clocks:?}"
+        );
+        assert!(
+            clocks[3] >= 3_500 && clocks[3] < 3_600,
+            "straggler clock {}",
+            clocks[3]
+        );
+    }
+
+    #[test]
+    fn neighbour_exchange_is_visible_after_barrier() {
+        let mut m = Machine::new(MachineConfig::t3d(4));
+        let mut spmd = Spmd::new(&mut m);
+        spmd.phase(|cpu| {
+            let right = (cpu.pe() + 1) % cpu.nodes();
+            cpu.annex_set(1, right as u32, FuncCode::Uncached);
+            let va = cpu.va(1, 0x200);
+            cpu.st8(va, cpu.pe() as u64 + 100);
+        });
+        spmd.barrier();
+        spmd.phase(|cpu| {
+            let left = (cpu.pe() + cpu.nodes() - 1) % cpu.nodes();
+            assert_eq!(cpu.ld8(0x200), left as u64 + 100);
+        });
+    }
+}

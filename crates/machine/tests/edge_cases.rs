@@ -1,0 +1,231 @@
+//! Edge-case and misuse tests for the machine layer: the places where a
+//! compiler writer gets bitten.
+
+use t3d_machine::{Cpu, Machine, MachineConfig, Spmd};
+use t3d_shell::blt::BltDirection;
+use t3d_shell::{AnnexEntry, FuncCode};
+
+fn machine(n: u32) -> Machine {
+    Machine::new(MachineConfig::t3d(n))
+}
+
+#[test]
+fn sub_word_remote_loads_work_within_a_line() {
+    let mut m = machine(2);
+    m.poke8(1, 0x100, 0x0807_0605_0403_0201);
+    m.annex_set(
+        0,
+        1,
+        AnnexEntry {
+            pe: 1,
+            func: FuncCode::Uncached,
+        },
+    );
+    let mut b4 = [0u8; 4];
+    m.ld(0, m.va(1, 0x100), &mut b4);
+    assert_eq!(u32::from_le_bytes(b4), 0x0403_0201);
+    let mut b2 = [0u8; 2];
+    m.ld(0, m.va(1, 0x104), &mut b2);
+    assert_eq!(u16::from_le_bytes(b2), 0x0605);
+}
+
+#[test]
+#[should_panic(expected = "must not cross a cache line")]
+fn remote_load_across_a_line_panics() {
+    let mut m = machine(2);
+    m.annex_set(
+        0,
+        1,
+        AnnexEntry {
+            pe: 1,
+            func: FuncCode::Uncached,
+        },
+    );
+    let mut buf = [0u8; 8];
+    m.ld(0, m.va(1, 28), &mut buf);
+}
+
+#[test]
+#[should_panic(expected = "not a load flavour")]
+fn loading_through_a_swap_entry_panics() {
+    let mut m = machine(2);
+    m.annex_set(
+        0,
+        1,
+        AnnexEntry {
+            pe: 1,
+            func: FuncCode::Swap,
+        },
+    );
+    let _ = m.ld8(0, m.va(1, 0x100));
+}
+
+#[test]
+#[should_panic(expected = "does not exist")]
+fn annex_to_nonexistent_pe_panics() {
+    let mut m = machine(2);
+    m.annex_set(
+        0,
+        1,
+        AnnexEntry {
+            pe: 9,
+            func: FuncCode::Uncached,
+        },
+    );
+}
+
+#[test]
+fn multi_line_local_reads_cross_lines_fine() {
+    let mut m = machine(1);
+    for i in 0..16u64 {
+        m.poke8(0, 0x200 + i * 8, i);
+    }
+    let mut buf = [0u8; 64];
+    m.ld(0, 0x208, &mut buf); // crosses two line boundaries
+    for (w, chunk) in buf.chunks(8).enumerate() {
+        assert_eq!(u64::from_le_bytes(chunk.try_into().unwrap()), w as u64 + 1);
+    }
+}
+
+#[test]
+fn sub_word_stores_merge_into_the_word() {
+    let mut m = machine(1);
+    m.st8(0, 0x300, 0);
+    m.st(0, 0x302, &[0xAB, 0xCD]);
+    m.memory_barrier(0);
+    assert_eq!(m.ld8(0, 0x300), 0x0000_0000_CDAB_0000);
+}
+
+#[test]
+fn va_split_roundtrip() {
+    let m = machine(2);
+    for idx in [0usize, 1, 17, 31] {
+        for off in [0u64, 8, 0x7FF_FFF8] {
+            let va = m.va(idx, off);
+            assert_eq!(m.split_va(va), (idx, off));
+        }
+    }
+}
+
+#[test]
+fn blt_zero_handle_waits_are_idempotent() {
+    let mut m = machine(2);
+    let h = m.blt_start(0, BltDirection::Read, 0x1000, 1, 0x2000, 64);
+    m.blt_wait(0, h);
+    let t = m.clock(0);
+    m.blt_wait(0, h); // second wait is free
+    assert_eq!(m.clock(0), t);
+}
+
+#[test]
+fn spmd_on_a_single_node_machine() {
+    let mut m = machine(1);
+    let mut spmd = Spmd::new(&mut m);
+    let mut count = 0;
+    spmd.phase(|cpu| {
+        cpu.st8(0x10, 5);
+        count += 1;
+    });
+    spmd.barrier();
+    assert_eq!(count, 1);
+    assert_eq!(spmd.machine().peek8(0, 0x10), 5);
+}
+
+#[test]
+fn cpu_handle_exposes_clock_in_ns() {
+    let mut m = machine(1);
+    let mut cpu = Cpu::new(&mut m, 0);
+    cpu.advance(150);
+    assert!((cpu.clock_ns() - 1000.0).abs() < 1.0, "150 cycles = 1 us");
+}
+
+#[test]
+fn self_targeting_annex_goes_through_the_shell() {
+    // An annex entry can name the issuing PE; the access loops through
+    // the shell (and costs remote time) rather than the local path.
+    let mut m = machine(2);
+    m.poke8(0, 0x400, 77);
+    m.annex_set(
+        0,
+        1,
+        AnnexEntry {
+            pe: 0,
+            func: FuncCode::Uncached,
+        },
+    );
+    let t0 = m.clock(0);
+    assert_eq!(m.ld8(0, m.va(1, 0x400)), 77);
+    let cost = m.clock(0) - t0;
+    assert!(cost > 50, "shell loop-back is not a local load: {cost} cy");
+}
+
+#[test]
+fn incoming_log_clears_between_epochs() {
+    let mut m = machine(2);
+    m.annex_set(
+        0,
+        1,
+        AnnexEntry {
+            pe: 1,
+            func: FuncCode::Uncached,
+        },
+    );
+    m.st8(0, m.va(1, 0x500), 1);
+    m.memory_barrier(0);
+    assert!(m.arrival_time_of(1, 8).is_some());
+    m.clear_incoming(1);
+    assert!(m.arrival_time_of(1, 8).is_none());
+}
+
+#[test]
+fn barrier_requires_no_stragglers_in_flight() {
+    // barrier_all fences every node, so a remote write issued just
+    // before the barrier is visible just after it.
+    let mut m = machine(4);
+    m.annex_set(
+        2,
+        1,
+        AnnexEntry {
+            pe: 3,
+            func: FuncCode::Uncached,
+        },
+    );
+    m.st8(2, m.va(1, 0x600), 9);
+    m.barrier_all();
+    assert_eq!(m.ld8(3, 0x600), 9);
+}
+
+#[test]
+fn op_stats_track_every_category() {
+    let mut m = machine(2);
+    m.annex_set(
+        0,
+        1,
+        AnnexEntry {
+            pe: 1,
+            func: FuncCode::Uncached,
+        },
+    );
+    m.st8(0, 0x10, 1); // local store
+    m.st8(0, m.va(1, 0x10), 1); // remote store
+    let _ = m.ld8(0, 0x10); // local load
+    let _ = m.ld8(0, m.va(1, 0x10)); // remote load
+    m.fetch(0, m.va(1, 0x20));
+    m.memory_barrier(0);
+    let _ = m.pop_prefetch(0);
+    m.msg_send(0, 1, [0; 4]);
+    let _ = m.fetch_inc(0, 1, 0);
+    let s = m.op_stats(0);
+    assert_eq!(s.stores_local, 1);
+    assert_eq!(s.stores_remote, 1);
+    assert_eq!(s.loads_local, 1);
+    assert_eq!(s.loads_remote, 1);
+    assert_eq!(s.fetches, 1);
+    assert_eq!(s.pops, 1);
+    assert_eq!(s.memory_barriers, 1);
+    assert_eq!(s.msgs_sent, 1);
+    assert_eq!(s.atomics, 1);
+    assert_eq!(s.remote_ops(), 4);
+    m.clear_op_stats(0);
+    assert_eq!(m.op_stats(0).remote_ops(), 0);
+}

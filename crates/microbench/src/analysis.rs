@@ -1,0 +1,213 @@
+//! Gray-box parameter inference (the Section 2 analysis).
+//!
+//! The paper's methodology does not *assume* machine parameters — it
+//! infers them from probe responses. This module runs the same
+//! inferences on our simulated profiles: cache size from the first size
+//! whose latency leaves the hit plateau, line size from the stride where
+//! miss cost stops growing, memory latency from the plateau value,
+//! write-buffer depth from the memory-to-steady-store ratio. The unit
+//! tests close the loop: the inferred parameters must equal the
+//! configured ones.
+
+use crate::report::{StrideProfile, Table};
+
+/// Parameters inferred from the local read and write profiles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InferredParams {
+    /// First-level cache capacity (bytes).
+    pub cache_bytes: u64,
+    /// Cache line size (bytes).
+    pub line_bytes: u64,
+    /// Cache hit latency (ns).
+    pub hit_ns: f64,
+    /// Main memory access latency (ns), in-page.
+    pub mem_ns: f64,
+    /// Worst-case memory latency (ns) — off-page, same bank.
+    pub worst_ns: f64,
+    /// Estimated write-buffer depth (memory latency / steady store
+    /// cost, the paper's Section 2.3 calculation).
+    pub wbuf_entries: u64,
+    /// Steady-state store cost at line stride (ns).
+    pub store_ns: f64,
+}
+
+/// Infers local-node parameters from a read and a write profile.
+///
+/// The profiles must cover sizes from within the cache to several times
+/// it, and strides up to at least 64 KB for the worst-case plateau.
+///
+/// # Panics
+///
+/// Panics if the profiles are too sparse to analyze.
+pub fn infer_local_params(read: &StrideProfile, write: &StrideProfile) -> InferredParams {
+    // Hit latency: small array, small stride.
+    let smallest = *read.sizes.first().expect("profile has sizes");
+    let hit_ns = read.at(smallest, 8).expect("smallest cell probed");
+
+    // Cache size: first size whose stride-8 latency clearly leaves the
+    // hit plateau.
+    let cache_bytes = read
+        .sizes
+        .iter()
+        .copied()
+        .find(|&s| read.at(s, 8).is_some_and(|ns| ns > hit_ns * 1.5))
+        .map(|s| s / 2)
+        .expect("some size exceeds the cache");
+
+    // Line size: with a >cache array, miss cost rises with stride until
+    // one access per line; the first stride at which latency stops
+    // growing (within 5%) is the line size.
+    let big = read
+        .sizes
+        .iter()
+        .copied()
+        .find(|&s| s >= cache_bytes * 8)
+        .expect("profile includes a large array");
+    let mut line_bytes = 8;
+    for w in read.strides.windows(2) {
+        let (a, b) = (read.at(big, w[0]), read.at(big, w[1]));
+        if let (Some(a), Some(b)) = (a, b) {
+            if b < a * 1.05 {
+                line_bytes = w[0];
+                break;
+            }
+        }
+    }
+
+    // Memory latency: the plateau at line stride (minus the hit the
+    // probe can't separate — negligible here).
+    let mem_ns = read.at(big, line_bytes).expect("line-stride cell probed");
+
+    // Worst case: the largest latency anywhere in the surface.
+    let worst_ns = read
+        .avg_ns
+        .iter()
+        .flatten()
+        .flatten()
+        .copied()
+        .fold(0.0f64, f64::max);
+
+    // Write buffer: steady store cost at line stride on a large array.
+    let store_ns = write.at(big, line_bytes).expect("write cell probed");
+    let wbuf_entries = (mem_ns / store_ns).round() as u64;
+
+    InferredParams {
+        cache_bytes,
+        line_bytes,
+        hit_ns,
+        mem_ns,
+        worst_ns,
+        wbuf_entries,
+        store_ns,
+    }
+}
+
+/// Renders the Section 2 parameter table, measured vs published.
+pub fn local_params_table(p: &InferredParams) -> Table {
+    Table {
+        title: "Inferred local-node parameters (Section 2)".into(),
+        headers: vec!["parameter".into(), "inferred".into(), "paper".into()],
+        rows: vec![
+            vec![
+                "L1 cache size".into(),
+                format!("{} KB", p.cache_bytes / 1024),
+                "8 KB".into(),
+            ],
+            vec![
+                "cache line".into(),
+                format!("{} B", p.line_bytes),
+                "32 B".into(),
+            ],
+            vec![
+                "read hit".into(),
+                format!("{:.1} ns", p.hit_ns),
+                "6.67 ns (1 cy)".into(),
+            ],
+            vec![
+                "memory access".into(),
+                format!("{:.0} ns", p.mem_ns),
+                "145 ns (22 cy)".into(),
+            ],
+            vec![
+                "worst case (off-page, same bank)".into(),
+                format!("{:.0} ns", p.worst_ns),
+                "264 ns (40 cy)".into(),
+            ],
+            vec![
+                "steady store (line stride)".into(),
+                format!("{:.0} ns", p.store_ns),
+                "35 ns".into(),
+            ],
+            vec![
+                "write buffer entries".into(),
+                p.wbuf_entries.to_string(),
+                "4".into(),
+            ],
+        ],
+    }
+}
+
+/// Memory-to-processor streaming bandwidth (MB/s) from a profile: one
+/// 32-byte line per full memory access, measured on the largest array
+/// (which must exceed every cache level). The paper reports ~220 MB/s
+/// for the T3D (32 B / 145 ns) and about half for the workstation.
+pub fn stream_bandwidth_mb(read: &StrideProfile) -> f64 {
+    let big = *read.sizes.last().expect("profile has sizes");
+    let ns_per_line = read.at(big, 32).expect("line-stride cell probed");
+    32.0 / ns_per_line * 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probes::local;
+
+    fn profiles() -> (StrideProfile, StrideProfile) {
+        let sizes: Vec<u64> = vec![4096, 8192, 16384, 65536, 262_144];
+        (
+            local::read_profile(&sizes, 1 << 20),
+            local::write_profile(&sizes, 1 << 20),
+        )
+    }
+
+    #[test]
+    fn inference_closes_the_loop() {
+        let (r, w) = profiles();
+        let p = infer_local_params(&r, &w);
+        assert_eq!(p.cache_bytes, 8 * 1024, "cache size recovered");
+        assert_eq!(p.line_bytes, 32, "line size recovered");
+        assert!((6.0..8.0).contains(&p.hit_ns));
+        assert!((140.0..160.0).contains(&p.mem_ns));
+        assert!((250.0..285.0).contains(&p.worst_ns));
+        assert_eq!(p.wbuf_entries, 4, "the paper's 145/35 calculation");
+    }
+
+    #[test]
+    fn t3d_streams_about_220_mb_per_s() {
+        let (r, _) = profiles();
+        let bw = stream_bandwidth_mb(&r);
+        assert!(
+            (200.0..240.0).contains(&bw),
+            "T3D stream bandwidth {bw:.0} MB/s"
+        );
+    }
+
+    #[test]
+    fn workstation_streams_about_half() {
+        let sizes: Vec<u64> = vec![4096, 2 * 1024 * 1024];
+        let ws = local::workstation_read_profile(&sizes, 1 << 21);
+        let t3d = local::read_profile(&sizes, 1 << 21);
+        let ratio = stream_bandwidth_mb(&t3d) / stream_bandwidth_mb(&ws);
+        assert!(
+            (1.5..2.6).contains(&ratio),
+            "T3D/workstation stream ratio {ratio:.2} (paper: ~2)"
+        );
+    }
+
+    #[test]
+    fn table_renders() {
+        let (r, w) = profiles();
+        let t = local_params_table(&infer_local_params(&r, &w));
+        assert!(t.to_string().contains("write buffer"));
+    }
+}

@@ -1,0 +1,33 @@
+//! Micro-benchmark suite for the simulated CRAY-T3D.
+//!
+//! This crate is the reproduction of the paper's gray-box methodology:
+//! simple probes that stimulate one mechanism at a time and report
+//! average latencies or bandwidths, from which machine parameters are
+//! *inferred* rather than assumed. One probe module per figure:
+//!
+//! | Paper artifact | Probe |
+//! |----------------|-------|
+//! | Figure 1 (local read, T3D + workstation) | [`probes::local::read_profile`] |
+//! | Figure 2 (local write)                   | [`probes::local::write_profile`] |
+//! | Figure 4 (remote read)                   | [`probes::remote::read_profiles`] |
+//! | Figure 5 (remote write)                  | [`probes::remote::write_profiles`] |
+//! | Figure 6 (prefetch group sweep)          | [`probes::prefetch::group_sweep`] |
+//! | Figure 7 (non-blocking write / put)      | [`probes::put::nonblocking_profiles`] |
+//! | Figure 8 (bulk bandwidth)                | [`probes::bulk::read_bandwidth`], [`probes::bulk::write_bandwidth`] |
+//! | Figure 9 (EM3D)                          | re-exported from the `em3d` crate |
+//! | §2 local parameter table                 | [`analysis`] |
+//! | §5.2 prefetch cost breakdown             | [`probes::prefetch::cost_breakdown`] |
+//! | §7 synchronization cost table            | [`probes::sync_costs`] |
+//!
+//! All probes return plain data ([`report::StrideProfile`],
+//! [`report::Series`], [`report::Table`]) that the `t3d-bench` binary
+//! renders as text, so the same code drives tests, benches and reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod probes;
+pub mod report;
+
+pub use report::{Series, StrideProfile, Table};

@@ -1,0 +1,246 @@
+//! Ablation studies: the design-choice what-ifs the paper's analysis
+//! implies (Section 9), made runnable.
+//!
+//! * **Annex policy** — "a single Annex entry could have sufficed":
+//!   compare update-always, update-skipping and hashed multi-register
+//!   management on PE-interleaved access streams.
+//! * **Write merging** — how much of the store bandwidth story is the
+//!   merge window.
+//! * **Prefetch queue depth** — "the choice of 16 seems to be a
+//!   reasonable one": sweep the depth and watch the returns diminish.
+//! * **User-level BLT** — "the BLT would be greatly improved if access
+//!   were from user level": shrink the 180 µs invocation and watch the
+//!   prefetch/BLT crossover collapse.
+
+use crate::report::{Series, Table};
+use splitc::{AnnexPolicy, GlobalPtr, SplitC, SplitcConfig};
+use t3d_machine::MachineConfig;
+
+/// Average cost (cycles) of a Split-C read when successive reads
+/// round-robin over `distinct_pes` target processors, under `policy`.
+pub fn annex_policy_read_cost(policy: AnnexPolicy, distinct_pes: usize, reads: usize) -> f64 {
+    let mut cfg = SplitcConfig::t3d();
+    cfg.annex_policy = policy;
+    let mut sc = SplitC::with_config(MachineConfig::t3d(1 + distinct_pes as u32), cfg);
+    let buf = sc.alloc(8 * reads as u64, 8);
+    sc.on(0, |ctx| {
+        // Warm TLB entries for every target segment.
+        for t in 0..distinct_pes {
+            let _ = ctx.read_u64(GlobalPtr::new(1 + t as u32, buf));
+        }
+        let t0 = ctx.clock();
+        for i in 0..reads {
+            let target = 1 + (i % distinct_pes) as u32;
+            let _ = ctx.read_u64(GlobalPtr::new(target, buf + (i as u64) * 8));
+        }
+        (ctx.clock() - t0) as f64 / reads as f64
+    })
+}
+
+/// The annex-policy ablation: one series per policy over the number of
+/// distinct target PEs in the stream.
+pub fn annex_policy_sweep() -> Vec<Series> {
+    let policies = [
+        ("update always (paper)", AnnexPolicy::SingleRegister),
+        ("single, cached", AnnexPolicy::SingleRegisterCached),
+        ("hashed multi", AnnexPolicy::HashedMulti),
+    ];
+    policies
+        .into_iter()
+        .map(|(label, policy)| Series {
+            label: label.to_string(),
+            points: [1usize, 2, 4, 8, 16]
+                .iter()
+                .map(|&k| (k as u64, annex_policy_read_cost(policy, k, 64)))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Bulk store bandwidth (MB/s) with and without write merging.
+pub fn merge_ablation(bytes: u64) -> [(String, f64); 2] {
+    let run = |merge: bool| -> f64 {
+        let mut mcfg = MachineConfig::t3d(2);
+        mcfg.mem.wbuf.merge = merge;
+        let mut sc = SplitC::new(mcfg);
+        let src = sc.alloc(bytes, 8);
+        let dst = sc.alloc(bytes, 8);
+        sc.on(0, |ctx| {
+            ctx.bulk_write(GlobalPtr::new(1, dst), src, bytes);
+        });
+        bytes as f64 / (sc.machine_ref().clock(0) as f64 / 150.0e6) / 1e6
+    };
+    [
+        ("merging (real 21064)".to_string(), run(true)),
+        ("no merging (ablated)".to_string(), run(false)),
+    ]
+}
+
+/// Per-element pipelined read cost (ns) as a function of prefetch queue
+/// depth.
+pub fn prefetch_depth_sweep(bytes: u64) -> Series {
+    let points = [2usize, 4, 8, 16, 32, 64]
+        .iter()
+        .map(|&depth| {
+            let mut mcfg = MachineConfig::t3d(2);
+            mcfg.shell.prefetch_depth = depth;
+            let mut sc = SplitC::new(mcfg);
+            let src = sc.alloc(bytes, 8);
+            let dst = sc.alloc(bytes, 8);
+            let cy = sc.on(0, |ctx| {
+                let t0 = ctx.clock();
+                ctx.bulk_read_prefetch(dst, GlobalPtr::new(1, src), bytes);
+                ctx.clock() - t0
+            });
+            (
+                depth as u64,
+                cy as f64 / (bytes / 8) as f64 * 6.666_666_666_666_667,
+            )
+        })
+        .collect();
+    Series {
+        label: "prefetch read, ns/word".to_string(),
+        points,
+    }
+}
+
+/// The prefetch-vs-BLT crossover size (bytes) for a given BLT start-up
+/// cost, found by doubling the transfer size.
+pub fn blt_crossover_for_startup(startup_cy: u64) -> u64 {
+    let mut n = 64u64;
+    while n <= 16 * 1024 * 1024 {
+        let mut mcfg = MachineConfig::t3d(2);
+        mcfg.shell.blt_startup_cy = startup_cy;
+        let mut sc = SplitC::new(mcfg);
+        let src = sc.alloc(n, 8);
+        let dst = sc.alloc(n, 8);
+        let t_pf = sc.on(0, |ctx| {
+            let t0 = ctx.clock();
+            ctx.bulk_read_prefetch(dst, GlobalPtr::new(1, src), n);
+            ctx.clock() - t0
+        });
+        let mut mcfg2 = MachineConfig::t3d(2);
+        mcfg2.shell.blt_startup_cy = startup_cy;
+        let mut sc2 = SplitC::new(mcfg2);
+        let src2 = sc2.alloc(n, 8);
+        let dst2 = sc2.alloc(n, 8);
+        let t_blt = sc2.on(0, |ctx| {
+            let t0 = ctx.clock();
+            ctx.bulk_read_blt(dst2, GlobalPtr::new(1, src2), n);
+            ctx.clock() - t0
+        });
+        if t_blt < t_pf {
+            return n;
+        }
+        n *= 2;
+    }
+    n
+}
+
+/// Renders the whole ablation report.
+pub fn ablation_tables() -> Vec<Table> {
+    let mut out = Vec::new();
+    out.push(crate::report::series_table(
+        "Annex policy ablation (avg Split-C read cycles vs distinct target PEs)",
+        "PEs",
+        &annex_policy_sweep(),
+    ));
+    let merge = merge_ablation(64 * 1024);
+    out.push(Table {
+        title: "Write-merging ablation (64 KB bulk store)".into(),
+        headers: vec!["configuration".into(), "MB/s".into()],
+        rows: merge
+            .iter()
+            .map(|(l, v)| vec![l.clone(), format!("{v:.1}")])
+            .collect(),
+    });
+    out.push(crate::report::series_table(
+        "Prefetch queue depth ablation (4 KB bulk read)",
+        "depth",
+        &[prefetch_depth_sweep(4096)],
+    ));
+    let rows = [27_000u64, 10_000, 3_000, 1_000, 0]
+        .iter()
+        .map(|&st| {
+            vec![
+                format!("{:.0} us", st as f64 / 150.0),
+                crate::report::human_bytes(blt_crossover_for_startup(st)),
+            ]
+        })
+        .collect();
+    out.push(Table {
+        title: "BLT start-up ablation: prefetch->BLT crossover size".into(),
+        headers: vec!["BLT start-up".into(), "crossover".into()],
+        rows,
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_register_never_loses_badly() {
+        // The paper's conclusion: the table lookup saves little against
+        // the 23-cycle update, so one register suffices.
+        for k in [1usize, 4, 16] {
+            let always = annex_policy_read_cost(AnnexPolicy::SingleRegister, k, 64);
+            let hashed = annex_policy_read_cost(AnnexPolicy::HashedMulti, k, 64);
+            assert!(
+                always < hashed * 1.25,
+                "at {k} PEs: update-always {always:.0} cy vs hashed {hashed:.0} cy"
+            );
+        }
+    }
+
+    #[test]
+    fn cached_single_register_wins_on_one_target() {
+        let always = annex_policy_read_cost(AnnexPolicy::SingleRegister, 1, 64);
+        let cached = annex_policy_read_cost(AnnexPolicy::SingleRegisterCached, 1, 64);
+        assert!(
+            cached < always,
+            "skipping the update saves ~23 cy: {cached:.0} vs {always:.0}"
+        );
+    }
+
+    #[test]
+    fn merging_carries_the_store_bandwidth() {
+        let [(_, with), (_, without)] = merge_ablation(32 * 1024);
+        assert!((85.0..95.0).contains(&with), "merged {with:.1} MB/s");
+        assert!(
+            without < with * 0.85,
+            "unmerged stores lose bandwidth: {without:.1} vs {with:.1} MB/s"
+        );
+    }
+
+    #[test]
+    fn depth_16_captures_most_of_the_pipelining() {
+        let s = prefetch_depth_sweep(4096);
+        let d4 = s.at(4).unwrap();
+        let d16 = s.at(16).unwrap();
+        let d64 = s.at(64).unwrap();
+        assert!(
+            d16 < d4 * 0.75,
+            "16 beats 4 clearly: {d16:.0} vs {d4:.0} ns"
+        );
+        assert!(
+            d64 > d16 * 0.85,
+            "depth 64 buys little over 16: {d64:.0} vs {d16:.0} ns (paper: 16 is reasonable)"
+        );
+    }
+
+    #[test]
+    fn user_level_blt_would_move_the_crossover() {
+        let os_level = blt_crossover_for_startup(27_000);
+        let user_level = blt_crossover_for_startup(1_000);
+        assert!(
+            (8 * 1024..=32 * 1024).contains(&os_level),
+            "OS-level crossover {os_level} B (paper: ~16 KB)"
+        );
+        assert!(
+            user_level <= os_level / 8,
+            "user-level BLT crossover {user_level} B vs {os_level} B"
+        );
+    }
+}

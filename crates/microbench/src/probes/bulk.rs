@@ -1,0 +1,229 @@
+//! Figure 8: bulk transfer bandwidth by mechanism.
+//!
+//! Four read mechanisms (uncached, cached-with-flush, prefetch queue,
+//! BLT) and two write mechanisms (non-blocking merging stores, BLT) are
+//! swept over transfer sizes; the Split-C `bulk_read`/`bulk_write`
+//! policy curve should track the upper envelope. Expected shape, from
+//! the paper: uncached best at 8 B; cached best at 32–64 B; prefetch
+//! best from 128 B to ~16 KB; BLT best beyond (peaking near 140 MB/s);
+//! stores beat the BLT for writes at every size (peaking near 90 MB/s).
+
+use crate::report::Series;
+use splitc::{GlobalPtr, SplitC};
+use t3d_machine::MachineConfig;
+
+/// A bulk mechanism under test: `(runtime, src offset, dst offset, bytes)`.
+type Mechanism = fn(&mut SplitC, u64, u64, u64);
+
+/// Bandwidth (MB/s) achieved moving `bytes` with the given closure, on
+/// a fresh two-node runtime.
+fn bandwidth_of(bytes: u64, f: impl FnOnce(&mut SplitC, u64, u64)) -> f64 {
+    let mut sc = SplitC::new(MachineConfig::t3d(2));
+    let src = sc.alloc(bytes.max(8), 8);
+    let dst = sc.alloc(bytes.max(8), 8);
+    f(&mut sc, src, dst);
+    let cycles = sc.machine_ref().clock(0);
+    let secs = cycles as f64 / 150.0e6;
+    bytes as f64 / secs / 1.0e6
+}
+
+/// Transfer sizes for the Figure 8 sweep: 8 B to 1 MB.
+pub fn default_transfer_sizes() -> Vec<u64> {
+    let mut v = Vec::new();
+    let mut s = 8u64;
+    while s <= 1024 * 1024 {
+        v.push(s);
+        s *= 2;
+    }
+    v
+}
+
+/// Figure 8, left: read bandwidth by mechanism plus the Split-C policy.
+pub fn read_bandwidth(sizes: &[u64]) -> Vec<Series> {
+    let mech: Vec<(&str, Mechanism)> = vec![
+        ("uncached", |sc, src, dst, n| {
+            sc.on(0, |ctx| {
+                ctx.bulk_read_uncached(dst, GlobalPtr::new(1, src), n)
+            })
+        }),
+        ("cached", |sc, src, dst, n| {
+            sc.on(0, |ctx| {
+                ctx.bulk_read_cached(dst, GlobalPtr::new(1, src), n)
+            })
+        }),
+        ("prefetch", |sc, src, dst, n| {
+            sc.on(0, |ctx| {
+                ctx.bulk_read_prefetch(dst, GlobalPtr::new(1, src), n)
+            })
+        }),
+        ("BLT", |sc, src, dst, n| {
+            sc.on(0, |ctx| ctx.bulk_read_blt(dst, GlobalPtr::new(1, src), n))
+        }),
+        ("Split-C bulk_read", |sc, src, dst, n| {
+            sc.on(0, |ctx| ctx.bulk_read(dst, GlobalPtr::new(1, src), n))
+        }),
+    ];
+    mech.into_iter()
+        .map(|(label, f)| Series {
+            label: label.to_string(),
+            points: sizes
+                .iter()
+                .map(|&n| (n, bandwidth_of(n, |sc, src, dst| f(sc, src, dst, n))))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Figure 8, right: write bandwidth by mechanism plus the Split-C
+/// policy.
+pub fn write_bandwidth(sizes: &[u64]) -> Vec<Series> {
+    let mech: Vec<(&str, Mechanism)> = vec![
+        ("stores", |sc, src, dst, n| {
+            sc.on(0, |ctx| {
+                ctx.bulk_write_stores(GlobalPtr::new(1, dst), src, n);
+                ctx.sync();
+            })
+        }),
+        ("BLT", |sc, src, dst, n| {
+            sc.on(0, |ctx| ctx.bulk_write_blt(GlobalPtr::new(1, dst), src, n))
+        }),
+        ("Split-C bulk_write", |sc, src, dst, n| {
+            sc.on(0, |ctx| ctx.bulk_write(GlobalPtr::new(1, dst), src, n))
+        }),
+    ];
+    mech.into_iter()
+        .map(|(label, f)| Series {
+            label: label.to_string(),
+            points: sizes
+                .iter()
+                .map(|&n| (n, bandwidth_of(n, |sc, src, dst| f(sc, src, dst, n))))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Best mechanism label at each size (the policy the compiler should
+/// emit).
+pub fn best_read_mechanism(series: &[Series], size: u64) -> String {
+    series
+        .iter()
+        .filter(|s| s.label != "Split-C bulk_read")
+        .max_by(|a, b| {
+            a.at(size)
+                .unwrap_or(0.0)
+                .partial_cmp(&b.at(size).unwrap_or(0.0))
+                .expect("bandwidths are finite")
+        })
+        .map(|s| s.label.clone())
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sizes_small() -> Vec<u64> {
+        vec![8, 32, 64, 128, 1024, 8 * 1024, 32 * 1024, 128 * 1024]
+    }
+
+    #[test]
+    fn uncached_wins_at_8_bytes() {
+        let s = read_bandwidth(&[8]);
+        assert_eq!(best_read_mechanism(&s, 8), "uncached");
+    }
+
+    #[test]
+    fn cached_wins_at_32_bytes_and_stays_competitive_at_64() {
+        let s = read_bandwidth(&[32, 64]);
+        assert_eq!(best_read_mechanism(&s, 32), "cached");
+        // At 64 B the paper gives cached the edge; in our model it is
+        // within a few percent of the best mechanism.
+        let cached = s
+            .iter()
+            .find(|x| x.label == "cached")
+            .unwrap()
+            .at(64)
+            .unwrap();
+        let best = s
+            .iter()
+            .filter(|x| x.label != "Split-C bulk_read")
+            .map(|x| x.at(64).unwrap())
+            .fold(0.0f64, f64::max);
+        assert!(
+            cached > best * 0.9,
+            "cached {cached:.1} MB/s vs best {best:.1} MB/s at 64 B"
+        );
+    }
+
+    #[test]
+    fn prefetch_wins_in_the_middle() {
+        let s = read_bandwidth(&[1024, 4096]);
+        assert_eq!(best_read_mechanism(&s, 1024), "prefetch");
+        assert_eq!(best_read_mechanism(&s, 4096), "prefetch");
+    }
+
+    #[test]
+    fn blt_wins_beyond_16k_and_peaks_near_140mb() {
+        let s = read_bandwidth(&[32 * 1024, 1024 * 1024]);
+        assert_eq!(best_read_mechanism(&s, 32 * 1024), "BLT");
+        let blt = s.iter().find(|x| x.label == "BLT").unwrap();
+        let peak = blt.at(1024 * 1024).unwrap();
+        assert!(
+            (115.0..141.0).contains(&peak),
+            "BLT peak {peak} MB/s (paper: ~140)"
+        );
+    }
+
+    #[test]
+    fn splitc_policy_tracks_the_envelope() {
+        let sizes = sizes_small();
+        let s = read_bandwidth(&sizes);
+        let policy = s.iter().find(|x| x.label == "Split-C bulk_read").unwrap();
+        for &n in &sizes {
+            let best = s
+                .iter()
+                .filter(|x| x.label != "Split-C bulk_read")
+                .map(|x| x.at(n).unwrap())
+                .fold(0.0f64, f64::max);
+            let got = policy.at(n).unwrap();
+            // The policy keeps the prefetch queue even at 32/64 B (the
+            // paper's simplification), so allow the cached-read edge.
+            assert!(
+                got >= best * 0.55,
+                "policy at {n} B: {got:.1} MB/s vs best {best:.1} MB/s"
+            );
+        }
+    }
+
+    #[test]
+    fn store_writes_peak_near_90mb_and_beat_blt_everywhere() {
+        let sizes = vec![1024u64, 32 * 1024, 512 * 1024];
+        let s = write_bandwidth(&sizes);
+        let stores = s.iter().find(|x| x.label == "stores").unwrap();
+        let blt = s.iter().find(|x| x.label == "BLT").unwrap();
+        for &n in &sizes {
+            assert!(
+                stores.at(n).unwrap() > blt.at(n).unwrap(),
+                "stores beat BLT at {n} B"
+            );
+        }
+        let peak = stores.at(512 * 1024).unwrap();
+        assert!(
+            (70.0..95.0).contains(&peak),
+            "store write peak {peak} MB/s (paper: ~90)"
+        );
+    }
+
+    #[test]
+    fn cached_bulk_read_has_8k_flush_inflection() {
+        // Just below 8 KB: per-line flushes; at 8 KB: one batched flush.
+        let s = read_bandwidth(&[4 * 1024, 8 * 1024]);
+        let cached = s.iter().find(|x| x.label == "cached").unwrap();
+        let below = cached.at(4 * 1024).unwrap();
+        let at = cached.at(8 * 1024).unwrap();
+        assert!(
+            at > below,
+            "batched flush improves bandwidth: {below} -> {at} MB/s"
+        );
+    }
+}

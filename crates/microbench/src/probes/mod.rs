@@ -1,0 +1,40 @@
+//! The probe collection, one module per paper artifact.
+
+pub mod ablation;
+pub mod bulk;
+pub mod hotspot;
+pub mod local;
+pub mod prefetch;
+pub mod put;
+pub mod remote;
+pub mod sync;
+
+pub use sync::sync_costs;
+
+/// The default array sizes of the Figure 1/2 sweeps: 4 KB to 8 MB.
+pub fn default_sizes() -> Vec<u64> {
+    let mut v = Vec::new();
+    let mut s = 4 * 1024u64;
+    while s <= 8 * 1024 * 1024 {
+        v.push(s);
+        s *= 2;
+    }
+    v
+}
+
+/// Power-of-two strides from 8 bytes up to `size / 2`.
+pub fn strides_for(size: u64, cap: u64) -> Vec<u64> {
+    let mut v = Vec::new();
+    let mut s = 8u64;
+    while s <= size / 2 && s <= cap {
+        v.push(s);
+        s *= 2;
+    }
+    v
+}
+
+/// All strides appearing anywhere in a size sweep (for table columns).
+pub fn all_strides(sizes: &[u64], cap: u64) -> Vec<u64> {
+    let max = sizes.iter().copied().max().unwrap_or(16);
+    strides_for(max, cap)
+}

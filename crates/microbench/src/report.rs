@@ -1,0 +1,383 @@
+//! Plain-data result containers and text rendering.
+
+use std::fmt;
+
+/// A latency surface over (array size, stride) — the shape of Figures 1,
+/// 2, 4, 5 and 7.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrideProfile {
+    /// What was probed.
+    pub label: String,
+    /// Array sizes (bytes), one row each.
+    pub sizes: Vec<u64>,
+    /// Strides (bytes), one column each.
+    pub strides: Vec<u64>,
+    /// Average access latency in nanoseconds; `None` where the stride
+    /// exceeds half the size (not probed, as in the paper).
+    pub avg_ns: Vec<Vec<Option<f64>>>,
+}
+
+impl StrideProfile {
+    /// The cell for a given size and stride, if probed.
+    pub fn at(&self, size: u64, stride: u64) -> Option<f64> {
+        let r = self.sizes.iter().position(|&s| s == size)?;
+        let c = self.strides.iter().position(|&s| s == stride)?;
+        self.avg_ns[r][c]
+    }
+
+    /// Renders as an aligned text matrix (sizes down, strides across).
+    pub fn to_table(&self) -> Table {
+        let mut headers = vec!["size\\stride".to_string()];
+        headers.extend(self.strides.iter().map(|s| human_bytes(*s)));
+        let rows = self
+            .sizes
+            .iter()
+            .zip(&self.avg_ns)
+            .map(|(size, row)| {
+                let mut r = vec![human_bytes(*size)];
+                r.extend(row.iter().map(|c| match c {
+                    Some(ns) => format!("{ns:.1}"),
+                    None => "-".to_string(),
+                }));
+                r
+            })
+            .collect();
+        Table {
+            title: format!("{} (avg ns per access)", self.label),
+            headers,
+            rows,
+        }
+    }
+}
+
+/// A labelled (x, y) series — bandwidth curves, group sweeps, EM3D lines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// What the series measures.
+    pub label: String,
+    /// Points in x order.
+    pub points: Vec<(u64, f64)>,
+}
+
+impl Series {
+    /// The y value at an exact x, if present.
+    pub fn at(&self, x: u64) -> Option<f64> {
+        self.points.iter().find(|(px, _)| *px == x).map(|(_, y)| *y)
+    }
+
+    /// The first x at which this series' y exceeds `other`'s (a
+    /// crossover point), if any.
+    pub fn crossover_with(&self, other: &Series) -> Option<u64> {
+        for (x, y) in &self.points {
+            if let Some(oy) = other.at(*x) {
+                if *y > oy {
+                    return Some(*x);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Renders several series sharing an x axis as one table.
+pub fn series_table(title: &str, x_label: &str, series: &[Series]) -> Table {
+    let mut headers = vec![x_label.to_string()];
+    headers.extend(series.iter().map(|s| s.label.clone()));
+    let mut xs: Vec<u64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|(x, _)| *x))
+        .collect();
+    xs.sort_unstable();
+    xs.dedup();
+    let rows = xs
+        .iter()
+        .map(|x| {
+            let mut r = vec![human_bytes(*x)];
+            r.extend(series.iter().map(|s| match s.at(*x) {
+                Some(y) => format!("{y:.2}"),
+                None => "-".to_string(),
+            }));
+            r
+        })
+        .collect();
+    Table {
+        title: title.to_string(),
+        headers,
+        rows,
+    }
+}
+
+/// A generic text table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Caption printed above the table.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        for (i, h) in self.headers.iter().enumerate() {
+            write!(f, "{:>w$}  ", h, w = widths[i])?;
+        }
+        writeln!(f)?;
+        for (i, _) in self.headers.iter().enumerate() {
+            write!(f, "{:>w$}  ", "-".repeat(widths[i]), w = widths[i])?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                write!(f, "{:>w$}  ", cell, w = widths[i])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders several series sharing an x axis as CSV (header row, one
+/// line per x; empty cells where a series lacks the x).
+pub fn series_csv(x_label: &str, series: &[Series]) -> String {
+    let mut out = String::new();
+    out.push_str(x_label);
+    for s in series {
+        out.push(',');
+        out.push_str(&s.label.replace(',', ";"));
+    }
+    out.push('\n');
+    let mut xs: Vec<u64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|(x, _)| *x))
+        .collect();
+    xs.sort_unstable();
+    xs.dedup();
+    for x in xs {
+        out.push_str(&x.to_string());
+        for s in series {
+            out.push(',');
+            if let Some(y) = s.at(x) {
+                out.push_str(&format!("{y}"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+impl StrideProfile {
+    /// Renders the surface as CSV (strides as columns).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("size_bytes");
+        for st in &self.strides {
+            out.push_str(&format!(",stride_{st}"));
+        }
+        out.push('\n');
+        for (size, row) in self.sizes.iter().zip(&self.avg_ns) {
+            out.push_str(&size.to_string());
+            for cell in row {
+                out.push(',');
+                if let Some(ns) = cell {
+                    out.push_str(&format!("{ns}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders one or more series as a rough ASCII chart (linear y, x in
+/// series order), one glyph per series. Good enough to eyeball the
+/// shapes the paper plots.
+pub fn ascii_plot(title: &str, series: &[Series], width: usize, height: usize) -> String {
+    assert!(width >= 8 && height >= 4, "plot must be at least 8x4");
+    let glyphs = ['*', 'o', '+', 'x', '#', '@', '%'];
+    let mut xs: Vec<u64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|(x, _)| *x))
+        .collect();
+    xs.sort_unstable();
+    xs.dedup();
+    if xs.is_empty() {
+        return format!("{title}\n(no data)\n");
+    }
+    let ymax = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|(_, y)| *y))
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let g = glyphs[si % glyphs.len()];
+        for (x, y) in &s.points {
+            let xi = xs.iter().position(|v| v == x).expect("x collected");
+            let col = if xs.len() == 1 {
+                0
+            } else {
+                xi * (width - 1) / (xs.len() - 1)
+            };
+            let row = ((1.0 - y / ymax) * (height - 1) as f64).round() as usize;
+            grid[row.min(height - 1)][col] = g;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{ymax:>9.1} |")
+        } else if i == height - 1 {
+            format!("{:>9.1} |", 0.0)
+        } else {
+            format!("{:>9} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>9} +{}\n{:>11}{}  ..  {}\n",
+        "",
+        "-".repeat(width),
+        "x: ",
+        human_bytes(xs[0]),
+        human_bytes(*xs.last().expect("non-empty")),
+    ));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "{:>11}{} = {}\n",
+            "",
+            glyphs[si % glyphs.len()],
+            s.label
+        ));
+    }
+    out
+}
+
+/// Formats a byte count compactly (8, 32, 4K, 16K, 8M...).
+pub fn human_bytes(b: u64) -> String {
+    if b >= 1024 * 1024 && b.is_multiple_of(1024 * 1024) {
+        format!("{}M", b / (1024 * 1024))
+    } else if b >= 1024 && b.is_multiple_of(1024) {
+        format!("{}K", b / 1024)
+    } else {
+        format!("{b}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_bytes_formats() {
+        assert_eq!(human_bytes(8), "8");
+        assert_eq!(human_bytes(4096), "4K");
+        assert_eq!(human_bytes(8 * 1024 * 1024), "8M");
+        assert_eq!(human_bytes(1500), "1500");
+    }
+
+    #[test]
+    fn profile_lookup_and_table() {
+        let p = StrideProfile {
+            label: "x".into(),
+            sizes: vec![4096, 8192],
+            strides: vec![8, 16],
+            avg_ns: vec![vec![Some(6.7), Some(6.7)], vec![Some(6.7), None]],
+        };
+        assert_eq!(p.at(8192, 8), Some(6.7));
+        assert_eq!(p.at(8192, 16), None);
+        assert_eq!(p.at(123, 8), None);
+        let t = p.to_table();
+        assert_eq!(t.headers.len(), 3);
+        assert_eq!(t.rows.len(), 2);
+        let s = t.to_string();
+        assert!(s.contains("4K"));
+        assert!(s.contains('-'));
+    }
+
+    #[test]
+    fn series_crossover() {
+        let a = Series {
+            label: "a".into(),
+            points: vec![(1, 1.0), (2, 5.0), (4, 10.0)],
+        };
+        let b = Series {
+            label: "b".into(),
+            points: vec![(1, 2.0), (2, 3.0), (4, 4.0)],
+        };
+        assert_eq!(a.crossover_with(&b), Some(2), "a first exceeds b at x=2");
+        assert_eq!(b.crossover_with(&a), Some(1));
+    }
+
+    #[test]
+    fn csv_outputs_are_parseable() {
+        let a = Series {
+            label: "a,b".into(),
+            points: vec![(1, 1.5), (2, 2.5)],
+        };
+        let csv = series_csv("x", &[a]);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("x,a;b"), "commas in labels are escaped");
+        assert_eq!(lines.next(), Some("1,1.5"));
+        assert_eq!(lines.next(), Some("2,2.5"));
+
+        let p = StrideProfile {
+            label: "x".into(),
+            sizes: vec![4096],
+            strides: vec![8, 16],
+            avg_ns: vec![vec![Some(6.7), None]],
+        };
+        let csv = p.to_csv();
+        assert!(csv.starts_with("size_bytes,stride_8,stride_16"));
+        assert!(csv.contains("4096,6.7,"));
+    }
+
+    #[test]
+    fn ascii_plot_renders_all_series() {
+        let a = Series {
+            label: "up".into(),
+            points: vec![(1, 1.0), (2, 2.0), (4, 4.0)],
+        };
+        let b = Series {
+            label: "down".into(),
+            points: vec![(1, 4.0), (2, 2.0), (4, 1.0)],
+        };
+        let p = ascii_plot("test", &[a, b], 20, 8);
+        assert!(p.contains('*') && p.contains('o'));
+        assert!(p.contains("up") && p.contains("down"));
+        assert!(p.lines().count() > 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 8x4")]
+    fn tiny_plot_panics() {
+        ascii_plot("t", &[], 2, 2);
+    }
+
+    #[test]
+    fn series_table_merges_x() {
+        let a = Series {
+            label: "a".into(),
+            points: vec![(8, 1.0)],
+        };
+        let b = Series {
+            label: "b".into(),
+            points: vec![(16, 2.0)],
+        };
+        let t = series_table("t", "bytes", &[a, b]);
+        assert_eq!(t.rows.len(), 2);
+        assert!(t.rows[0].contains(&"-".to_string()));
+    }
+}

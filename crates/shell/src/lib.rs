@@ -1,0 +1,49 @@
+//! The CRAY-T3D "shell": the support circuitry Cray wrapped around the
+//! DEC Alpha 21064 to turn it into a node of a globally addressed MPP.
+//!
+//! The paper's central observation is that the T3D shell is *elaborate*:
+//! it provides many distinct mechanisms that can implement the same
+//! language primitive, each with its own semantics and cost. This crate
+//! models each mechanism as an explicit state machine:
+//!
+//! * [`annex`] — the DTB Annex: 32 user-writable segment registers that
+//!   extend the 21064's small physical address space with a processor
+//!   number and function code (Section 3).
+//! * [`prefetch`] — the binding prefetch queue driven by the Alpha
+//!   `fetch` hint (Section 5.2).
+//! * [`status`] — the outstanding-remote-write counter and status bit
+//!   polled by blocking writes (Section 4.3).
+//! * [`blt`] — the system-level block transfer engine with its
+//!   180 µs invocation overhead (Section 6.2).
+//! * [`fetchinc`] — the per-node fetch&increment registers (Section 7.4).
+//! * [`swap`] — the atomic swap between a shell register and memory.
+//! * [`msgq`] — the user-level message queue whose receive side requires
+//!   a 25 µs interrupt (Section 7.3).
+//! * [`barrier`] — the global-OR "fuzzy" barrier with its split
+//!   start-barrier / end-barrier (Section 7.5).
+//!
+//! The shell pieces here are per-node state plus cost formulas; the
+//! `t3d-machine` crate wires them across nodes and to the memory system.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod annex;
+pub mod barrier;
+pub mod blt;
+pub mod config;
+pub mod fetchinc;
+pub mod msgq;
+pub mod prefetch;
+pub mod status;
+pub mod swap;
+
+pub use annex::{Annex, AnnexEntry, FuncCode};
+pub use barrier::BarrierUnit;
+pub use blt::BltUnit;
+pub use config::ShellConfig;
+pub use fetchinc::FetchIncRegs;
+pub use msgq::{Message, MsgQueue, ReceiveMode};
+pub use prefetch::{PopError, PrefetchUnit};
+pub use status::AckTracker;
+pub use swap::SwapUnit;

@@ -1,0 +1,95 @@
+//! Split-C runtime cost and policy configuration.
+//!
+//! The fixed per-operation overheads here are the *software* cycles the
+//! paper attributes to the language implementation on top of the raw
+//! shell mechanisms (address manipulation, the get table, completion
+//! checks). They are calibrated so the composite Split-C costs land on
+//! the published measurements: read ≈ 128 cy (850 ns), write ≈ 147 cy
+//! (981 ns), put ≈ 45 cy (300 ns), get table management 10 cy, local
+//! store of a completed get 3 cy.
+
+use crate::annex::AnnexPolicy;
+
+/// Runtime configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitcConfig {
+    /// Annex management policy (Section 3.4).
+    pub annex_policy: AnnexPolicy,
+    /// Software overhead of a blocking read beyond annex + uncached load
+    /// (PE extraction, address insertion, result placement).
+    pub read_overhead_cy: u64,
+    /// Software overhead of a blocking write beyond annex + store +
+    /// fence + acknowledgement wait.
+    pub write_overhead_cy: u64,
+    /// Cost of the get-table update and lookup ("10 cycles",
+    /// Section 5.4).
+    pub get_table_cy: u64,
+    /// Cost of the local store that completes a get ("3 cycles").
+    pub get_local_store_cy: u64,
+    /// The "few additional checks" of a put beyond annex + store.
+    pub put_check_cy: u64,
+    /// Per-store software overhead of the signaling store (same checks
+    /// as put).
+    pub store_check_cy: u64,
+    /// Completion-check overhead of `storeSync` / `allStoreSync`.
+    pub store_sync_check_cy: u64,
+    /// Bulk read switches from the prefetch queue to the BLT at this
+    /// size ("about 16 KB", Section 6.3).
+    pub bulk_blt_read_min: u64,
+    /// Non-blocking bulk get switches from the prefetch queue to the BLT
+    /// at this size ("7,900 bytes").
+    pub bulk_get_blt_min: u64,
+    /// Per-iteration software overhead of the bulk-transfer loops.
+    pub bulk_loop_cy: u64,
+    /// Software overhead of depositing an Active-Message-equivalent
+    /// five-word message (total deposit ≈ 2.9 µs, Section 7.4).
+    pub am_deposit_overhead_cy: u64,
+    /// Software overhead of dispatching one received AM-equivalent
+    /// message (total ≈ 1.5 µs).
+    pub am_dispatch_overhead_cy: u64,
+    /// Number of slots in each node's AM-equivalent queue.
+    pub am_slots: u64,
+}
+
+impl SplitcConfig {
+    /// The calibrated T3D implementation the paper arrives at.
+    pub fn t3d() -> Self {
+        SplitcConfig {
+            annex_policy: AnnexPolicy::SingleRegister,
+            read_overhead_cy: 14,
+            write_overhead_cy: 5,
+            get_table_cy: 10,
+            get_local_store_cy: 3,
+            put_check_cy: 19,
+            store_check_cy: 19,
+            store_sync_check_cy: 10,
+            bulk_blt_read_min: 16 * 1024,
+            bulk_get_blt_min: 7_900,
+            bulk_loop_cy: 2,
+            am_deposit_overhead_cy: 120,
+            am_dispatch_overhead_cy: 90,
+            am_slots: 256,
+        }
+    }
+}
+
+impl Default for SplitcConfig {
+    fn default() -> Self {
+        SplitcConfig::t3d()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_software_costs() {
+        let c = SplitcConfig::t3d();
+        assert_eq!(c.get_table_cy, 10);
+        assert_eq!(c.get_local_store_cy, 3);
+        assert_eq!(c.bulk_blt_read_min, 16 * 1024);
+        assert_eq!(c.bulk_get_blt_min, 7_900);
+        assert_eq!(c.annex_policy, AnnexPolicy::SingleRegister);
+    }
+}

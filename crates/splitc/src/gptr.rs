@@ -1,0 +1,203 @@
+//! Global pointers: the Section 3 representation.
+//!
+//! A global pointer is a single 64-bit word — the same size as a local
+//! pointer, so *transfer* is free — with the local address in the lower
+//! 48 bits and the processor number in the upper 16. The Alpha's byte
+//! manipulation instructions make extraction, construction and both
+//! flavours of arithmetic fast:
+//!
+//! * **local addressing** treats the global space as segmented: an
+//!   incremented pointer names the next location *on the same
+//!   processor*;
+//! * **global addressing** treats it as linear with the *processor
+//!   varying fastest*, wrapping from the last processor to the next
+//!   offset on the first.
+//!
+//! The meaning of a global pointer is independent of which processor
+//! dereferences it, so pointers can be stored in shared data structures.
+
+/// Bits reserved for the local address.
+pub const ADDR_BITS: u32 = 48;
+const ADDR_MASK: u64 = (1 << ADDR_BITS) - 1;
+
+/// A Split-C global pointer.
+///
+/// # Example
+///
+/// ```
+/// use splitc::GlobalPtr;
+///
+/// let p = GlobalPtr::new(3, 0x1000);
+/// assert_eq!(p.pe(), 3);
+/// assert_eq!(p.addr(), 0x1000);
+/// assert_eq!(p.local_add(8).addr(), 0x1008);
+/// // Global arithmetic on 4 processors: the PE varies fastest.
+/// assert_eq!(p.global_add(1, 8, 4), GlobalPtr::new(0, 0x1008));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct GlobalPtr(u64);
+
+impl GlobalPtr {
+    /// The null global pointer (tests equal to 0, like a C pointer).
+    pub const NULL: GlobalPtr = GlobalPtr(0);
+
+    /// Constructs a pointer from its components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` needs more than 48 bits.
+    pub fn new(pe: u32, addr: u64) -> Self {
+        assert!(addr <= ADDR_MASK, "local address exceeds 48 bits");
+        GlobalPtr(((pe as u64) << ADDR_BITS) | addr)
+    }
+
+    /// The raw 64-bit representation (what would live in a register or a
+    /// shared data structure).
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs a pointer from its raw bits.
+    pub fn from_bits(bits: u64) -> Self {
+        GlobalPtr(bits)
+    }
+
+    /// Extraction: the processor component.
+    pub fn pe(self) -> u32 {
+        (self.0 >> ADDR_BITS) as u32
+    }
+
+    /// Extraction: the local-address component.
+    pub fn addr(self) -> u64 {
+        self.0 & ADDR_MASK
+    }
+
+    /// Null test (equality with 0, as in C).
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Local addressing: advance `bytes` on the same processor.
+    ///
+    /// With the T3D virtual-memory layout the address arithmetic can
+    /// never overflow into the processor field in a correct program; we
+    /// check it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result overflows the 48-bit address field.
+    pub fn local_add(self, bytes: u64) -> Self {
+        let addr = self.addr() + bytes;
+        assert!(
+            addr <= ADDR_MASK,
+            "local arithmetic overflowed into the PE field"
+        );
+        GlobalPtr::new(self.pe(), addr)
+    }
+
+    /// Local addressing: retreat `bytes` on the same processor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result underflows.
+    pub fn local_sub(self, bytes: u64) -> Self {
+        let addr = self
+            .addr()
+            .checked_sub(bytes)
+            .expect("local arithmetic underflow");
+        GlobalPtr::new(self.pe(), addr)
+    }
+
+    /// Global addressing: advance `count` elements of `elem_bytes` with
+    /// the processor component varying fastest over `nprocs` processors,
+    /// wrapping from the last processor to the next offset on the first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nprocs` is zero or the current PE is out of range.
+    pub fn global_add(self, count: u64, elem_bytes: u64, nprocs: u32) -> Self {
+        assert!(nprocs > 0, "global addressing needs at least one processor");
+        assert!(
+            self.pe() < nprocs,
+            "PE {} out of range for {nprocs} processors",
+            self.pe()
+        );
+        let linear = self.pe() as u64 + count;
+        let pe = (linear % nprocs as u64) as u32;
+        let rows = linear / nprocs as u64;
+        GlobalPtr::new(pe, self.addr() + rows * elem_bytes)
+    }
+
+    /// Index of this pointer in global (processor-fastest) order,
+    /// relative to a base offset.
+    pub fn global_index(self, base_addr: u64, elem_bytes: u64, nprocs: u32) -> u64 {
+        let row = (self.addr() - base_addr) / elem_bytes;
+        row * nprocs as u64 + self.pe() as u64
+    }
+}
+
+impl std::fmt::Display for GlobalPtr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "<PE{}:{:#x}>", self.pe(), self.addr())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let p = GlobalPtr::new(65_535, ADDR_MASK);
+        assert_eq!(p.pe(), 65_535);
+        assert_eq!(p.addr(), ADDR_MASK);
+        assert_eq!(GlobalPtr::from_bits(p.bits()), p);
+    }
+
+    #[test]
+    fn null_is_zero() {
+        assert!(GlobalPtr::NULL.is_null());
+        assert!(GlobalPtr::new(0, 0).is_null());
+        assert!(!GlobalPtr::new(0, 8).is_null());
+        assert!(!GlobalPtr::new(1, 0).is_null());
+    }
+
+    #[test]
+    fn local_arithmetic_stays_on_pe() {
+        let p = GlobalPtr::new(9, 0x100);
+        assert_eq!(p.local_add(0x20).pe(), 9);
+        assert_eq!(p.local_add(0x20).local_sub(0x20), p);
+    }
+
+    #[test]
+    fn global_arithmetic_wraps_processors() {
+        let p = GlobalPtr::new(2, 0);
+        let q = p.global_add(1, 8, 4);
+        assert_eq!((q.pe(), q.addr()), (3, 0));
+        let r = q.global_add(1, 8, 4);
+        assert_eq!((r.pe(), r.addr()), (0, 8), "wrapped to the next row");
+        let s = p.global_add(9, 8, 4);
+        assert_eq!((s.pe(), s.addr()), (3, 16));
+    }
+
+    #[test]
+    fn global_index_inverts_global_add() {
+        let base = GlobalPtr::new(0, 0x1000);
+        for i in 0..64 {
+            let p = base.global_add(i, 8, 4);
+            assert_eq!(p.global_index(0x1000, 8, 4), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overflowed into the PE field")]
+    fn local_overflow_panics() {
+        GlobalPtr::new(0, ADDR_MASK).local_add(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 48 bits")]
+    fn oversized_addr_panics() {
+        GlobalPtr::new(0, 1 << 48);
+    }
+}

@@ -1,0 +1,362 @@
+//! The Split-C runtime proper: per-node state, the SPMD driver, the
+//! symmetric heap and the global barrier.
+
+use crate::annex::AnnexState;
+use crate::config::SplitcConfig;
+use t3d_machine::{Machine, MachineConfig};
+
+/// An Active-Message-equivalent handler: runs at the *receiving* node
+/// against the machine. Arguments are the four payload words.
+pub type AmHandler = fn(&mut Machine, usize, [u64; 4]);
+
+/// Reserved handler id: write one byte (`args = [offset, value, 0, 0]`).
+/// This is the paper's correct byte-write (Section 4.5 / 7.4).
+pub const AM_BYTE_WRITE: u64 = 0;
+/// Reserved handler id: add to a 64-bit word (`args = [offset, delta]`).
+pub const AM_ADD_U64: u64 = 1;
+/// Reserved handler id: write a 32-bit word (`args = [offset, value]`) —
+/// the same partial-word repair as byte writes (Section 4.5), since the
+/// Alpha has no sub-64-bit stores either way.
+pub const AM_WRITE_U32: u64 = 2;
+/// First handler id available to applications.
+pub const AM_USER_BASE: u64 = 8;
+
+/// Bytes per AM-equivalent queue slot (seq, handler, four args).
+pub(crate) const AM_SLOT_BYTES: u64 = 48;
+
+/// Per-node runtime state.
+#[derive(Debug, Clone)]
+pub struct NodeRt {
+    /// Annex register management.
+    pub annex: AnnexState,
+    /// Target local addresses of outstanding gets, in issue order — the
+    /// runtime table of Section 5.4.
+    pub pending_gets: Vec<u64>,
+    /// Bytes of arrived store data already consumed by `store_sync`.
+    pub store_watermark: u64,
+    /// Completion times of outstanding non-blocking BLT transfers.
+    pub pending_blts: Vec<u64>,
+    /// Messages consumed from this node's AM-equivalent queue.
+    pub am_consumed: u64,
+    /// Operation counters (instrumentation).
+    pub stats: RtStats,
+}
+
+/// Operation counters for one node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RtStats {
+    /// Blocking reads issued.
+    pub reads: u64,
+    /// Blocking writes issued.
+    pub writes: u64,
+    /// Gets issued.
+    pub gets: u64,
+    /// Puts issued.
+    pub puts: u64,
+    /// Signaling stores issued.
+    pub stores: u64,
+    /// Bulk operations issued.
+    pub bulk_ops: u64,
+    /// AM-equivalent deposits issued.
+    pub am_deposits: u64,
+}
+
+impl NodeRt {
+    fn new(cfg: &SplitcConfig, annex_registers: usize) -> Self {
+        NodeRt {
+            annex: AnnexState::new(cfg.annex_policy, annex_registers),
+            pending_gets: Vec::new(),
+            store_watermark: 0,
+            pending_blts: Vec::new(),
+            am_consumed: 0,
+            stats: RtStats::default(),
+        }
+    }
+}
+
+/// The Split-C program environment: a machine plus runtime state, a
+/// symmetric heap and the SPMD phase driver.
+#[derive(Debug)]
+pub struct SplitC {
+    pub(crate) m: Machine,
+    pub(crate) cfg: SplitcConfig,
+    rts: Vec<NodeRt>,
+    handlers: Vec<Option<AmHandler>>,
+    alloc_next: u64,
+    am_region: u64,
+}
+
+impl SplitC {
+    /// Builds a runtime over a freshly constructed machine with the
+    /// default (paper) Split-C configuration.
+    pub fn new(mcfg: MachineConfig) -> Self {
+        Self::with_config(mcfg, SplitcConfig::t3d())
+    }
+
+    /// Builds a runtime with an explicit Split-C configuration.
+    pub fn with_config(mcfg: MachineConfig, cfg: SplitcConfig) -> Self {
+        let m = Machine::new(mcfg);
+        let n = m.nodes();
+        let annex_regs = mcfg.shell.annex_entries;
+        let am_region = mcfg.mem.mem_bytes as u64 - cfg.am_slots * AM_SLOT_BYTES;
+        let mut handlers: Vec<Option<AmHandler>> = vec![None; AM_USER_BASE as usize];
+        handlers[AM_BYTE_WRITE as usize] = Some(|m, pe, args| {
+            let mut word = [0u8; 1];
+            word[0] = args[1] as u8;
+            m.poke_mem(pe, args[0], &word);
+        });
+        handlers[AM_ADD_U64 as usize] = Some(|m, pe, args| {
+            let v = m.peek8(pe, args[0]).wrapping_add(args[1]);
+            m.poke8(pe, args[0], v);
+        });
+        handlers[AM_WRITE_U32 as usize] = Some(|m, pe, args| {
+            m.poke_mem(pe, args[0], &(args[1] as u32).to_le_bytes());
+        });
+        SplitC {
+            rts: (0..n).map(|_| NodeRt::new(&cfg, annex_regs)).collect(),
+            handlers,
+            alloc_next: 0x100, // leave a null page
+            am_region,
+            cfg,
+            m,
+        }
+    }
+
+    /// The Split-C configuration in force.
+    pub fn config(&self) -> &SplitcConfig {
+        &self.cfg
+    }
+
+    /// The underlying machine.
+    pub fn machine(&mut self) -> &mut Machine {
+        &mut self.m
+    }
+
+    /// Immutable machine access.
+    pub fn machine_ref(&self) -> &Machine {
+        &self.m
+    }
+
+    /// Number of processors.
+    pub fn nodes(&self) -> usize {
+        self.m.nodes()
+    }
+
+    /// Base offset of the AM-equivalent queue region (instrumentation).
+    pub fn am_region(&self) -> u64 {
+        self.am_region
+    }
+
+    /// Allocates `bytes` at the same local offset on *every* node (the
+    /// symmetric heap backing spread arrays and statics). Returns the
+    /// offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the heap would collide with the AM queue region, or if
+    /// `align` is not a power of two.
+    pub fn alloc(&mut self, bytes: u64, align: u64) -> u64 {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let base = (self.alloc_next + align - 1) & !(align - 1);
+        assert!(
+            base + bytes <= self.am_region,
+            "symmetric heap exhausted: {} + {} > {}",
+            base,
+            bytes,
+            self.am_region
+        );
+        self.alloc_next = base + bytes;
+        base
+    }
+
+    /// Registers an application AM-equivalent handler under `id`
+    /// (≥ [`AM_USER_BASE`]). Returns the id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is reserved or already taken.
+    pub fn register_handler(&mut self, id: u64, handler: AmHandler) -> u64 {
+        assert!(
+            id >= AM_USER_BASE,
+            "handler ids below {AM_USER_BASE} are reserved"
+        );
+        let idx = id as usize;
+        if self.handlers.len() <= idx {
+            self.handlers.resize(idx + 1, None);
+        }
+        assert!(
+            self.handlers[idx].is_none(),
+            "handler {id} already registered"
+        );
+        self.handlers[idx] = Some(handler);
+        id
+    }
+
+    /// Runs one SPMD phase: the closure executes once per node in node
+    /// order, against a [`ScCtx`].
+    pub fn run_phase<F: FnMut(&mut ScCtx)>(&mut self, mut f: F) {
+        for pe in 0..self.m.nodes() {
+            self.on(pe, |ctx| f(ctx));
+        }
+    }
+
+    /// Runs a closure as node `pe` (single-node probes and setup).
+    pub fn on<R>(&mut self, pe: usize, f: impl FnOnce(&mut ScCtx) -> R) -> R {
+        let mut rt = std::mem::replace(
+            &mut self.rts[pe],
+            NodeRt::new(&self.cfg, self.m.config().shell.annex_entries),
+        );
+        let mut ctx = ScCtx {
+            m: &mut self.m,
+            rt: &mut rt,
+            cfg: &self.cfg,
+            handlers: &self.handlers,
+            am_region: self.am_region,
+            pe,
+        };
+        let r = f(&mut ctx);
+        self.rts[pe] = rt;
+        r
+    }
+
+    /// Global barrier: drains every node's AM-equivalent queue (so
+    /// deposited handlers run), fences all writes and aligns all clocks.
+    pub fn barrier(&mut self) {
+        for pe in 0..self.m.nodes() {
+            self.on(pe, |ctx| ctx.am_poll());
+        }
+        self.m.barrier_all();
+    }
+
+    /// `all_store_sync`: returns when all stores issued before it have
+    /// completed, machine-wide (Section 7.1) — a fence plus
+    /// acknowledgement wait on every node, then the hardware barrier.
+    pub fn all_store_sync(&mut self) {
+        for pe in 0..self.m.nodes() {
+            self.m.memory_barrier(pe);
+            self.m.wait_write_acks(pe);
+            self.m.advance(pe, self.cfg.store_sync_check_cy);
+        }
+        self.barrier();
+    }
+
+    /// A node's operation counters.
+    pub fn stats(&self, pe: usize) -> RtStats {
+        self.rts[pe].stats
+    }
+
+    /// The maximum clock across nodes (elapsed virtual time).
+    pub fn max_clock(&self) -> u64 {
+        (0..self.m.nodes())
+            .map(|pe| self.m.clock(pe))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// The per-node Split-C execution context: what a compiled Split-C
+/// function body sees.
+#[derive(Debug)]
+pub struct ScCtx<'a> {
+    pub(crate) m: &'a mut Machine,
+    pub(crate) rt: &'a mut NodeRt,
+    pub(crate) cfg: &'a SplitcConfig,
+    pub(crate) handlers: &'a [Option<AmHandler>],
+    pub(crate) am_region: u64,
+    pub(crate) pe: usize,
+}
+
+impl ScCtx<'_> {
+    /// This node's id (`MYPROC` in Split-C).
+    pub fn pe(&self) -> usize {
+        self.pe
+    }
+
+    /// Number of processors (`PROCS` in Split-C).
+    pub fn nodes(&self) -> usize {
+        self.m.nodes()
+    }
+
+    /// This node's virtual time in cycles.
+    pub fn clock(&self) -> u64 {
+        self.m.clock(self.pe)
+    }
+
+    /// This node's virtual time in nanoseconds.
+    pub fn clock_ns(&self) -> f64 {
+        self.m.clock(self.pe) as f64 * self.m.cycle_ns()
+    }
+
+    /// Charges local computation cycles.
+    pub fn advance(&mut self, cycles: u64) {
+        self.m.advance(self.pe, cycles);
+    }
+
+    /// The underlying machine (escape hatch for probes).
+    pub fn machine(&mut self) -> &mut Machine {
+        self.m
+    }
+
+    /// The runtime state of this node (instrumentation).
+    pub fn rt(&self) -> &NodeRt {
+        self.rt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sc() -> SplitC {
+        SplitC::new(MachineConfig::t3d(4))
+    }
+
+    #[test]
+    fn alloc_is_symmetric_and_aligned() {
+        let mut s = sc();
+        let a = s.alloc(100, 8);
+        let b = s.alloc(8, 64);
+        assert_eq!(a % 8, 0);
+        assert_eq!(b % 64, 0);
+        assert!(b >= a + 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric heap exhausted")]
+    fn alloc_cannot_reach_am_region() {
+        let mut s = sc();
+        let huge = s.m.config().mem.mem_bytes as u64;
+        s.alloc(huge, 8);
+    }
+
+    #[test]
+    fn run_phase_visits_all_nodes_in_order() {
+        let mut s = sc();
+        let mut seen = Vec::new();
+        s.run_phase(|ctx| seen.push(ctx.pe()));
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn on_returns_a_value() {
+        let mut s = sc();
+        let v = s.on(2, |ctx| ctx.pe() * 10);
+        assert_eq!(v, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn reserved_handler_ids_rejected() {
+        let mut s = sc();
+        s.register_handler(0, |_, _, _| {});
+    }
+
+    #[test]
+    fn barrier_aligns_clocks() {
+        let mut s = sc();
+        s.run_phase(|ctx| ctx.advance(ctx.pe() as u64 * 100));
+        s.barrier();
+        let clocks: Vec<u64> = (0..4).map(|pe| s.machine_ref().clock(pe)).collect();
+        assert!(clocks.windows(2).all(|w| w[0] == w[1]));
+    }
+}

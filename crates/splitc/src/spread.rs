@@ -1,0 +1,130 @@
+//! Spread arrays: Split-C's cyclically distributed global arrays.
+//!
+//! A spread array `double A[n]::` places element `i` on processor
+//! `i % PROCS` at row `i / PROCS` — exactly the "global addressing"
+//! layout of Section 3.1, with the processor component varying fastest.
+
+use crate::gptr::GlobalPtr;
+
+/// A cyclically spread global array of fixed-size elements.
+///
+/// # Example
+///
+/// ```
+/// use splitc::SpreadArray;
+///
+/// let a = SpreadArray::new(0x1000, 8, 100, 4);
+/// assert_eq!(a.gptr(0).pe(), 0);
+/// assert_eq!(a.gptr(5).pe(), 1);
+/// assert_eq!(a.gptr(5).addr(), 0x1000 + 8); // second row
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpreadArray {
+    base: u64,
+    elem_bytes: u64,
+    len: u64,
+    nprocs: u32,
+}
+
+impl SpreadArray {
+    /// Describes a spread array of `len` elements of `elem_bytes` over
+    /// `nprocs` processors, based at symmetric offset `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nprocs` or `elem_bytes` is zero.
+    pub fn new(base: u64, elem_bytes: u64, len: u64, nprocs: u32) -> Self {
+        assert!(nprocs > 0, "spread array needs processors");
+        assert!(elem_bytes > 0, "spread array needs sized elements");
+        SpreadArray {
+            base,
+            elem_bytes,
+            len,
+            nprocs,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Element size in bytes.
+    pub fn elem_bytes(&self) -> u64 {
+        self.elem_bytes
+    }
+
+    /// Bytes each processor must reserve for its slice.
+    pub fn bytes_per_node(&self) -> u64 {
+        self.len.div_ceil(self.nprocs as u64) * self.elem_bytes
+    }
+
+    /// Global pointer to element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn gptr(&self, i: u64) -> GlobalPtr {
+        assert!(
+            i < self.len,
+            "spread index {i} out of bounds ({})",
+            self.len
+        );
+        GlobalPtr::new(self.base_ptr().pe(), self.base).global_add(i, self.elem_bytes, self.nprocs)
+    }
+
+    /// Global pointer to element 0.
+    pub fn base_ptr(&self) -> GlobalPtr {
+        GlobalPtr::new(0, self.base)
+    }
+
+    /// The elements of this array owned by processor `pe`, as indices.
+    pub fn owned_by(&self, pe: u32) -> impl Iterator<Item = u64> + '_ {
+        (0..self.len).filter(move |i| (i % self.nprocs as u64) as u32 == pe)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cyclic_layout() {
+        let a = SpreadArray::new(0x100, 16, 10, 4);
+        for i in 0..10 {
+            let p = a.gptr(i);
+            assert_eq!(p.pe() as u64, i % 4);
+            assert_eq!(p.addr(), 0x100 + (i / 4) * 16);
+        }
+    }
+
+    #[test]
+    fn ownership_partition_is_complete_and_disjoint() {
+        let a = SpreadArray::new(0, 8, 23, 4);
+        let mut seen = [false; 23];
+        for pe in 0..4 {
+            for i in a.owned_by(pe) {
+                assert!(!seen[i as usize], "element {i} owned twice");
+                seen[i as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn bytes_per_node_rounds_up() {
+        let a = SpreadArray::new(0, 8, 10, 4);
+        assert_eq!(a.bytes_per_node(), 24, "ceil(10/4)=3 elements of 8 bytes");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_index_panics() {
+        SpreadArray::new(0, 8, 4, 2).gptr(4);
+    }
+}

@@ -1,0 +1,368 @@
+//! 3-D torus interconnect model for the CRAY-T3D reproduction.
+//!
+//! The T3D network is a 3-D torus of processing-element pairs with
+//! dimension-order (X then Y then Z) routing. The paper measures the
+//! network contribution to remote latency as "roughly a 13 to 20 ns
+//! (2–3 cycle) cost per hop" (Section 4.2); all of its other probes run
+//! between *adjacent* nodes. This crate provides the geometry: node ↔
+//! coordinate mapping, minimal wraparound hop counts, the dimension-order
+//! route itself, and per-link traffic accounting used by the bulk-transfer
+//! instrumentation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod traffic;
+
+pub use traffic::TrafficMatrix;
+
+/// A position in the torus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Coord {
+    /// X position.
+    pub x: u32,
+    /// Y position.
+    pub y: u32,
+    /// Z position.
+    pub z: u32,
+}
+
+impl std::fmt::Display for Coord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({},{},{})", self.x, self.y, self.z)
+    }
+}
+
+/// Torus geometry and per-hop cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TorusConfig {
+    /// Extent in each dimension.
+    pub dims: (u32, u32, u32),
+    /// Network cost per hop per direction, in cycles (the paper measures
+    /// 2–3; we use 2.5).
+    pub hop_cy: f64,
+}
+
+impl TorusConfig {
+    /// A torus with near-cubic dimensions for `nodes` processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn for_nodes(nodes: u32) -> Self {
+        assert!(nodes > 0, "torus must have at least one node");
+        // Factor into three near-equal power-of-two-friendly dimensions.
+        let mut dims = (1u32, 1u32, 1u32);
+        let mut rem = nodes;
+        let mut axis = 0;
+        while rem > 1 {
+            let f = smallest_factor(rem);
+            match axis % 3 {
+                0 => dims.0 *= f,
+                1 => dims.1 *= f,
+                _ => dims.2 *= f,
+            }
+            rem /= f;
+            axis += 1;
+        }
+        TorusConfig { dims, hop_cy: 2.5 }
+    }
+}
+
+fn smallest_factor(n: u32) -> u32 {
+    for f in 2..=n {
+        if n.is_multiple_of(f) {
+            return f;
+        }
+    }
+    n
+}
+
+impl Default for TorusConfig {
+    fn default() -> Self {
+        TorusConfig {
+            dims: (2, 1, 1),
+            hop_cy: 2.5,
+        }
+    }
+}
+
+/// The torus: geometry plus routing.
+///
+/// # Example
+///
+/// ```
+/// use t3d_torus::{Torus, TorusConfig};
+///
+/// let t = Torus::new(TorusConfig { dims: (4, 4, 2), hop_cy: 2.5 });
+/// assert_eq!(t.nodes(), 32);
+/// assert_eq!(t.hops(0, 1), 1);
+/// // Wraparound: node 0 to node 3 along a ring of 4 is one hop the
+/// // other way.
+/// assert_eq!(t.hops(0, 3), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Torus {
+    cfg: TorusConfig,
+}
+
+impl Torus {
+    /// Creates a torus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(cfg: TorusConfig) -> Self {
+        assert!(
+            cfg.dims.0 > 0 && cfg.dims.1 > 0 && cfg.dims.2 > 0,
+            "all torus dimensions must be positive"
+        );
+        Torus { cfg }
+    }
+
+    /// The configuration this torus was built with.
+    pub fn config(&self) -> &TorusConfig {
+        &self.cfg
+    }
+
+    /// Total number of nodes.
+    pub fn nodes(&self) -> u32 {
+        self.cfg.dims.0 * self.cfg.dims.1 * self.cfg.dims.2
+    }
+
+    /// Coordinate of a node id (X varies fastest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn coord_of(&self, node: u32) -> Coord {
+        assert!(node < self.nodes(), "node {node} out of range");
+        let (nx, ny, _) = self.cfg.dims;
+        Coord {
+            x: node % nx,
+            y: (node / nx) % ny,
+            z: node / (nx * ny),
+        }
+    }
+
+    /// Node id of a coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of range.
+    pub fn node_of(&self, c: Coord) -> u32 {
+        let (nx, ny, nz) = self.cfg.dims;
+        assert!(
+            c.x < nx && c.y < ny && c.z < nz,
+            "coordinate {c} out of range"
+        );
+        c.x + nx * (c.y + ny * c.z)
+    }
+
+    fn ring_dist(extent: u32, a: u32, b: u32) -> u32 {
+        let d = a.abs_diff(b);
+        d.min(extent - d)
+    }
+
+    /// Minimal hop count between two nodes (dimension-order routing on a
+    /// torus is minimal in each dimension independently).
+    pub fn hops(&self, a: u32, b: u32) -> u32 {
+        let ca = self.coord_of(a);
+        let cb = self.coord_of(b);
+        let (nx, ny, nz) = self.cfg.dims;
+        Self::ring_dist(nx, ca.x, cb.x)
+            + Self::ring_dist(ny, ca.y, cb.y)
+            + Self::ring_dist(nz, ca.z, cb.z)
+    }
+
+    /// One-way network cost between two nodes, in (fractional) cycles.
+    pub fn one_way_cy(&self, a: u32, b: u32) -> f64 {
+        self.hops(a, b) as f64 * self.cfg.hop_cy
+    }
+
+    /// Round-trip network cost between two nodes, in (fractional) cycles.
+    pub fn round_trip_cy(&self, a: u32, b: u32) -> f64 {
+        2.0 * self.one_way_cy(a, b)
+    }
+
+    /// The dimension-order route from `a` to `b`, inclusive of both
+    /// endpoints. X is resolved first, then Y, then Z, taking the shorter
+    /// way around each ring.
+    pub fn route(&self, a: u32, b: u32) -> Vec<Coord> {
+        let mut cur = self.coord_of(a);
+        let dst = self.coord_of(b);
+        let mut path = vec![cur];
+        let (nx, ny, nz) = self.cfg.dims;
+        for dim in 0..3 {
+            let (extent, cur_v, dst_v) = match dim {
+                0 => (nx, cur.x, dst.x),
+                1 => (ny, cur.y, dst.y),
+                _ => (nz, cur.z, dst.z),
+            };
+            let mut v = cur_v;
+            while v != dst_v {
+                let fwd = (dst_v + extent - v) % extent;
+                let bwd = (v + extent - dst_v) % extent;
+                v = if fwd <= bwd {
+                    (v + 1) % extent
+                } else {
+                    (v + extent - 1) % extent
+                };
+                match dim {
+                    0 => cur.x = v,
+                    1 => cur.y = v,
+                    _ => cur.z = v,
+                }
+                path.push(cur);
+            }
+        }
+        path
+    }
+
+    /// A neighbour of `node` at exactly one hop (used by the adjacent-node
+    /// probes, which mirror the paper's measurement setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the torus has a single node.
+    pub fn adjacent(&self, node: u32) -> u32 {
+        assert!(self.nodes() > 1, "single-node torus has no neighbour");
+        let c = self.coord_of(node);
+        let (nx, ny, _) = self.cfg.dims;
+        let n = if nx > 1 {
+            Coord {
+                x: (c.x + 1) % nx,
+                ..c
+            }
+        } else if ny > 1 {
+            Coord {
+                y: (c.y + 1) % ny,
+                ..c
+            }
+        } else {
+            Coord {
+                z: (c.z + 1) % self.cfg.dims.2,
+                ..c
+            }
+        };
+        self.node_of(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn torus32() -> Torus {
+        Torus::new(TorusConfig {
+            dims: (4, 4, 2),
+            hop_cy: 2.5,
+        })
+    }
+
+    #[test]
+    fn coord_roundtrip() {
+        let t = torus32();
+        for n in 0..t.nodes() {
+            assert_eq!(t.node_of(t.coord_of(n)), n);
+        }
+    }
+
+    #[test]
+    fn hops_symmetric_and_zero_on_self() {
+        let t = torus32();
+        for a in 0..t.nodes() {
+            assert_eq!(t.hops(a, a), 0);
+            for b in 0..t.nodes() {
+                assert_eq!(t.hops(a, b), t.hops(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn wraparound_shortens_paths() {
+        let t = Torus::new(TorusConfig {
+            dims: (8, 1, 1),
+            hop_cy: 2.5,
+        });
+        assert_eq!(t.hops(0, 7), 1);
+        assert_eq!(t.hops(0, 4), 4, "antipodal distance on a ring of 8");
+    }
+
+    #[test]
+    fn max_diameter_is_sum_of_half_extents() {
+        let t = torus32();
+        let max = (0..t.nodes())
+            .flat_map(|a| (0..t.nodes()).map(move |b| (a, b)))
+            .map(|(a, b)| t.hops(a, b))
+            .max()
+            .unwrap();
+        assert_eq!(max, 2 + 2 + 1);
+    }
+
+    #[test]
+    fn route_length_matches_hops_and_is_dimension_ordered() {
+        let t = torus32();
+        for a in [0u32, 5, 13, 31] {
+            for b in [0u32, 1, 17, 30] {
+                let r = t.route(a, b);
+                assert_eq!(r.len() as u32, t.hops(a, b) + 1);
+                assert_eq!(r[0], t.coord_of(a));
+                assert_eq!(*r.last().unwrap(), t.coord_of(b));
+                // Dimension order: once Y changes, X must be final; once Z
+                // changes, X and Y must be final.
+                let dst = t.coord_of(b);
+                let mut y_moved = false;
+                let mut z_moved = false;
+                for w in r.windows(2) {
+                    let (p, q) = (w[0], w[1]);
+                    if p.y != q.y {
+                        y_moved = true;
+                        assert_eq!(p.x, dst.x, "X settled before Y moves");
+                    }
+                    if p.z != q.z {
+                        z_moved = true;
+                        assert_eq!(p.x, dst.x);
+                        assert_eq!(p.y, dst.y, "Y settled before Z moves");
+                    }
+                    if y_moved && p.x != q.x {
+                        panic!("X moved after Y");
+                    }
+                    if z_moved && (p.x != q.x || p.y != q.y) {
+                        panic!("X or Y moved after Z");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_is_one_hop() {
+        let t = torus32();
+        for n in 0..t.nodes() {
+            assert_eq!(t.hops(n, t.adjacent(n)), 1);
+        }
+    }
+
+    #[test]
+    fn network_cost_is_2_5_cycles_per_hop() {
+        let t = torus32();
+        assert_eq!(t.one_way_cy(0, 1), 2.5);
+        assert_eq!(t.round_trip_cy(0, 1), 5.0);
+    }
+
+    #[test]
+    fn for_nodes_builds_exact_sizes() {
+        for n in [1u32, 2, 8, 27, 32, 64, 100, 128] {
+            let cfg = TorusConfig::for_nodes(n);
+            let t = Torus::new(cfg);
+            assert_eq!(t.nodes(), n, "for_nodes({n}) gave dims {:?}", cfg.dims);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_node_panics() {
+        torus32().coord_of(32);
+    }
+}

@@ -1,0 +1,121 @@
+//! Per-link traffic accounting.
+//!
+//! The paper's bulk-transfer study (Section 6) reasons about sustained
+//! bandwidth; [`TrafficMatrix`] lets benches and tests account bytes per
+//! directed link along dimension-order routes, e.g. to verify that the
+//! EM3D communication volume scales with the remote-edge fraction.
+
+use crate::{Coord, Torus};
+use std::collections::HashMap;
+
+/// Accumulates bytes carried by each directed link.
+///
+/// # Example
+///
+/// ```
+/// use t3d_torus::{Torus, TorusConfig, TrafficMatrix};
+///
+/// let t = Torus::new(TorusConfig { dims: (4, 1, 1), hop_cy: 2.5 });
+/// let mut tm = TrafficMatrix::new();
+/// tm.record(&t, 0, 2, 64);
+/// assert_eq!(tm.total_bytes(), 128, "two hops times 64 bytes");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TrafficMatrix {
+    links: HashMap<(Coord, Coord), u64>,
+    messages: u64,
+}
+
+impl TrafficMatrix {
+    /// Creates an empty traffic matrix.
+    pub fn new() -> Self {
+        TrafficMatrix::default()
+    }
+
+    /// Records `bytes` flowing from `src` to `dst` along the
+    /// dimension-order route.
+    pub fn record(&mut self, torus: &Torus, src: u32, dst: u32, bytes: u64) {
+        self.messages += 1;
+        let path = torus.route(src, dst);
+        for w in path.windows(2) {
+            *self.links.entry((w[0], w[1])).or_insert(0) += bytes;
+        }
+    }
+
+    /// Bytes carried by the directed link `a -> b`, zero if untouched.
+    pub fn link_bytes(&self, a: Coord, b: Coord) -> u64 {
+        self.links.get(&(a, b)).copied().unwrap_or(0)
+    }
+
+    /// Sum of bytes over all links (bytes × hops).
+    pub fn total_bytes(&self) -> u64 {
+        self.links.values().sum()
+    }
+
+    /// The most heavily loaded link and its byte count, if any traffic
+    /// was recorded.
+    pub fn hottest_link(&self) -> Option<((Coord, Coord), u64)> {
+        self.links
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .max_by_key(|&(_, v)| v)
+    }
+
+    /// Number of messages recorded.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Clears all recorded traffic.
+    pub fn clear(&mut self) {
+        self.links.clear();
+        self.messages = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TorusConfig;
+
+    #[test]
+    fn self_traffic_touches_no_links() {
+        let t = Torus::new(TorusConfig {
+            dims: (4, 1, 1),
+            hop_cy: 2.5,
+        });
+        let mut tm = TrafficMatrix::new();
+        tm.record(&t, 1, 1, 1024);
+        assert_eq!(tm.total_bytes(), 0);
+        assert_eq!(tm.messages(), 1);
+    }
+
+    #[test]
+    fn hottest_link_found() {
+        let t = Torus::new(TorusConfig {
+            dims: (4, 1, 1),
+            hop_cy: 2.5,
+        });
+        let mut tm = TrafficMatrix::new();
+        tm.record(&t, 0, 1, 10);
+        tm.record(&t, 0, 1, 10);
+        tm.record(&t, 1, 2, 5);
+        let ((a, b), bytes) = tm.hottest_link().unwrap();
+        assert_eq!((a, b), (t.coord_of(0), t.coord_of(1)));
+        assert_eq!(bytes, 20);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let t = Torus::new(TorusConfig {
+            dims: (2, 1, 1),
+            hop_cy: 2.5,
+        });
+        let mut tm = TrafficMatrix::new();
+        tm.record(&t, 0, 1, 10);
+        tm.clear();
+        assert_eq!(tm.total_bytes(), 0);
+        assert_eq!(tm.messages(), 0);
+        assert!(tm.hottest_link().is_none());
+    }
+}

@@ -1,0 +1,87 @@
+//! Quickstart: build a simulated T3D, run Split-C primitives, and see
+//! what each one costs in machine cycles.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use splitc::{GlobalPtr, SplitC};
+use t3d_machine::MachineConfig;
+
+fn main() {
+    // A 8-processor T3D (2 x 2 x 2 torus), 16 MB per node.
+    let mut sc = SplitC::new(MachineConfig::t3d(8));
+    println!(
+        "machine: {} PEs, {:?} torus, {:.2} ns/cycle",
+        sc.nodes(),
+        sc.machine_ref().torus().config().dims,
+        sc.machine_ref().cycle_ns(),
+    );
+
+    // Allocate a word on every node (the symmetric heap).
+    let cell = sc.alloc(8, 8);
+
+    // PE 0 pokes at its neighbours with each primitive, costing it out.
+    sc.on(0, |ctx| {
+        let gp = GlobalPtr::new(1, cell);
+
+        let t0 = ctx.clock();
+        ctx.write_u64(gp, 42);
+        println!("blocking write to PE 1:  {:>5} cycles", ctx.clock() - t0);
+
+        let t0 = ctx.clock();
+        let v = ctx.read_u64(gp);
+        println!(
+            "blocking read from PE 1: {:>5} cycles (got {v})",
+            ctx.clock() - t0
+        );
+
+        let t0b = ctx.clock();
+        for i in 0..16u64 {
+            ctx.put(GlobalPtr::new(1, cell + 8 + i * 8), i);
+        }
+        ctx.sync();
+        println!(
+            "16 pipelined puts:       {:>5} cycles ({} per put)",
+            ctx.clock() - t0b,
+            (ctx.clock() - t0b) / 16
+        );
+        let _ = t0;
+    });
+
+    // All nodes exchange a value around the ring with signaling stores.
+    let ring = sc.alloc(8, 8);
+    sc.run_phase(|ctx| {
+        let right = (ctx.pe() + 1) % ctx.nodes();
+        ctx.store_u64(GlobalPtr::new(right as u32, ring), 100 + ctx.pe() as u64);
+    });
+    sc.all_store_sync();
+    sc.run_phase(|ctx| {
+        let left = (ctx.pe() + ctx.nodes() - 1) % ctx.nodes();
+        let got = ctx.read_u64(GlobalPtr::new(ctx.pe() as u32, ring));
+        assert_eq!(got, 100 + left as u64);
+    });
+    println!("ring exchange via stores + allStoreSync: OK");
+
+    // Bulk transfer crossover in action.
+    let big = 64 * 1024u64;
+    let src = sc.alloc(big, 8);
+    let dst = sc.alloc(big, 8);
+    sc.on(0, |ctx| {
+        let t0 = ctx.clock();
+        ctx.bulk_read(dst, GlobalPtr::new(2, src), 4096);
+        let prefetch_cy = ctx.clock() - t0;
+        let t0 = ctx.clock();
+        ctx.bulk_read(dst, GlobalPtr::new(2, src), big);
+        let blt_cy = ctx.clock() - t0;
+        println!(
+            "bulk_read 4 KB (prefetch queue): {prefetch_cy} cycles; \
+             64 KB (BLT): {blt_cy} cycles"
+        );
+    });
+
+    println!(
+        "total virtual time on PE 0: {} cycles",
+        sc.machine_ref().clock(0)
+    );
+}

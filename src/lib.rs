@@ -1,0 +1,38 @@
+//! Workspace facade for the CRAY-T3D reproduction.
+//!
+//! Re-exports the public crates so the examples and integration tests in
+//! this repository have a single import root. See the individual crates
+//! for documentation:
+//!
+//! * [`t3d_memsys`] — node memory system (L1, write buffer, DRAM, TLB)
+//! * [`t3d_torus`] — 3-D torus interconnect
+//! * [`t3d_shell`] — the T3D shell (annex, prefetch, BLT, barriers, ...)
+//! * [`t3d_machine`] — the composed virtual-time machine and SPMD driver
+//! * [`splitc`] — the Split-C runtime (the paper's compiler perspective)
+//! * [`t3d_microbench`] — the micro-benchmark suite and figure harness
+//! * [`em3d`] — the EM3D application study
+//!
+//! # Example
+//!
+//! ```
+//! use splitc::{GlobalPtr, SplitC};
+//! use t3d_machine::MachineConfig;
+//!
+//! // An 8-PE T3D; every node stores a word on its right neighbour.
+//! let mut sc = SplitC::new(MachineConfig::t3d(8));
+//! let cell = sc.alloc(8, 8);
+//! sc.run_phase(|ctx| {
+//!     let right = (ctx.pe() + 1) % ctx.nodes();
+//!     ctx.store_u64(GlobalPtr::new(right as u32, cell), 7);
+//! });
+//! sc.all_store_sync();
+//! assert_eq!(sc.machine().peek8(3, cell), 7);
+//! ```
+
+pub use em3d;
+pub use splitc;
+pub use t3d_machine;
+pub use t3d_memsys;
+pub use t3d_microbench;
+pub use t3d_shell;
+pub use t3d_torus;

@@ -1,0 +1,40 @@
+//! Whole-application determinism: identical inputs must give identical
+//! virtual timing and values, run after run — the property that makes
+//! simulator-based measurement meaningful.
+
+use em3d::{run_version, Em3dParams, Version};
+use t3d_microbench::probes::{local, sync};
+
+#[test]
+fn em3d_runs_are_bit_identical() {
+    for v in [
+        Version::Simple,
+        Version::Put,
+        Version::Bulk,
+        Version::StoreSync,
+    ] {
+        let a = run_version(4, Em3dParams::tiny(30.0), v);
+        let b = run_version(4, Em3dParams::tiny(30.0), v);
+        assert_eq!(
+            a.cycles,
+            b.cycles,
+            "{}: cycle counts differ across runs",
+            v.label()
+        );
+        assert_eq!(a.us_per_edge, b.us_per_edge);
+        assert_eq!(a.ops, b.ops);
+    }
+}
+
+#[test]
+fn probe_surfaces_are_bit_identical() {
+    let sizes = vec![4 * 1024, 64 * 1024];
+    let a = local::read_profile(&sizes, 1 << 16);
+    let b = local::read_profile(&sizes, 1 << 16);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn sync_costs_are_bit_identical() {
+    assert_eq!(sync::sync_costs(), sync::sync_costs());
+}
