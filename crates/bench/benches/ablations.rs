@@ -1,7 +1,6 @@
 //! Ablations: the Section 9 design-choice what-ifs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use t3d_bench_suite::{banner, quick};
+use t3d_bench_suite::{banner, criterion_group, criterion_main, quick, Criterion};
 use t3d_microbench::probes::ablation;
 
 fn bench(c: &mut Criterion) {

@@ -1,7 +1,6 @@
 //! Figure 1: local read latency profile (T3D and DEC workstation).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use t3d_bench_suite::{banner, quick};
+use t3d_bench_suite::{banner, criterion_group, criterion_main, quick, Criterion};
 use t3d_machine::{Machine, MachineConfig};
 use t3d_microbench::probes::local;
 

@@ -1,7 +1,6 @@
 //! Figure 5: blocking remote write latency.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use t3d_bench_suite::{banner, quick};
+use t3d_bench_suite::{banner, criterion_group, criterion_main, quick, Criterion};
 use t3d_machine::{Machine, MachineConfig};
 use t3d_microbench::probes::remote;
 use t3d_shell::{AnnexEntry, FuncCode};

@@ -1,8 +1,7 @@
 //! Figure 8: bulk transfer bandwidth by mechanism.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use splitc::{GlobalPtr, SplitC};
-use t3d_bench_suite::{banner, quick};
+use t3d_bench_suite::{banner, criterion_group, criterion_main, quick, Criterion};
 use t3d_machine::MachineConfig;
 use t3d_microbench::probes::bulk;
 use t3d_microbench::report::series_table;

@@ -1,8 +1,7 @@
 //! Figure 9: EM3D time per edge vs remote-edge fraction.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use em3d::{fig9_sweep, run_version, Em3dParams, Version};
-use t3d_bench_suite::{banner, quick};
+use t3d_bench_suite::{banner, criterion_group, criterion_main, quick, Criterion};
 
 fn bench(c: &mut Criterion) {
     banner("Figure 9: EM3D us/edge vs % remote edges (8 PEs, reduced size)");

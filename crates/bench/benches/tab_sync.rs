@@ -1,7 +1,6 @@
 //! Section 7: synchronization and messaging cost table.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use t3d_bench_suite::{banner, quick};
+use t3d_bench_suite::{banner, criterion_group, criterion_main, quick, Criterion};
 use t3d_microbench::probes::sync;
 
 fn bench(c: &mut Criterion) {

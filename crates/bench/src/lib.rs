@@ -1,22 +1,174 @@
-//! Shared configuration for the Criterion bench harness.
+//! Shared configuration for the bench harness.
 //!
 //! Each `benches/figN_*.rs` target regenerates the corresponding paper
 //! artifact: it *prints* the simulated latency/bandwidth series once (the
-//! reproduction output — virtual time), and then lets Criterion measure
-//! the host-side cost of the underlying probe kernels (useful for
-//! tracking simulator performance regressions). The virtual-time numbers
-//! are the ones compared against the paper in `EXPERIMENTS.md`.
+//! reproduction output — virtual time), and then measures the host-side
+//! cost of the underlying probe kernels (useful for tracking simulator
+//! performance regressions). The virtual-time numbers are the ones
+//! compared against the paper in `EXPERIMENTS.md`.
+//!
+//! The harness is self-contained (the workspace builds offline, so no
+//! Criterion): a tiny warm-up + timed-sample loop over `std::time::
+//! Instant`, exposing just the API surface the bench targets use —
+//! `Criterion`, `benchmark_group`, `bench_function`, `b.iter(..)` and
+//! the `criterion_group!`/`criterion_main!` macros.
 
-/// Criterion settings that keep the full suite's wall time reasonable.
-pub fn quick() -> criterion::Criterion {
-    criterion::Criterion::default()
+use std::time::{Duration, Instant};
+
+/// Harness settings: sample count and per-phase time budgets.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time budget for timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Time spent running the closure before measurement starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Kept for call-site compatibility; command-line filtering is not
+    /// supported by the self-contained harness.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("-- group {name}");
+        BenchmarkGroup { crit: self }
+    }
+}
+
+/// A named collection of benchmark functions sharing the settings.
+pub struct BenchmarkGroup<'c> {
+    crit: &'c Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark: warm-up, then timed samples, then a one-line
+    /// mean/min report.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { iters: Vec::new() };
+        // Warm-up: run until the budget is spent.
+        let warm_until = Instant::now() + self.crit.warm_up_time;
+        while Instant::now() < warm_until {
+            f(&mut b);
+        }
+        b.iters.clear();
+        let per_sample = self.crit.measurement_time / self.crit.sample_size as u32;
+        for _ in 0..self.crit.sample_size {
+            let sample_until = Instant::now() + per_sample;
+            loop {
+                f(&mut b);
+                if Instant::now() >= sample_until {
+                    break;
+                }
+            }
+        }
+        let n = b.iters.len().max(1) as u32;
+        let total: Duration = b.iters.iter().sum();
+        let mean = total / n;
+        let min = b.iters.iter().min().copied().unwrap_or_default();
+        println!("   {name:<28} mean {mean:>12.2?}  min {min:>12.2?}  ({n} iters)");
+        self
+    }
+
+    /// Ends the group (kept for call-site compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; `iter` times one invocation.
+pub struct Bencher {
+    iters: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f` once and records the duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.iters.push(start.elapsed());
+        std::hint::black_box(out);
+    }
+}
+
+/// Declares a benchmark group: a config constructor and target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Harness settings that keep the full suite's wall time reasonable.
+pub fn quick() -> Criterion {
+    Criterion::default()
         .sample_size(10)
         .measurement_time(std::time::Duration::from_millis(600))
         .warm_up_time(std::time::Duration::from_millis(200))
         .configure_from_args()
 }
 
-/// Prints a banner separating reproduction output from Criterion noise.
+/// Prints a banner separating reproduction output from harness noise.
 pub fn banner(title: &str) {
     println!("\n==== {title} ====");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut ran = 0u64;
+        {
+            let mut g = c.benchmark_group("selftest");
+            g.bench_function("spin", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        assert!(ran > 0, "benchmark closure executed");
+    }
 }

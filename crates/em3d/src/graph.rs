@@ -7,8 +7,7 @@
 //! simulated memory and are accessed through the Split-C runtime, so
 //! every cache and communication effect is charged.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use t3d_prng::Rng;
 
 /// Graph generation parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -93,7 +92,7 @@ impl Em3dGraph {
             params.pct_remote == 0.0 || nprocs > 1,
             "remote edges need more than one processor"
         );
-        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut rng = Rng::seed_from_u64(params.seed);
         let mut gen_side = |_side: u8| {
             (0..nprocs)
                 .map(|p| {

@@ -34,4 +34,4 @@ pub mod graph;
 pub mod run;
 
 pub use graph::{Em3dGraph, Em3dParams};
-pub use run::{fig9_sweep, run_version, Em3dResult, Version};
+pub use run::{fig9_sweep, run_version, run_version_with, Em3dResult, Version};

@@ -7,7 +7,7 @@
 use crate::graph::{Em3dGraph, Em3dParams, Endpoint};
 use splitc::{GlobalPtr, SplitC};
 use std::collections::HashMap;
-use t3d_machine::{MachineConfig, OpStats};
+use t3d_machine::{MachineConfig, OpStats, PhaseDriver};
 
 /// Which optimization level to run (Section 8, in paper order).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -101,6 +101,11 @@ pub struct Em3dResult {
     /// Machine-wide operation counters over the measured steps (the
     /// communication breakdown behind the curve).
     pub ops: OpStats,
+    /// FNV-1a hash of the per-PE virtual clocks at the end of the
+    /// measured steps (before the verification fence) — a determinism
+    /// fingerprint: two runs agree on every node's timing iff the
+    /// hashes match.
+    pub clock_fnv: u64,
 }
 
 /// One source's contiguous slice of a consumer's ghost region.
@@ -285,7 +290,7 @@ fn fill_ghosts(
                 for (k, idx) in regions.indices.iter().enumerate() {
                     let gp = GlobalPtr::new(regions.src, vals_off + *idx as u64 * 8);
                     let v = ctx.read_u64(gp);
-                    ctx.machine()
+                    ctx.ops()
                         .st8(pe, ghost_off + (regions.first_slot + k as u64) * 8, v);
                 }
             }
@@ -301,7 +306,7 @@ fn fill_ghosts(
         }
         (Version::Put, CommPhase::Push) => {
             for &(consumer, my_idx, slot) in &plan.push_list[pe] {
-                let v = ctx.machine().ld8(pe, vals_off + my_idx as u64 * 8);
+                let v = ctx.ops().ld8(pe, vals_off + my_idx as u64 * 8);
                 ctx.put(GlobalPtr::new(consumer, ghost_off + slot * 8), v);
             }
             ctx.sync();
@@ -311,10 +316,10 @@ fn fill_ghosts(
             // fence so everything leaves the processor (and gets its
             // arrival logged at the consumers).
             for &(consumer, my_idx, slot) in &plan.push_list[pe] {
-                let v = ctx.machine().ld8(pe, vals_off + my_idx as u64 * 8);
+                let v = ctx.ops().ld8(pe, vals_off + my_idx as u64 * 8);
                 ctx.store_u64(GlobalPtr::new(consumer, ghost_off + slot * 8), v);
             }
-            ctx.machine().memory_barrier(pe);
+            ctx.ops().memory_barrier(pe);
         }
         (Version::StoreSync, CommPhase::Pull) => {
             // Message-driven completion: wait for exactly the ghost
@@ -330,11 +335,11 @@ fn fill_ghosts(
             // buffer (local copies).
             for (_, src_off, indices) in &plan.gather_list[pe] {
                 for (k, idx) in indices.iter().enumerate() {
-                    let v = ctx.machine().ld8(pe, vals_off + *idx as u64 * 8);
-                    ctx.machine().st8(pe, send_off + src_off + k as u64 * 8, v);
+                    let v = ctx.ops().ld8(pe, vals_off + *idx as u64 * 8);
+                    ctx.ops().st8(pe, send_off + src_off + k as u64 * 8, v);
                 }
             }
-            ctx.machine().memory_barrier(pe);
+            ctx.ops().memory_barrier(pe);
         }
         (Version::Bulk, CommPhase::Pull) => {
             for region in &plan.regions[pe] {
@@ -378,25 +383,21 @@ fn compute_half(
         for (j, ep) in node.iter().enumerate() {
             // The graph is pointer-based: each edge costs a load of the
             // neighbour's (packed) global pointer from the edge list.
-            let packed = ctx.machine().ld8(pe, adj + (i * node.len() + j) as u64 * 8);
+            let packed = ctx.ops().ld8(pe, adj + (i * node.len() + j) as u64 * 8);
             debug_assert_eq!(packed, pack_endpoint(*ep), "adjacency list layout");
-            let w = f64::from_bits(
-                ctx.machine()
-                    .ld8(pe, weights + (i * node.len() + j) as u64 * 8),
-            );
+            let w = f64::from_bits(ctx.ops().ld8(pe, weights + (i * node.len() + j) as u64 * 8));
             let v = if ep.pe as usize == pe {
-                f64::from_bits(ctx.machine().ld8(pe, src_vals + ep.idx as u64 * 8))
+                f64::from_bits(ctx.ops().ld8(pe, src_vals + ep.idx as u64 * 8))
             } else if version == Version::Simple {
                 f64::from_bits(ctx.read_u64(GlobalPtr::new(ep.pe, src_vals + ep.idx as u64 * 8)))
             } else {
                 let slot = plan.slot_of[pe][ep];
-                f64::from_bits(ctx.machine().ld8(pe, ghost_off + slot * 8))
+                f64::from_bits(ctx.ops().ld8(pe, ghost_off + slot * 8))
             };
             acc += w * v;
             ctx.advance(FLOP_CY + version.loop_cy());
         }
-        ctx.machine()
-            .st8(pe, dst_vals + i as u64 * 8, acc.to_bits());
+        ctx.ops().st8(pe, dst_vals + i as u64 * 8, acc.to_bits());
     }
 }
 
@@ -404,11 +405,27 @@ fn compute_half(
 /// the timing result. Values are verified against a host reference —
 /// every version must compute the same answer.
 ///
+/// Phases execute through the sharded engine, with the sequential or
+/// parallel driver chosen by the `T3D_PAR` environment variable (see
+/// [`PhaseDriver::from_env`]). Results are bit-identical under every
+/// driver.
+///
 /// # Panics
 ///
 /// Panics if the simulated values diverge from the reference (a bug in
 /// the runtime under test, which is the point of the check).
 pub fn run_version(nprocs: u32, params: Em3dParams, version: Version) -> Em3dResult {
+    run_version_with(PhaseDriver::from_env(), nprocs, params, version)
+}
+
+/// [`run_version`] with an explicit phase driver ([`PhaseDriver::Seq`]
+/// is the determinism oracle for [`PhaseDriver::Par`]).
+pub fn run_version_with(
+    driver: PhaseDriver,
+    nprocs: u32,
+    params: Em3dParams,
+    version: Version,
+) -> Em3dResult {
     let g = Em3dGraph::generate(params, nprocs);
     let mut sc = SplitC::new(MachineConfig::t3d_with_mem(nprocs, 4 * 1024 * 1024));
     let npp = params.nodes_per_pe as u64;
@@ -452,7 +469,7 @@ pub fn run_version(nprocs: u32, params: Em3dParams, version: Version) -> Em3dRes
     let step = |sc: &mut SplitC| {
         if version == Version::StoreSync {
             // Message-driven: no global barriers inside the step.
-            sc.run_phase(|ctx| {
+            sc.par_phase_with(driver, |ctx| {
                 fill_ghosts(
                     ctx,
                     version,
@@ -463,7 +480,7 @@ pub fn run_version(nprocs: u32, params: Em3dParams, version: Version) -> Em3dRes
                     CommPhase::Push,
                 )
             });
-            sc.run_phase(|ctx| {
+            sc.par_phase_with(driver, |ctx| {
                 fill_ghosts(
                     ctx,
                     version,
@@ -485,7 +502,7 @@ pub fn run_version(nprocs: u32, params: Em3dParams, version: Version) -> Em3dRes
                     layout.ghost_h,
                 );
             });
-            sc.run_phase(|ctx| {
+            sc.par_phase_with(driver, |ctx| {
                 fill_ghosts(
                     ctx,
                     version,
@@ -496,7 +513,7 @@ pub fn run_version(nprocs: u32, params: Em3dParams, version: Version) -> Em3dRes
                     CommPhase::Push,
                 )
             });
-            sc.run_phase(|ctx| {
+            sc.par_phase_with(driver, |ctx| {
                 fill_ghosts(
                     ctx,
                     version,
@@ -522,7 +539,7 @@ pub fn run_version(nprocs: u32, params: Em3dParams, version: Version) -> Em3dRes
         }
         // E half: H values flow to E consumers.
         if matches!(version, Version::Put | Version::Bulk) {
-            sc.run_phase(|ctx| {
+            sc.par_phase_with(driver, |ctx| {
                 fill_ghosts(
                     ctx,
                     version,
@@ -535,7 +552,7 @@ pub fn run_version(nprocs: u32, params: Em3dParams, version: Version) -> Em3dRes
             });
             sc.barrier();
         }
-        sc.run_phase(|ctx| {
+        sc.par_phase_with(driver, |ctx| {
             fill_ghosts(
                 ctx,
                 version,
@@ -547,7 +564,7 @@ pub fn run_version(nprocs: u32, params: Em3dParams, version: Version) -> Em3dRes
             )
         });
         sc.barrier();
-        sc.run_phase(|ctx| {
+        sc.par_phase_with(driver, |ctx| {
             compute_half(
                 ctx,
                 version,
@@ -563,7 +580,7 @@ pub fn run_version(nprocs: u32, params: Em3dParams, version: Version) -> Em3dRes
         sc.barrier();
         // H half: E values flow to H consumers.
         if matches!(version, Version::Put | Version::Bulk) {
-            sc.run_phase(|ctx| {
+            sc.par_phase_with(driver, |ctx| {
                 fill_ghosts(
                     ctx,
                     version,
@@ -576,7 +593,7 @@ pub fn run_version(nprocs: u32, params: Em3dParams, version: Version) -> Em3dRes
             });
             sc.barrier();
         }
-        sc.run_phase(|ctx| {
+        sc.par_phase_with(driver, |ctx| {
             fill_ghosts(
                 ctx,
                 version,
@@ -588,7 +605,7 @@ pub fn run_version(nprocs: u32, params: Em3dParams, version: Version) -> Em3dRes
             )
         });
         sc.barrier();
-        sc.run_phase(|ctx| {
+        sc.par_phase_with(driver, |ctx| {
             compute_half(
                 ctx,
                 version,
@@ -614,6 +631,11 @@ pub fn run_version(nprocs: u32, params: Em3dParams, version: Version) -> Em3dRes
         step(&mut sc);
     }
     let cycles = sc.max_clock() - t0;
+    let clock_fnv = (0..nprocs as usize)
+        .map(|pe| sc.machine_ref().clock(pe))
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, c| {
+            (h ^ c).wrapping_mul(0x100_0000_01b3)
+        });
     let mut ops = OpStats::default();
     for pe in 0..nprocs as usize {
         ops.accumulate(&sc.machine_ref().node(pe).ops);
@@ -651,6 +673,7 @@ pub fn run_version(nprocs: u32, params: Em3dParams, version: Version) -> Em3dRes
         edges,
         cycles,
         ops,
+        clock_fnv,
     }
 }
 

@@ -2,6 +2,7 @@
 //! probes are written against.
 
 use crate::machine::{BltHandle, Machine};
+use crate::ops::MachineOps;
 use t3d_shell::blt::BltDirection;
 use t3d_shell::{AnnexEntry, FuncCode, Message, PopError};
 
@@ -9,6 +10,10 @@ use t3d_shell::{AnnexEntry, FuncCode, Message, PopError};
 ///
 /// Probes written against `Cpu` read like the paper's assembly probes:
 /// loads, stores, `fetch` hints, memory barriers, annex updates.
+///
+/// A `Cpu` borrows any [`MachineOps`] backend — the whole [`Machine`]
+/// (direct engine) or one shard of a sharded phase — so the same probe
+/// code runs under both.
 ///
 /// # Example
 ///
@@ -20,9 +25,8 @@ use t3d_shell::{AnnexEntry, FuncCode, Message, PopError};
 /// cpu.st8(0x100, 7);
 /// assert_eq!(cpu.ld8(0x100), 7);
 /// ```
-#[derive(Debug)]
 pub struct Cpu<'m> {
-    m: &'m mut Machine,
+    m: &'m mut dyn MachineOps,
     pe: usize,
 }
 
@@ -32,7 +36,7 @@ impl<'m> Cpu<'m> {
     /// # Panics
     ///
     /// Panics if `pe` does not exist.
-    pub fn new(m: &'m mut Machine, pe: usize) -> Self {
+    pub fn new(m: &'m mut dyn MachineOps, pe: usize) -> Self {
         assert!(pe < m.nodes(), "PE {pe} out of range");
         Cpu { m, pe }
     }
@@ -48,7 +52,19 @@ impl<'m> Cpu<'m> {
     }
 
     /// The underlying machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics inside a sharded phase, where whole-machine access would
+    /// break shard isolation; use the per-op methods instead.
     pub fn machine(&mut self) -> &mut Machine {
+        self.m
+            .as_machine()
+            .expect("whole-machine access is not available inside a sharded phase")
+    }
+
+    /// The operation backend this CPU is bound to.
+    pub fn ops(&mut self) -> &mut dyn MachineOps {
         self.m
     }
 

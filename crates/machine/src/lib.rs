@@ -35,6 +35,8 @@ pub mod config;
 pub mod cpu;
 pub mod machine;
 pub mod node;
+pub mod ops;
+pub mod phase;
 pub mod spmd;
 pub mod trace;
 
@@ -42,6 +44,8 @@ pub use config::MachineConfig;
 pub use cpu::Cpu;
 pub use machine::{BltHandle, Machine};
 pub use node::{Node, OpStats};
+pub use ops::MachineOps;
+pub use phase::PhaseDriver;
 pub use spmd::Spmd;
 pub use trace::{TraceEvent, TraceKind, Tracer};
 

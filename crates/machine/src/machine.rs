@@ -195,10 +195,15 @@ impl Machine {
     /// Loads `buf.len()` bytes at `va` (annex-translated). Remote loads
     /// must not cross a cache line.
     ///
+    /// Issuing a remote load through an annex entry whose function code
+    /// is not a read flavour (e.g. `Swap`) is a program error: debug
+    /// builds fail a `debug_assert!`; release builds perform the access
+    /// as `Uncached` (the defined behavior — the real shell would issue
+    /// the request with the flavour bits it was given).
+    ///
     /// # Panics
     ///
-    /// Panics on out-of-range accesses, or on remote accesses through an
-    /// annex entry whose function code is not a read flavour.
+    /// Panics on out-of-range accesses.
     pub fn ld(&mut self, pe: usize, va: u64, buf: &mut [u8]) {
         let (aidx, off) = self.split_va(va);
         if aidx == 0 {
@@ -233,28 +238,6 @@ impl Machine {
             return;
         }
         match entry.func {
-            FuncCode::Uncached => {
-                let target_clock = self.nodes[target].clock;
-                self.nodes[target].port.apply_due(target_clock);
-                self.deliver_outbox(target);
-                let dram = self.nodes[target].port.service_remote_read(off, buf);
-                let ready = now
-                    + cost
-                    + self.cfg.shell.remote_read_shell_cy / 2
-                    + self.one_way_cy(pe, target);
-                let queue = self.contend(target, ready, dram + 5);
-                cost +=
-                    self.cfg.shell.remote_read_shell_cy + self.rtt_cy(pe, target) + dram + queue;
-                // Our own pending stores to the same full PA forward.
-                if self.nodes[pe].port.has_pending_line(line_pa) {
-                    let mut line_buf = vec![0u8; self.cfg.mem.l1.line];
-                    let line_off = off & !self.line_mask();
-                    self.nodes[target].port.peek_mem(line_off, &mut line_buf);
-                    self.nodes[pe].port.forward_pending(line_pa, &mut line_buf);
-                    let o = (va - line_pa) as usize;
-                    buf.copy_from_slice(&line_buf[o..o + buf.len()]);
-                }
-            }
             FuncCode::Cached => {
                 let target_clock = self.nodes[target].clock;
                 self.nodes[target].port.apply_due(target_clock);
@@ -281,7 +264,32 @@ impl Machine {
                 let o = (va - line_pa) as usize;
                 buf.copy_from_slice(&line_buf[o..o + buf.len()]);
             }
-            other => panic!("annex function code {other:?} is not a load flavour"),
+            other => {
+                debug_assert!(
+                    other == FuncCode::Uncached,
+                    "annex function code {other:?} is not a load flavour"
+                );
+                let target_clock = self.nodes[target].clock;
+                self.nodes[target].port.apply_due(target_clock);
+                self.deliver_outbox(target);
+                let dram = self.nodes[target].port.service_remote_read(off, buf);
+                let ready = now
+                    + cost
+                    + self.cfg.shell.remote_read_shell_cy / 2
+                    + self.one_way_cy(pe, target);
+                let queue = self.contend(target, ready, dram + 5);
+                cost +=
+                    self.cfg.shell.remote_read_shell_cy + self.rtt_cy(pe, target) + dram + queue;
+                // Our own pending stores to the same full PA forward.
+                if self.nodes[pe].port.has_pending_line(line_pa) {
+                    let mut line_buf = vec![0u8; self.cfg.mem.l1.line];
+                    let line_off = off & !self.line_mask();
+                    self.nodes[target].port.peek_mem(line_off, &mut line_buf);
+                    self.nodes[pe].port.forward_pending(line_pa, &mut line_buf);
+                    let o = (va - line_pa) as usize;
+                    buf.copy_from_slice(&line_buf[o..o + buf.len()]);
+                }
+            }
         }
         self.nodes[pe].clock = now + cost;
         self.trace(pe, TraceKind::LoadRemote(entry.pe), va, now);
@@ -803,6 +811,25 @@ impl Machine {
     /// Clears a node's arrival log (a new `storeSync` epoch).
     pub fn clear_incoming(&mut self, pe: usize) {
         self.nodes[pe].incoming.clear();
+    }
+
+    /// Pushes every write already due out of each node's write buffer and
+    /// delivers it, through the direct-engine path. The sharded phase
+    /// driver calls this before splitting the machine into shards so no
+    /// pre-phase state is pending when the shards start.
+    pub(crate) fn normalize_for_phase(&mut self) {
+        for pe in 0..self.nodes.len() {
+            let now = self.nodes[pe].clock;
+            self.nodes[pe].port.apply_due(now);
+            self.deliver_outbox(pe);
+        }
+    }
+
+    /// Split borrow of the pieces the sharded phase driver needs: the
+    /// configuration and torus (shared, read-only) and the node array
+    /// (split per-PE across shards).
+    pub(crate) fn phase_parts(&mut self) -> (&MachineConfig, &Torus, &mut [Node]) {
+        (&self.cfg, &self.torus, &mut self.nodes)
     }
 }
 

@@ -1,0 +1,1156 @@
+//! Sharded bulk-synchronous phases: run every PE of a phase concurrently
+//! with results bit-identical to running them one after another.
+//!
+//! # The model
+//!
+//! The direct engine ([`Machine`]) interleaves remote effects eagerly: a
+//! remote store charges the target's DRAM the moment the source's write
+//! buffer retires it. That is simple and exact, but it serializes the
+//! phase — node 1's closure cannot run until node 0's has finished
+//! mutating the shared machine.
+//!
+//! The sharded engine splits a phase into independent *shards*. Each
+//! shard ([`PhasePe`]) owns its node's entire state — caches, write
+//! buffer, DRAM timing, clock, prefetch queue — plus *private snapshots*
+//! of every other node's DRAM timing, shell occupancy and
+//! fetch&increment registers, taken at phase start. During the phase a
+//! shard:
+//!
+//! * mutates only its own node,
+//! * reads other nodes' memory bytes through shared [`MemArena`] handles
+//!   (safe: the BSP contract below),
+//! * computes remote *timing* against its private snapshots, and
+//! * appends outbound effects — remote stores, DRAM touches, message
+//!   deliveries, fetch&increment bumps, BLT deposits — to a per-shard
+//!   log stamped with virtual time.
+//!
+//! When every shard has run, the logs are merged in deterministic order
+//! — `(virtual time, source PE, issue sequence)` — and applied to the
+//! real nodes. Because each shard's execution depends only on the phase
+//! entry state, and the merge order is a pure function of the logs, the
+//! result is **bit-identical whether the shards run sequentially or on
+//! any number of threads**. [`PhaseDriver::Seq`] is therefore a true
+//! oracle for [`PhaseDriver::Par`].
+//!
+//! # The contract
+//!
+//! The engine is exact for programs that follow the bulk-synchronous
+//! discipline the paper's benchmarks use (and [`crate::Spmd`] assumes):
+//! within a phase, no node may read a location that another node writes
+//! in the same phase — communication produced in phase *k* is consumed
+//! in phase *k + 1*, after a barrier. Under that contract the sharded
+//! engine differs from the direct engine only in second-order timing
+//! (a shard sees other nodes' DRAM-page and shell-occupancy state as of
+//! phase start rather than live). Those deviations are deterministic and
+//! identical under both sharded drivers.
+//!
+//! Two operations are deliberately restricted inside a sharded phase:
+//! `atomic_swap` on a *remote* PE panics (swap-based locks serialize by
+//! nature; take them through [`Machine`] directly), and a remote
+//! `fetch_inc` returns the phase-start value plus this shard's own
+//! increments — concurrent increments from *other* shards are merged
+//! afterwards, so tickets are only unique per shard within one phase.
+
+use crate::config::MachineConfig;
+use crate::cpu::Cpu;
+use crate::machine::{BltHandle, Machine};
+use crate::node::{Node, OpStats};
+use crate::ops::MachineOps;
+use std::sync::Arc;
+use t3d_memsys::{Dram, MemArena, RemoteSink, WriteTarget};
+use t3d_shell::blt::BltDirection;
+use t3d_shell::{AnnexEntry, FetchIncRegs, FuncCode, Message, PopError};
+use t3d_torus::Torus;
+
+/// Which execution engine drives a sharded phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseDriver {
+    /// Run the shards one after another on the calling thread (the
+    /// determinism oracle).
+    Seq,
+    /// Run the shards on up to this many worker threads. `Par(1)` uses
+    /// the sequential path; results are identical for every value.
+    Par(usize),
+}
+
+impl PhaseDriver {
+    /// Selects a driver from the `T3D_PAR` environment variable:
+    ///
+    /// * unset or `1` — parallel, one thread per available core;
+    /// * `0` — sequential (shards still run through the sharded engine,
+    ///   so results match the parallel driver bit for bit);
+    /// * `N > 1` — parallel with `N` threads.
+    ///
+    /// Unparsable values fall back to the parallel default.
+    pub fn from_env() -> Self {
+        match std::env::var("T3D_PAR") {
+            Err(_) => PhaseDriver::Par(Self::auto_threads()),
+            Ok(s) => match s.trim() {
+                "0" => PhaseDriver::Seq,
+                "" | "1" => PhaseDriver::Par(Self::auto_threads()),
+                n => PhaseDriver::Par(n.parse().unwrap_or_else(|_| Self::auto_threads())),
+            },
+        }
+    }
+
+    fn auto_threads() -> usize {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+
+    fn threads_for(self, pes: usize) -> usize {
+        match self {
+            PhaseDriver::Seq => 1,
+            PhaseDriver::Par(n) => n.clamp(1, pes.max(1)),
+        }
+    }
+}
+
+/// An outbound effect recorded by a shard, applied at merge time.
+#[derive(Debug)]
+enum Effect {
+    /// A retired remote write: service the target's DRAM, update memory
+    /// under the mask, invalidate the covered cache line, and (if
+    /// `arrival` is set) log the data arrival for `storeSync`.
+    Write {
+        off: u64,
+        data: Vec<u8>,
+        mask: Option<u64>,
+        arrival: Option<(u64, u64)>,
+    },
+    /// A functional deposit (BLT): write bytes and invalidate covered
+    /// lines, no DRAM timing.
+    Poke { off: u64, data: Vec<u8> },
+    /// Replay of a remote read's DRAM access (page-state evolution).
+    DramTouch { off: u64 },
+    /// A message delivery into the target's queue.
+    Msg(Message),
+    /// A fetch&increment bump of the target's register.
+    FetchInc { reg: usize },
+}
+
+/// An [`Effect`] with its deterministic merge key.
+#[derive(Debug)]
+struct TimedEffect {
+    /// Virtual time at which the effect reaches the target.
+    time: u64,
+    /// Issuing PE.
+    src: u32,
+    /// Issue order within the source shard (merge tiebreaker).
+    seq: u64,
+    /// Target PE.
+    target: u32,
+    /// Shell-occupancy replay `(ready, occupancy_cy)` for contention
+    /// modeling, when the effect occupies the target's shell.
+    busy: Option<(u64, u64)>,
+    eff: Effect,
+}
+
+/// Read-only state shared by every shard of one phase.
+struct PhaseShared {
+    cfg: MachineConfig,
+    torus: Torus,
+    /// Every node's memory bytes (shared, interior-mutable).
+    mems: Vec<Arc<MemArena>>,
+    /// Phase-start snapshot of every node's DRAM timing state.
+    dram: Vec<Dram>,
+    /// Phase-start snapshot of every node's shell occupancy.
+    busy: Vec<u64>,
+    /// Phase-start snapshot of every node's fetch&increment registers.
+    finc: Vec<FetchIncRegs>,
+}
+
+impl PhaseShared {
+    fn capture(cfg: &MachineConfig, torus: &Torus, nodes: &[Node]) -> Self {
+        PhaseShared {
+            cfg: *cfg,
+            torus: torus.clone(),
+            mems: nodes
+                .iter()
+                .map(|n| Arc::clone(n.port.mem_arena()))
+                .collect(),
+            dram: nodes.iter().map(|n| n.port.dram().clone()).collect(),
+            busy: nodes.iter().map(|n| n.shell_busy_until).collect(),
+            finc: nodes.iter().map(|n| n.fetchinc.clone()).collect(),
+        }
+    }
+}
+
+/// One PE's shard of a sharded phase: a [`MachineOps`] backend that owns
+/// its node exclusively and logs outbound effects.
+///
+/// All operations must name this shard's own PE (except the explicit
+/// `target_pe` of `fetch_inc`, BLT transfers and `msg_send`, and
+/// annex-translated loads and stores, which are the point).
+pub struct PhasePe<'a> {
+    pe: usize,
+    node: &'a mut Node,
+    sh: &'a PhaseShared,
+    /// Private evolution of every other node's DRAM timing, seeded from
+    /// the phase-start snapshot.
+    rdram: Vec<Dram>,
+    /// Private evolution of every other node's shell occupancy.
+    rbusy: Vec<u64>,
+    /// This shard's own increments of remote fetch&increment registers.
+    finc_bumps: Vec<[u64; 2]>,
+    effects: Vec<TimedEffect>,
+    seq: u64,
+}
+
+impl<'a> PhasePe<'a> {
+    fn new(pe: usize, node: &'a mut Node, sh: &'a PhaseShared) -> Self {
+        let n = sh.mems.len();
+        PhasePe {
+            pe,
+            node,
+            sh,
+            rdram: sh.dram.clone(),
+            rbusy: sh.busy.clone(),
+            finc_bumps: vec![[0u64; 2]; n],
+            effects: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    #[inline]
+    fn own(&self, pe: usize) {
+        assert_eq!(
+            pe, self.pe,
+            "a sharded phase closure may only drive its own PE (got {pe}, shard owns {})",
+            self.pe
+        );
+    }
+
+    fn split(&self, va: u64) -> (usize, u64) {
+        t3d_shell::annex::split_pa(va, self.sh.cfg.mem.offset_bits)
+    }
+
+    fn line_mask(&self) -> u64 {
+        self.sh.cfg.mem.l1.line as u64 - 1
+    }
+
+    fn rtt(&self, b: usize) -> u64 {
+        self.sh
+            .torus
+            .round_trip_cy(self.pe as u32, b as u32)
+            .round() as u64
+    }
+
+    fn one_way(&self, b: usize) -> u64 {
+        self.sh.torus.one_way_cy(self.pe as u32, b as u32).round() as u64
+    }
+
+    /// The shard-local mirror of `Machine::contend`: queueing against the
+    /// real occupancy for this shard's own shell, against the private
+    /// snapshot for a remote one.
+    fn contend(&mut self, target: usize, ready: u64, occupancy_cy: u64) -> u64 {
+        if !self.sh.cfg.contention {
+            return 0;
+        }
+        let busy = if target == self.pe {
+            &mut self.node.shell_busy_until
+        } else {
+            &mut self.rbusy[target]
+        };
+        let start = ready.max(*busy);
+        *busy = start + occupancy_cy;
+        start - ready
+    }
+
+    fn push(&mut self, time: u64, target: usize, busy: Option<(u64, u64)>, eff: Effect) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.effects.push(TimedEffect {
+            time,
+            src: self.pe as u32,
+            seq,
+            target: target as u32,
+            busy,
+            eff,
+        });
+    }
+
+    /// Reads target memory bytes functionally: own port for the own PE,
+    /// the shared arena for a remote one.
+    fn read_target_mem(&self, target: usize, off: u64, buf: &mut [u8]) {
+        if target == self.pe {
+            self.node.port.peek_mem(off, buf);
+        } else {
+            self.sh.mems[target].read(off, buf);
+        }
+    }
+
+    fn poke_own(&mut self, off: u64, data: &[u8]) {
+        self.node.port.poke_mem(off, data);
+        let line = self.sh.cfg.mem.l1.line as u64;
+        let mut a = off & !self.line_mask();
+        while a < off + data.len() as u64 {
+            self.node.port.l1_mut().invalidate(a);
+            a += line;
+        }
+    }
+
+    /// The shard-side mirror of `Machine::deliver_outbox`: remote writes
+    /// retired by this node's write buffer become merge effects (the ack
+    /// is registered source-side immediately, with the delivery timing
+    /// computed against the private target snapshots).
+    fn flush_outbox(&mut self) {
+        let retired = self.node.port.take_outbox();
+        for r in retired {
+            let WriteTarget::Remote(sink) = r.target else {
+                unreachable!("outbox only carries remote writes")
+            };
+            let target = sink.pe as usize;
+            let bytes = r.mask.count_ones() as u64;
+            if target == self.pe {
+                let dram =
+                    self.node
+                        .port
+                        .service_remote_write(sink.remote_line_pa, &r.data, Some(r.mask));
+                let queue = self.contend(target, r.completion + sink.ack_rtt_cy / 2, dram + 5);
+                let arrival = r.completion + sink.ack_rtt_cy / 2 + dram + queue;
+                let ack = r.completion + sink.ack_rtt_cy + dram + queue;
+                self.node.incoming.push((arrival, bytes));
+                self.node.acks.expect_ack(ack);
+            } else {
+                let dram = self.rdram[target].access(sink.remote_line_pa);
+                let ready = r.completion + sink.ack_rtt_cy / 2;
+                let queue = self.contend(target, ready, dram + 5);
+                let arrival = ready + dram + queue;
+                let ack = r.completion + sink.ack_rtt_cy + dram + queue;
+                self.push(
+                    arrival,
+                    target,
+                    Some((ready, dram + 5)),
+                    Effect::Write {
+                        off: sink.remote_line_pa,
+                        data: r.data,
+                        mask: Some(r.mask),
+                        arrival: Some((arrival, bytes)),
+                    },
+                );
+                self.node.acks.expect_ack(ack);
+            }
+        }
+    }
+
+    fn into_effects(self) -> Vec<TimedEffect> {
+        self.effects
+    }
+}
+
+impl MachineOps for PhasePe<'_> {
+    fn nodes(&self) -> usize {
+        self.sh.mems.len()
+    }
+
+    fn cycle_ns(&self) -> f64 {
+        self.sh.cfg.cycle_ns()
+    }
+
+    fn offset_bits(&self) -> u32 {
+        self.sh.cfg.mem.offset_bits
+    }
+
+    fn node(&self, pe: usize) -> &Node {
+        self.own(pe);
+        self.node
+    }
+
+    fn node_mut(&mut self, pe: usize) -> &mut Node {
+        self.own(pe);
+        self.node
+    }
+
+    fn clock(&self, pe: usize) -> u64 {
+        self.own(pe);
+        self.node.clock
+    }
+
+    fn advance(&mut self, pe: usize, cycles: u64) {
+        self.own(pe);
+        self.node.clock += cycles;
+    }
+
+    fn annex_set(&mut self, pe: usize, idx: usize, entry: AnnexEntry) {
+        self.own(pe);
+        assert!(
+            (entry.pe as usize) < self.sh.mems.len(),
+            "annex target PE {} does not exist",
+            entry.pe
+        );
+        let cost = self.node.annex.update(idx, entry);
+        self.node.clock += cost;
+    }
+
+    fn annex_entry(&self, pe: usize, idx: usize) -> AnnexEntry {
+        self.own(pe);
+        self.node.annex.entry(idx)
+    }
+
+    fn ld(&mut self, pe: usize, va: u64, buf: &mut [u8]) {
+        self.own(pe);
+        let (aidx, off) = self.split(va);
+        if aidx == 0 {
+            self.node.ops.loads_local += 1;
+            let now = self.node.clock;
+            let cost = self.node.port.read(now, va, buf);
+            self.node.clock = now + cost;
+            self.flush_outbox();
+            return;
+        }
+        let line_pa = va & !self.line_mask();
+        assert!(
+            (va - line_pa) as usize + buf.len() <= self.sh.cfg.mem.l1.line,
+            "remote load must not cross a cache line"
+        );
+        self.node.ops.loads_remote += 1;
+        let entry = self.node.annex.entry(aidx);
+        let target = entry.pe as usize;
+        let now = self.node.clock;
+        self.node.port.apply_due(now);
+        self.flush_outbox();
+
+        let mut cost = self.node.port.tlb_access(va);
+        if let Some(line) = self.node.port.l1().lookup(va) {
+            let o = (va - line_pa) as usize;
+            buf.copy_from_slice(&line[o..o + buf.len()]);
+            self.node.clock = now + cost + self.sh.cfg.mem.l1.hit_cy;
+            return;
+        }
+        let shell = self.sh.cfg.shell;
+        if entry.func == FuncCode::Cached {
+            let line_off = off & !self.line_mask();
+            let mut line_buf = vec![0u8; self.sh.cfg.mem.l1.line];
+            let (dram, queue);
+            if target == self.pe {
+                dram = self.node.port.service_remote_read(line_off, &mut line_buf);
+                let ready = now + cost + shell.remote_read_shell_cy / 2 + self.one_way(target);
+                queue = self.contend(target, ready, dram + 5);
+            } else {
+                dram = self.rdram[target].access(line_off);
+                self.sh.mems[target].read(line_off, &mut line_buf);
+                let ready = now + cost + shell.remote_read_shell_cy / 2 + self.one_way(target);
+                queue = self.contend(target, ready, dram + 5);
+                self.push(
+                    ready,
+                    target,
+                    Some((ready, dram + 5)),
+                    Effect::DramTouch { off: line_off },
+                );
+            }
+            cost += shell.remote_read_shell_cy
+                + shell.cached_read_extra_cy
+                + self.rtt(target)
+                + dram
+                + queue;
+            if self.node.port.has_pending_line(line_pa) {
+                self.node.port.forward_pending(line_pa, &mut line_buf);
+            }
+            self.node.port.install_remote_line(line_pa, &line_buf);
+            let o = (va - line_pa) as usize;
+            buf.copy_from_slice(&line_buf[o..o + buf.len()]);
+        } else {
+            debug_assert!(
+                entry.func == FuncCode::Uncached,
+                "annex function code {:?} is not a load flavour",
+                entry.func
+            );
+            let (dram, queue);
+            if target == self.pe {
+                dram = self.node.port.service_remote_read(off, buf);
+                let ready = now + cost + shell.remote_read_shell_cy / 2 + self.one_way(target);
+                queue = self.contend(target, ready, dram + 5);
+            } else {
+                dram = self.rdram[target].access(off);
+                self.sh.mems[target].read(off, buf);
+                let ready = now + cost + shell.remote_read_shell_cy / 2 + self.one_way(target);
+                queue = self.contend(target, ready, dram + 5);
+                self.push(
+                    ready,
+                    target,
+                    Some((ready, dram + 5)),
+                    Effect::DramTouch { off },
+                );
+            }
+            cost += shell.remote_read_shell_cy + self.rtt(target) + dram + queue;
+            // Our own pending stores to the same full PA forward.
+            if self.node.port.has_pending_line(line_pa) {
+                let mut line_buf = vec![0u8; self.sh.cfg.mem.l1.line];
+                let line_off = off & !self.line_mask();
+                self.read_target_mem(target, line_off, &mut line_buf);
+                self.node.port.forward_pending(line_pa, &mut line_buf);
+                let o = (va - line_pa) as usize;
+                buf.copy_from_slice(&line_buf[o..o + buf.len()]);
+            }
+        }
+        self.node.clock = now + cost;
+    }
+
+    fn st(&mut self, pe: usize, va: u64, bytes: &[u8]) {
+        self.own(pe);
+        let (aidx, off) = self.split(va);
+        let now = self.node.clock;
+        let cost = if aidx == 0 {
+            self.node.ops.stores_local += 1;
+            self.node.port.write(now, va, bytes)
+        } else {
+            self.node.ops.stores_remote += 1;
+            let entry = self.node.annex.entry(aidx);
+            let target = entry.pe as usize;
+            assert!(
+                target < self.sh.mems.len(),
+                "store to nonexistent PE {target}"
+            );
+            let line_off = off & !self.line_mask();
+            let page_cy = if target == self.pe {
+                self.node.port.dram().peek(line_off)
+            } else {
+                self.rdram[target].peek(line_off)
+            };
+            let page_penalty = page_cy.saturating_sub(self.sh.cfg.mem.dram.page_hit_cy);
+            let sink = RemoteSink {
+                pe: entry.pe,
+                remote_line_pa: line_off,
+                base_cy: self.sh.cfg.shell.remote_write_base_cy + page_penalty,
+                per_word_cy: self.sh.cfg.shell.remote_write_word_cy,
+                ack_rtt_cy: self.sh.cfg.shell.write_ack_rtt_cy + self.rtt(target),
+            };
+            self.node
+                .port
+                .write_to(now, va, bytes, WriteTarget::Remote(sink))
+        };
+        self.node.clock = now + cost;
+        self.flush_outbox();
+    }
+
+    fn memory_barrier(&mut self, pe: usize) {
+        self.own(pe);
+        self.node.ops.memory_barriers += 1;
+        let now = self.node.clock;
+        let cost = self.node.port.memory_barrier(now);
+        self.node.clock = now + cost;
+        let t = self.node.clock;
+        self.node.prefetch.note_memory_barrier(t);
+        self.flush_outbox();
+    }
+
+    fn poll_status(&mut self, pe: usize) -> bool {
+        self.own(pe);
+        let now = self.node.clock;
+        let (clear, cost) = self.node.acks.poll(now);
+        self.node.clock = now + cost;
+        clear
+    }
+
+    fn wait_write_acks(&mut self, pe: usize) {
+        self.own(pe);
+        self.node.ops.ack_waits += 1;
+        let now = self.node.clock;
+        let cost = self.node.acks.wait_clear(now);
+        self.node.clock = now + cost;
+    }
+
+    fn fetch(&mut self, pe: usize, va: u64) -> bool {
+        self.own(pe);
+        self.node.ops.fetches += 1;
+        let (aidx, off) = self.split(va);
+        let target = if aidx == 0 {
+            pe
+        } else {
+            self.node.annex.entry(aidx).pe as usize
+        };
+        let now = self.node.clock;
+        let tlb = self.node.port.tlb_access(va);
+        let mut buf = [0u8; 8];
+        let dram;
+        if target == self.pe {
+            let clk = self.node.clock;
+            self.node.port.apply_due(clk);
+            self.flush_outbox();
+            dram = self.node.port.service_remote_read(off, &mut buf);
+        } else {
+            dram = self.rdram[target].access(off);
+            self.sh.mems[target].read(off, &mut buf);
+        }
+        let ready = now + tlb + self.sh.cfg.shell.prefetch_net_cy / 2 + self.one_way(target);
+        let queue = self.contend(target, ready, dram + 5);
+        if target != self.pe {
+            self.push(
+                ready,
+                target,
+                Some((ready, dram + 5)),
+                Effect::DramTouch { off },
+            );
+        }
+        let latency = self.sh.cfg.shell.prefetch_net_cy + self.rtt(target) + dram + queue;
+        match self
+            .node
+            .prefetch
+            .issue(now + tlb, u64::from_le_bytes(buf), latency)
+        {
+            Some(c) => {
+                self.node.clock = now + tlb + c;
+                true
+            }
+            None => {
+                self.node.clock = now + tlb;
+                false
+            }
+        }
+    }
+
+    fn pop_prefetch(&mut self, pe: usize) -> Result<u64, PopError> {
+        self.own(pe);
+        self.node.ops.pops += 1;
+        let now = self.node.clock;
+        let (value, cost) = self.node.prefetch.pop(now)?;
+        self.node.clock = now + cost;
+        Ok(value)
+    }
+
+    fn blt_start(
+        &mut self,
+        pe: usize,
+        dir: BltDirection,
+        local_off: u64,
+        target_pe: usize,
+        remote_off: u64,
+        bytes: u64,
+    ) -> BltHandle {
+        self.own(pe);
+        self.node.ops.blts += 1;
+        let mut data = vec![0u8; bytes as usize];
+        let now = self.node.clock;
+        let timing = self.node.blt.start(now, dir, bytes);
+        let completion = now + timing.total_cy();
+        match dir {
+            BltDirection::Read => {
+                self.read_target_mem(target_pe, remote_off, &mut data);
+                self.poke_own(local_off, &data);
+            }
+            BltDirection::Write => {
+                self.node.port.peek_mem(local_off, &mut data);
+                if target_pe == self.pe {
+                    self.poke_own(remote_off, &data);
+                } else {
+                    self.push(
+                        completion,
+                        target_pe,
+                        None,
+                        Effect::Poke {
+                            off: remote_off,
+                            data,
+                        },
+                    );
+                }
+            }
+        }
+        self.node.clock = now + timing.startup_cy;
+        BltHandle {
+            completion,
+            startup_cy: timing.startup_cy,
+            stream_cy: timing.stream_cy,
+        }
+    }
+
+    fn blt_start_strided(
+        &mut self,
+        pe: usize,
+        dir: BltDirection,
+        local_off: u64,
+        target_pe: usize,
+        remote_off: u64,
+        count: u64,
+        elem_bytes: u64,
+        stride_bytes: u64,
+    ) -> BltHandle {
+        self.own(pe);
+        self.node.ops.blts += 1;
+        assert!(count > 0 && elem_bytes > 0, "strided BLT must move data");
+        assert!(
+            stride_bytes >= elem_bytes,
+            "stride must not overlap elements"
+        );
+        let now = self.node.clock;
+        let mut elem = vec![0u8; elem_bytes as usize];
+        let mut extra = 0u64;
+        let mut deposits: Vec<(u64, Vec<u8>)> = Vec::new();
+        for i in 0..count {
+            let r_off = remote_off + i * stride_bytes;
+            let l_off = local_off + i * elem_bytes;
+            match dir {
+                BltDirection::Read => {
+                    self.read_target_mem(target_pe, r_off, &mut elem);
+                    self.poke_own(l_off, &elem);
+                }
+                BltDirection::Write => {
+                    self.node.port.peek_mem(l_off, &mut elem);
+                    if target_pe == self.pe {
+                        self.poke_own(r_off, &elem);
+                    } else {
+                        deposits.push((r_off, elem.clone()));
+                    }
+                }
+            }
+            let line = r_off & !self.line_mask();
+            let dram = if target_pe == self.pe {
+                self.node.port.dram_mut().access(line)
+            } else {
+                let d = self.rdram[target_pe].access(line);
+                self.push(now, target_pe, None, Effect::DramTouch { off: line });
+                d
+            };
+            extra += dram.saturating_sub(self.sh.cfg.mem.dram.page_hit_cy);
+        }
+        let timing = self.node.blt.start(now, dir, count * elem_bytes);
+        let completion = now + timing.total_cy() + extra;
+        for (off, data) in deposits {
+            self.push(completion, target_pe, None, Effect::Poke { off, data });
+        }
+        self.node.clock = now + timing.startup_cy;
+        BltHandle {
+            completion,
+            startup_cy: timing.startup_cy,
+            stream_cy: timing.stream_cy + extra,
+        }
+    }
+
+    fn blt_wait(&mut self, pe: usize, handle: BltHandle) {
+        self.own(pe);
+        self.node.clock = self.node.clock.max(handle.completion);
+    }
+
+    fn msg_send(&mut self, pe: usize, dst: usize, words: [u64; 4]) {
+        self.own(pe);
+        self.node.ops.msgs_sent += 1;
+        self.node.clock += self.sh.cfg.shell.msg_send_cy;
+        let arrival = self.node.clock + self.one_way(dst);
+        let msg = Message {
+            from: pe as u32,
+            words,
+            arrival,
+        };
+        if dst == self.pe {
+            self.node.msgq.deliver(msg);
+        } else {
+            self.push(arrival, dst, None, Effect::Msg(msg));
+        }
+    }
+
+    fn msg_receive(&mut self, pe: usize) -> Option<Message> {
+        self.own(pe);
+        let now = self.node.clock;
+        self.node.ops.msgs_received += 1;
+        let (msg, cost) = self.node.msgq.receive(now)?;
+        self.node.clock = now + cost;
+        Some(msg)
+    }
+
+    fn fetch_inc(&mut self, pe: usize, target_pe: usize, reg: usize) -> u64 {
+        self.own(pe);
+        self.node.ops.atomics += 1;
+        let now = self.node.clock;
+        let shell = self.sh.cfg.shell;
+        let ready = now + shell.remote_read_shell_cy / 2 + self.one_way(target_pe);
+        let queue = self.contend(target_pe, ready, 20);
+        let cost = shell.remote_read_shell_cy + self.rtt(target_pe) + shell.amo_extra_cy + queue;
+        self.node.clock += cost;
+        if target_pe == self.pe {
+            self.node.fetchinc.fetch_inc(reg)
+        } else {
+            let value = self.sh.finc[target_pe].get(reg) + self.finc_bumps[target_pe][reg];
+            self.finc_bumps[target_pe][reg] += 1;
+            self.push(
+                ready,
+                target_pe,
+                Some((ready, 20)),
+                Effect::FetchInc { reg },
+            );
+            value
+        }
+    }
+
+    fn swap_load(&mut self, pe: usize, value: u64) {
+        self.own(pe);
+        self.node.swap.load(value);
+    }
+
+    fn atomic_swap(&mut self, pe: usize, va: u64) -> u64 {
+        self.own(pe);
+        self.node.ops.atomics += 1;
+        let (aidx, off) = self.split(va);
+        let target = if aidx == 0 {
+            pe
+        } else {
+            let entry = self.node.annex.entry(aidx);
+            assert_eq!(
+                entry.func,
+                FuncCode::Swap,
+                "annex entry must select the swap flavour"
+            );
+            entry.pe as usize
+        };
+        assert_eq!(
+            target, self.pe,
+            "atomic_swap on a remote PE is not supported inside a sharded phase \
+             (swap-based locks serialize; take them through the direct engine)"
+        );
+        let clk = self.node.clock;
+        self.node.port.apply_due(clk);
+        self.flush_outbox();
+        let mut buf = [0u8; 8];
+        let dram = self.node.port.service_remote_read(off, &mut buf);
+        let old_mem = u64::from_le_bytes(buf);
+        let to_mem = self.node.swap.exchange(old_mem);
+        self.node
+            .port
+            .service_remote_write(off, &to_mem.to_le_bytes(), None);
+        let now = self.node.clock;
+        let shell = self.sh.cfg.shell;
+        let ready = now + shell.remote_read_shell_cy / 2 + self.one_way(target);
+        let queue = self.contend(target, ready, dram + 20);
+        let cost =
+            shell.remote_read_shell_cy + self.rtt(target) + shell.amo_extra_cy + dram + queue;
+        self.node.clock += cost;
+        old_mem
+    }
+
+    fn peek_mem(&self, pe: usize, off: u64, buf: &mut [u8]) {
+        self.read_target_mem(pe, off, buf);
+    }
+
+    fn poke_mem(&mut self, pe: usize, off: u64, bytes: &[u8]) {
+        assert_eq!(
+            pe, self.pe,
+            "poke_mem on a remote PE is not supported inside a sharded phase \
+             (it could not invalidate the target's cache deterministically)"
+        );
+        self.poke_own(off, bytes);
+    }
+
+    fn op_stats(&self, pe: usize) -> OpStats {
+        self.own(pe);
+        self.node.ops
+    }
+
+    fn arrival_time_of(&self, pe: usize, target_bytes: u64) -> Option<u64> {
+        self.own(pe);
+        self.node.arrival_time_of(target_bytes)
+    }
+
+    fn clear_incoming(&mut self, pe: usize) {
+        self.own(pe);
+        self.node.incoming.clear();
+    }
+
+    fn as_machine(&mut self) -> Option<&mut Machine> {
+        None
+    }
+}
+
+fn run_shard<T>(
+    pe: usize,
+    node: &mut Node,
+    sh: &PhaseShared,
+    state: &mut T,
+    f: &(impl Fn(&mut dyn MachineOps, usize, &mut T) + Sync),
+) -> Vec<TimedEffect> {
+    let mut shard = PhasePe::new(pe, node, sh);
+    f(&mut shard, pe, state);
+    shard.into_effects()
+}
+
+fn run_parallel<T: Send>(
+    nodes: &mut [Node],
+    states: &mut [T],
+    sh: &PhaseShared,
+    threads: usize,
+    f: &(impl Fn(&mut dyn MachineOps, usize, &mut T) + Sync),
+) -> Vec<TimedEffect> {
+    let n = nodes.len();
+    let per = n.div_ceil(threads);
+    let mut results: Vec<Vec<TimedEffect>> = Vec::with_capacity(threads);
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        let mut node_rest = nodes;
+        let mut state_rest = states;
+        let mut base = 0usize;
+        while !node_rest.is_empty() {
+            let take = per.min(node_rest.len());
+            let (nchunk, nrest) = node_rest.split_at_mut(take);
+            let (schunk, srest) = state_rest.split_at_mut(take);
+            node_rest = nrest;
+            state_rest = srest;
+            let first_pe = base;
+            base += take;
+            handles.push(s.spawn(move || {
+                let mut out = Vec::new();
+                for (i, (node, state)) in nchunk.iter_mut().zip(schunk.iter_mut()).enumerate() {
+                    out.append(&mut run_shard(first_pe + i, node, sh, state, f));
+                }
+                out
+            }));
+        }
+        for h in handles {
+            match h.join() {
+                Ok(v) => results.push(v),
+                Err(e) => std::panic::resume_unwind(e),
+            }
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+impl Machine {
+    /// Runs one sharded SPMD phase: the closure runs once per PE against
+    /// a [`Cpu`] bound to that PE's shard, sequentially or on threads
+    /// per `driver` — the results are bit-identical either way.
+    ///
+    /// See the [module docs](self) for the execution model and the
+    /// bulk-synchronous contract phase closures must follow.
+    pub fn sharded_phase(&mut self, driver: PhaseDriver, f: impl Fn(&mut Cpu) + Sync) {
+        let mut unit = vec![(); self.nodes()];
+        self.sharded_phase_zip(driver, &mut unit, |ops, pe, ()| {
+            let mut cpu = Cpu::new(ops, pe);
+            f(&mut cpu);
+        });
+    }
+
+    /// Runs one sharded SPMD phase with per-PE state: `states[pe]` is
+    /// handed to the closure alongside PE `pe`'s shard. This is the
+    /// building block runtimes (Split-C) use to carry their own per-node
+    /// structures through a parallel phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len()` differs from the number of PEs.
+    pub fn sharded_phase_zip<T: Send>(
+        &mut self,
+        driver: PhaseDriver,
+        states: &mut [T],
+        f: impl Fn(&mut dyn MachineOps, usize, &mut T) + Sync,
+    ) {
+        let n = self.nodes();
+        assert_eq!(
+            states.len(),
+            n,
+            "need exactly one state per PE ({} for {n} PEs)",
+            states.len()
+        );
+        self.normalize_for_phase();
+        let mut effects = {
+            let (cfg, torus, nodes) = self.phase_parts();
+            let sh = PhaseShared::capture(cfg, torus, nodes);
+            let threads = driver.threads_for(n);
+            if threads <= 1 {
+                let mut all = Vec::new();
+                for (pe, (node, state)) in nodes.iter_mut().zip(states.iter_mut()).enumerate() {
+                    all.append(&mut run_shard(pe, node, &sh, state, &f));
+                }
+                all
+            } else {
+                run_parallel(nodes, states, &sh, threads, &f)
+            }
+        };
+        effects.sort_by_key(|e| (e.time, e.src, e.seq));
+        self.apply_effects(effects);
+    }
+
+    /// Applies merged shard effects to the real nodes, in the already
+    /// deterministic order.
+    fn apply_effects(&mut self, effects: Vec<TimedEffect>) {
+        let contention = self.config().contention;
+        let line = self.config().mem.l1.line as u64;
+        for e in effects {
+            let t = e.target as usize;
+            match e.eff {
+                Effect::Write {
+                    off,
+                    data,
+                    mask,
+                    arrival,
+                } => {
+                    let _ = self.node_mut(t).port.service_remote_write(off, &data, mask);
+                    if let Some((at, bytes)) = arrival {
+                        self.node_mut(t).incoming.push((at, bytes));
+                    }
+                }
+                Effect::Poke { off, data } => {
+                    let node = self.node_mut(t);
+                    node.port.poke_mem(off, &data);
+                    let mut a = off & !(line - 1);
+                    while a < off + data.len() as u64 {
+                        node.port.l1_mut().invalidate(a);
+                        a += line;
+                    }
+                }
+                Effect::DramTouch { off } => {
+                    let _ = self.node_mut(t).port.dram_mut().access(off);
+                }
+                Effect::Msg(msg) => self.node_mut(t).msgq.deliver(msg),
+                Effect::FetchInc { reg } => {
+                    let _ = self.node_mut(t).fetchinc.fetch_inc(reg);
+                }
+            }
+            if contention {
+                if let Some((ready, occ)) = e.busy {
+                    let node = self.node_mut(t);
+                    let start = ready.max(node.shell_busy_until);
+                    node.shell_busy_until = start + occ;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    fn fingerprint(m: &Machine) -> Vec<u64> {
+        let mut fp = Vec::new();
+        for pe in 0..m.nodes() {
+            fp.push(m.clock(pe));
+            let mut buf = vec![0u8; 4096];
+            m.peek_mem(pe, 0, &mut buf);
+            fp.push(buf.iter().fold(0u64, |h, &b| {
+                h.wrapping_mul(1099511628211).wrapping_add(b as u64)
+            }));
+        }
+        fp
+    }
+
+    /// A communication-heavy phase body: every PE stores a word to its
+    /// right neighbour, fences, and reads a word from its left.
+    fn exchange(cpu: &mut Cpu) {
+        let pe = cpu.pe();
+        let n = cpu.nodes();
+        let right = ((pe + 1) % n) as u32;
+        cpu.annex_set(1, right, t3d_shell::FuncCode::Uncached);
+        let va = cpu.va(1, 0x1000);
+        cpu.st8(va, (pe as u64) << 8);
+        cpu.memory_barrier();
+        cpu.wait_write_acks();
+        cpu.annex_set(1, right, t3d_shell::FuncCode::Uncached);
+        let _ = cpu.ld8(cpu.va(1, 0x2000));
+    }
+
+    #[test]
+    fn seq_and_par_shards_are_bit_identical() {
+        let run = |driver: PhaseDriver| {
+            let mut m = Machine::new(MachineConfig::t3d(8));
+            for _ in 0..3 {
+                m.sharded_phase(driver, exchange);
+                m.barrier_all();
+            }
+            fingerprint(&m)
+        };
+        let seq = run(PhaseDriver::Seq);
+        for threads in [2, 3, 8] {
+            assert_eq!(
+                seq,
+                run(PhaseDriver::Par(threads)),
+                "parallel shards with {threads} threads diverged from the oracle"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_writes_land_after_merge() {
+        let mut m = Machine::new(MachineConfig::t3d(4));
+        m.sharded_phase(PhaseDriver::Par(4), |cpu| {
+            let right = ((cpu.pe() + 1) % cpu.nodes()) as u32;
+            cpu.annex_set(1, right, t3d_shell::FuncCode::Uncached);
+            let va = cpu.va(1, 0x500);
+            cpu.st8(va, 7000 + cpu.pe() as u64);
+            cpu.memory_barrier();
+            cpu.wait_write_acks();
+        });
+        for pe in 0..4usize {
+            let left = (pe + 3) % 4;
+            assert_eq!(m.peek8(pe, 0x500), 7000 + left as u64);
+        }
+    }
+
+    #[test]
+    fn sharded_messages_and_fetch_inc_merge() {
+        let mut m = Machine::new(MachineConfig::t3d(4));
+        m.sharded_phase(PhaseDriver::Par(2), |cpu| {
+            let pe = cpu.pe();
+            if pe != 0 {
+                // Everyone takes a ticket at PE 0 and messages it.
+                let _ = cpu.fetch_inc(0, 0);
+                cpu.msg_send(0, [pe as u64, 0, 0, 0]);
+            }
+        });
+        assert_eq!(m.node(0).fetchinc.get(0), 3, "three merged increments");
+        m.advance(0, 1_000_000);
+        let mut froms = Vec::new();
+        while let Some(msg) = m.msg_receive(0) {
+            froms.push(msg.from);
+        }
+        froms.sort_unstable();
+        assert_eq!(froms, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn sharded_phase_matches_on_fetch_and_blt() {
+        let body = |cpu: &mut Cpu| {
+            let pe = cpu.pe();
+            let n = cpu.nodes();
+            let right = ((pe + 1) % n) as u32;
+            cpu.annex_set(1, right, t3d_shell::FuncCode::Uncached);
+            for i in 0..4u64 {
+                cpu.fetch(cpu.va(1, 0x3000 + i * 8));
+            }
+            cpu.memory_barrier();
+            for _ in 0..4 {
+                let _ = cpu.pop_prefetch();
+            }
+            let h = cpu.blt_start(
+                t3d_shell::blt::BltDirection::Write,
+                0x4000,
+                right as usize,
+                0x5000,
+                256,
+            );
+            cpu.blt_wait(h);
+        };
+        let run = |driver: PhaseDriver| {
+            let mut m = Machine::new(MachineConfig::t3d(4));
+            for pe in 0..4 {
+                for i in 0..32u64 {
+                    m.poke8(pe, 0x4000 + i * 8, (pe as u64) * 1000 + i);
+                }
+            }
+            m.sharded_phase(driver, body);
+            m.barrier_all();
+            fingerprint(&m)
+        };
+        assert_eq!(run(PhaseDriver::Seq), run(PhaseDriver::Par(4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "may only drive its own PE")]
+    fn shard_rejects_foreign_pe() {
+        let mut m = Machine::new(MachineConfig::t3d(2));
+        m.sharded_phase(PhaseDriver::Seq, |cpu| {
+            if cpu.pe() == 0 {
+                let _ = cpu.ops().clock(1);
+            }
+        });
+    }
+
+    #[test]
+    fn driver_from_env_parses() {
+        // No env mutation (tests run threaded): just exercise the
+        // constructors and clamping.
+        assert_eq!(PhaseDriver::Seq.threads_for(8), 1);
+        assert_eq!(PhaseDriver::Par(0).threads_for(8), 1);
+        assert_eq!(PhaseDriver::Par(64).threads_for(8), 8);
+        assert_eq!(PhaseDriver::Par(3).threads_for(8), 3);
+    }
+}

@@ -17,6 +17,7 @@
 
 use crate::cpu::Cpu;
 use crate::machine::Machine;
+use crate::phase::PhaseDriver;
 
 /// Phase-structured SPMD execution over a machine.
 ///
@@ -64,6 +65,26 @@ impl<'m> Spmd<'m> {
             let mut cpu = Cpu::new(self.m, pe);
             f(&mut cpu);
         }
+        self.phases += 1;
+    }
+
+    /// Runs one phase through the sharded engine, with the driver chosen
+    /// by the `T3D_PAR` environment variable (see
+    /// [`PhaseDriver::from_env`]): PEs execute concurrently on a thread
+    /// pool, bit-identical to the sequential shard order.
+    ///
+    /// Unlike [`Spmd::phase`], the closure is `Fn + Sync` (it runs on
+    /// worker threads) and may not touch the whole machine — only the
+    /// per-PE operations on [`Cpu`]. See [`crate::phase`] for the
+    /// bulk-synchronous contract.
+    pub fn par_phase(&mut self, f: impl Fn(&mut Cpu) + Sync) {
+        self.par_phase_with(PhaseDriver::from_env(), f);
+    }
+
+    /// [`Spmd::par_phase`] with an explicit driver (e.g.
+    /// [`PhaseDriver::Seq`] as the determinism oracle).
+    pub fn par_phase_with(&mut self, driver: PhaseDriver, f: impl Fn(&mut Cpu) + Sync) {
+        self.m.sharded_phase(driver, f);
         self.phases += 1;
     }
 
@@ -160,6 +181,33 @@ mod tests {
             "straggler clock {}",
             clocks[3]
         );
+    }
+
+    #[test]
+    fn par_phase_matches_its_sequential_oracle() {
+        use crate::phase::PhaseDriver;
+        let run = |driver: PhaseDriver| {
+            let mut m = Machine::new(MachineConfig::t3d(4));
+            let mut spmd = Spmd::new(&mut m);
+            spmd.par_phase_with(driver, |cpu| {
+                let right = (cpu.pe() + 1) % cpu.nodes();
+                cpu.annex_set(1, right as u32, FuncCode::Uncached);
+                cpu.st8(cpu.va(1, 0x200), cpu.pe() as u64 + 100);
+                cpu.memory_barrier();
+                cpu.wait_write_acks();
+            });
+            spmd.barrier();
+            let mut out = Vec::new();
+            spmd.par_phase_with(driver, |cpu| {
+                let left = (cpu.pe() + cpu.nodes() - 1) % cpu.nodes();
+                assert_eq!(cpu.ld8(0x200), left as u64 + 100);
+            });
+            for pe in 0..4 {
+                out.push(spmd.machine().clock(pe));
+            }
+            out
+        };
+        assert_eq!(run(PhaseDriver::Seq), run(PhaseDriver::Par(4)));
     }
 
     #[test]

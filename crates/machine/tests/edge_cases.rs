@@ -46,8 +46,9 @@ fn remote_load_across_a_line_panics() {
 }
 
 #[test]
+#[cfg(debug_assertions)]
 #[should_panic(expected = "not a load flavour")]
-fn loading_through_a_swap_entry_panics() {
+fn loading_through_a_swap_entry_panics_in_debug() {
     let mut m = machine(2);
     m.annex_set(
         0,
@@ -58,6 +59,24 @@ fn loading_through_a_swap_entry_panics() {
         },
     );
     let _ = m.ld8(0, m.va(1, 0x100));
+}
+
+#[test]
+#[cfg(not(debug_assertions))]
+fn loading_through_a_swap_entry_reads_uncached_in_release() {
+    // Defined behavior for the misuse: the access is performed as an
+    // Uncached read (debug builds catch it with a debug_assert).
+    let mut m = machine(2);
+    m.poke8(1, 0x100, 31);
+    m.annex_set(
+        0,
+        1,
+        AnnexEntry {
+            pe: 1,
+            func: FuncCode::Swap,
+        },
+    );
+    assert_eq!(m.ld8(0, m.va(1, 0x100)), 31);
 }
 
 #[test]

@@ -1,0 +1,159 @@
+//! The backing byte array of one node's local memory, shareable across
+//! threads.
+//!
+//! During a sharded (parallel) phase, each processing element's thread
+//! owns its node's caches, write buffer and DRAM timing state
+//! exclusively, but *remote reads must still observe other nodes' memory
+//! bytes*. [`MemArena`] makes that possible without `unsafe`: the bytes
+//! live in `AtomicU8` cells accessed with `Relaxed` ordering, so a port
+//! can hand out `Arc` clones of its arena to every other shard.
+//!
+//! Relaxed per-byte atomics compile to plain loads and stores on every
+//! platform we care about; there is no synchronization cost on the hot
+//! path. Determinism is *not* provided by this type — it comes from the
+//! sharded phase contract (a location written by its owner during a
+//! phase must not be read remotely in the same phase), enforced by
+//! convention and checked by the determinism oracle tests.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// A fixed-size, zero-initialized byte array with interior mutability.
+#[derive(Debug)]
+pub struct MemArena {
+    bytes: Box<[AtomicU8]>,
+}
+
+impl MemArena {
+    /// Allocates `len` zeroed bytes.
+    pub fn new(len: usize) -> Self {
+        let mut v = Vec::with_capacity(len);
+        v.resize_with(len, || AtomicU8::new(0));
+        MemArena {
+            bytes: v.into_boxed_slice(),
+        }
+    }
+
+    /// Size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Copies `buf.len()` bytes starting at `offset` into `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span exceeds the arena.
+    pub fn read(&self, offset: u64, buf: &mut [u8]) {
+        let off = offset as usize;
+        let src = &self.bytes[off..off + buf.len()];
+        for (d, s) in buf.iter_mut().zip(src) {
+            *d = s.load(Ordering::Relaxed);
+        }
+    }
+
+    /// Reads one byte.
+    pub fn get(&self, offset: u64) -> u8 {
+        self.bytes[offset as usize].load(Ordering::Relaxed)
+    }
+
+    /// Writes `bytes` starting at `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span exceeds the arena.
+    pub fn write(&self, offset: u64, bytes: &[u8]) {
+        let off = offset as usize;
+        let dst = &self.bytes[off..off + bytes.len()];
+        for (d, s) in dst.iter().zip(bytes) {
+            d.store(*s, Ordering::Relaxed);
+        }
+    }
+
+    /// Writes one byte.
+    pub fn set(&self, offset: u64, byte: u8) {
+        self.bytes[offset as usize].store(byte, Ordering::Relaxed);
+    }
+
+    /// Writes the bytes of `bytes` selected by the low bits of `mask`
+    /// (bit `i` set → byte `i` written).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span exceeds the arena.
+    pub fn write_masked(&self, offset: u64, bytes: &[u8], mask: u64) {
+        let off = offset as usize;
+        for (i, b) in bytes.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                self.bytes[off + i].store(*b, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// A deep copy with the same contents (used by `MemPort::clone`).
+    pub fn deep_clone(&self) -> Self {
+        let mut v = Vec::with_capacity(self.bytes.len());
+        for b in self.bytes.iter() {
+            v.push(AtomicU8::new(b.load(Ordering::Relaxed)));
+        }
+        MemArena {
+            bytes: v.into_boxed_slice(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let a = MemArena::new(64);
+        a.write(8, &[1, 2, 3, 4]);
+        let mut buf = [0u8; 4];
+        a.read(8, &mut buf);
+        assert_eq!(buf, [1, 2, 3, 4]);
+        assert_eq!(a.get(9), 2);
+    }
+
+    #[test]
+    fn masked_write_touches_selected_bytes_only() {
+        let a = MemArena::new(16);
+        a.write(0, &[0xFF; 8]);
+        a.write_masked(0, &[0u8; 8], 0b0101_0101);
+        let mut buf = [0u8; 8];
+        a.read(0, &mut buf);
+        assert_eq!(buf, [0, 0xFF, 0, 0xFF, 0, 0xFF, 0, 0xFF]);
+    }
+
+    #[test]
+    fn deep_clone_is_independent() {
+        let a = MemArena::new(8);
+        a.set(0, 7);
+        let b = a.deep_clone();
+        a.set(0, 9);
+        assert_eq!(b.get(0), 7);
+        assert_eq!(a.get(0), 9);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let a = std::sync::Arc::new(MemArena::new(1024));
+        std::thread::scope(|s| {
+            for t in 0..4u8 {
+                let a = std::sync::Arc::clone(&a);
+                s.spawn(move || {
+                    // Disjoint spans per thread: the sharded-phase contract.
+                    a.write(t as u64 * 256, &[t + 1; 256]);
+                });
+            }
+        });
+        for t in 0..4u8 {
+            assert_eq!(a.get(t as u64 * 256 + 100), t + 1);
+        }
+    }
+}

@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod cache;
 pub mod config;
 pub mod dram;
@@ -46,6 +47,7 @@ pub mod port;
 pub mod tlb;
 pub mod wbuf;
 
+pub use arena::MemArena;
 pub use cache::L1Cache;
 pub use config::{DramConfig, L2Config, MemConfig, TlbConfig, WbufConfig, CYCLE_NS};
 pub use dram::Dram;

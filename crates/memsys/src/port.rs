@@ -15,8 +15,10 @@
 //! full address (synonym semantics); DRAM and the memory array key on the
 //! local offset only.
 
+use crate::arena::MemArena;
 use crate::cache::L1Cache;
 use crate::config::MemConfig;
+use std::sync::Arc;
 
 /// Counters of memory-system events (instrumentation for the gray-box
 /// analyses: hit ratios, merge rates, stall rates).
@@ -65,7 +67,7 @@ use crate::wbuf::{Retired, WriteBuffer, WriteTarget};
 /// let _ = port.read(c1, 0x2000, &mut buf);
 /// assert_eq!(u64::from_le_bytes(buf), 7, "store forwards to the load");
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct MemPort {
     cfg: MemConfig,
     tlb: Tlb,
@@ -73,7 +75,7 @@ pub struct MemPort {
     l2: Option<L2Cache>,
     wbuf: WriteBuffer,
     dram: Dram,
-    mem: Vec<u8>,
+    mem: Arc<MemArena>,
     offset_mask: u64,
     /// Remote writes that have retired from the write buffer and await
     /// delivery by the machine layer.
@@ -94,7 +96,7 @@ impl MemPort {
             l2: cfg.l2.map(L2Cache::new),
             wbuf: WriteBuffer::new(cfg.wbuf, cfg.l1.line),
             dram: Dram::new(cfg.dram),
-            mem: vec![0; cfg.mem_bytes],
+            mem: Arc::new(MemArena::new(cfg.mem_bytes)),
             outbox: Vec::new(),
             stats: PortStats::default(),
             offset_mask: if cfg.offset_bits >= 64 {
@@ -173,8 +175,7 @@ impl MemPort {
                     _ => self.dram.access(self.offset_of(line_pa)),
                 };
                 let mut line_buf = vec![0u8; line as usize];
-                let base = self.offset_of(line_pa) as usize;
-                line_buf.copy_from_slice(&self.mem[base..base + line as usize]);
+                self.mem.read(self.offset_of(line_pa), &mut line_buf);
                 // Same-PA pending stores forward into the fill.
                 self.wbuf.forward(line_pa, &mut line_buf);
                 self.l1.fill(line_pa, &line_buf);
@@ -252,12 +253,9 @@ impl MemPort {
         for r in retired {
             match r.target {
                 WriteTarget::Local => {
-                    let base = self.offset_of(r.line_pa) as usize;
-                    for i in 0..self.cfg.l1.line {
-                        if r.mask & (1 << i) != 0 {
-                            self.mem[base + i] = r.data[i];
-                        }
-                    }
+                    let base = self.offset_of(r.line_pa);
+                    self.mem
+                        .write_masked(base, &r.data[..self.cfg.l1.line], r.mask);
                 }
                 WriteTarget::Remote(_) => self.outbox.push(r),
             }
@@ -301,7 +299,7 @@ impl MemPort {
             "remote read beyond local memory"
         );
         let cost = self.dram.access(offset);
-        buf.copy_from_slice(&self.mem[offset as usize..offset as usize + buf.len()]);
+        self.mem.read(offset, buf);
         cost
     }
 
@@ -320,16 +318,8 @@ impl MemPort {
         );
         let cost = self.dram.access(offset);
         match mask {
-            None => {
-                self.mem[offset as usize..offset as usize + bytes.len()].copy_from_slice(bytes);
-            }
-            Some(m) => {
-                for (i, b) in bytes.iter().enumerate() {
-                    if m & (1 << i) != 0 {
-                        self.mem[offset as usize + i] = *b;
-                    }
-                }
-            }
+            None => self.mem.write(offset, bytes),
+            Some(m) => self.mem.write_masked(offset, bytes, m),
         }
         // Cache-invalidate mode: flush the line whether or not it is
         // cached (a "spurious" flush when it is not).
@@ -355,13 +345,20 @@ impl MemPort {
     /// Reads bytes functionally (no timing, no cache effects). Test and
     /// setup helper.
     pub fn peek_mem(&self, offset: u64, buf: &mut [u8]) {
-        buf.copy_from_slice(&self.mem[offset as usize..offset as usize + buf.len()]);
+        self.mem.read(offset, buf);
     }
 
     /// Writes bytes functionally (no timing, no cache effects), flushing
     /// any stale cached copy. Test and setup helper.
     pub fn poke_mem(&mut self, offset: u64, bytes: &[u8]) {
-        self.mem[offset as usize..offset as usize + bytes.len()].copy_from_slice(bytes);
+        self.mem.write(offset, bytes);
+    }
+
+    /// Shared handle to the raw memory bytes. The sharded phase engine
+    /// clones this `Arc` so remote reads can observe other nodes' memory
+    /// while each node's timing state stays thread-private.
+    pub fn mem_arena(&self) -> &Arc<MemArena> {
+        &self.mem
     }
 
     /// The L1 cache (for instrumentation and tests).
@@ -414,6 +411,26 @@ impl MemPort {
         let (_, retired) = self.wbuf.drain_all(u64::MAX / 2);
         self.apply_retired(retired);
         self.wbuf.reset();
+    }
+}
+
+impl Clone for MemPort {
+    /// Deep copy: the clone gets its **own** memory arena. Ports are
+    /// never implicitly aliased; explicit cross-thread sharing goes
+    /// through [`MemPort::mem_arena`].
+    fn clone(&self) -> Self {
+        MemPort {
+            cfg: self.cfg,
+            tlb: self.tlb.clone(),
+            l1: self.l1.clone(),
+            l2: self.l2.clone(),
+            wbuf: self.wbuf.clone(),
+            dram: self.dram.clone(),
+            mem: Arc::new(self.mem.deep_clone()),
+            offset_mask: self.offset_mask,
+            outbox: self.outbox.clone(),
+            stats: self.stats,
+        }
     }
 }
 

@@ -20,7 +20,7 @@
 //!   buffer then admits stale reads. It exists here to reproduce that
 //!   probe; do not use it for real programs.
 
-use t3d_machine::Machine;
+use t3d_machine::MachineOps;
 use t3d_shell::{AnnexEntry, FuncCode};
 
 /// How a node assigns annex registers to remote accesses.
@@ -77,7 +77,13 @@ impl AnnexState {
 
     /// Ensures some annex register names `(target_pe, func)` and returns
     /// its index, charging the policy's costs to node `pe` on `m`.
-    pub fn ensure(&mut self, m: &mut Machine, pe: usize, target_pe: u32, func: FuncCode) -> usize {
+    pub fn ensure(
+        &mut self,
+        m: &mut dyn MachineOps,
+        pe: usize,
+        target_pe: u32,
+        func: FuncCode,
+    ) -> usize {
         match self.policy {
             AnnexPolicy::SingleRegister => {
                 self.set(m, pe, 1, target_pe, func);
@@ -111,7 +117,14 @@ impl AnnexState {
         }
     }
 
-    fn set(&mut self, m: &mut Machine, pe: usize, idx: usize, target_pe: u32, func: FuncCode) {
+    fn set(
+        &mut self,
+        m: &mut dyn MachineOps,
+        pe: usize,
+        idx: usize,
+        target_pe: u32,
+        func: FuncCode,
+    ) {
         m.annex_set(
             pe,
             idx,
@@ -138,7 +151,7 @@ impl AnnexState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use t3d_machine::MachineConfig;
+    use t3d_machine::{Machine, MachineConfig};
 
     fn machine() -> Machine {
         Machine::new(MachineConfig::t3d(4))

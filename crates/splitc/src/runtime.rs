@@ -3,11 +3,13 @@
 
 use crate::annex::AnnexState;
 use crate::config::SplitcConfig;
-use t3d_machine::{Machine, MachineConfig};
+use t3d_machine::{Machine, MachineConfig, MachineOps, PhaseDriver};
 
 /// An Active-Message-equivalent handler: runs at the *receiving* node
-/// against the machine. Arguments are the four payload words.
-pub type AmHandler = fn(&mut Machine, usize, [u64; 4]);
+/// against its machine backend (the whole machine in direct mode, the
+/// node's own shard in a sharded phase). Arguments are the four payload
+/// words.
+pub type AmHandler = fn(&mut dyn MachineOps, usize, [u64; 4]);
 
 /// Reserved handler id: write one byte (`args = [offset, value, 0, 0]`).
 /// This is the paper's correct byte-write (Section 4.5 / 7.4).
@@ -200,6 +202,40 @@ impl SplitC {
         }
     }
 
+    /// Runs one SPMD phase through the sharded engine, with the driver
+    /// chosen by the `T3D_PAR` environment variable (see
+    /// [`PhaseDriver::from_env`]): nodes execute concurrently on a
+    /// thread pool, bit-identical to the sequential shard order.
+    ///
+    /// Unlike [`SplitC::run_phase`], the closure is `Fn + Sync` and may
+    /// not use [`ScCtx::machine`] — only the per-node Split-C
+    /// operations. See the `t3d_machine::phase` docs for the
+    /// bulk-synchronous contract phase bodies must follow.
+    pub fn par_phase(&mut self, f: impl Fn(&mut ScCtx) + Sync) {
+        self.par_phase_with(PhaseDriver::from_env(), f);
+    }
+
+    /// [`SplitC::par_phase`] with an explicit driver (e.g.
+    /// [`PhaseDriver::Seq`] as the determinism oracle).
+    pub fn par_phase_with(&mut self, driver: PhaseDriver, f: impl Fn(&mut ScCtx) + Sync) {
+        let mut rts = std::mem::take(&mut self.rts);
+        let cfg = &self.cfg;
+        let handlers = &self.handlers;
+        let am_region = self.am_region;
+        self.m.sharded_phase_zip(driver, &mut rts, |ops, pe, rt| {
+            let mut ctx = ScCtx {
+                m: ops,
+                rt,
+                cfg,
+                handlers,
+                am_region,
+                pe,
+            };
+            f(&mut ctx);
+        });
+        self.rts = rts;
+    }
+
     /// Runs a closure as node `pe` (single-node probes and setup).
     pub fn on<R>(&mut self, pe: usize, f: impl FnOnce(&mut ScCtx) -> R) -> R {
         let mut rt = std::mem::replace(
@@ -256,9 +292,8 @@ impl SplitC {
 
 /// The per-node Split-C execution context: what a compiled Split-C
 /// function body sees.
-#[derive(Debug)]
 pub struct ScCtx<'a> {
-    pub(crate) m: &'a mut Machine,
+    pub(crate) m: &'a mut dyn MachineOps,
     pub(crate) rt: &'a mut NodeRt,
     pub(crate) cfg: &'a SplitcConfig,
     pub(crate) handlers: &'a [Option<AmHandler>],
@@ -293,7 +328,20 @@ impl ScCtx<'_> {
     }
 
     /// The underlying machine (escape hatch for probes).
+    ///
+    /// # Panics
+    ///
+    /// Panics inside a sharded phase ([`SplitC::par_phase`]), where
+    /// whole-machine access would break shard isolation; use the per-op
+    /// methods instead.
     pub fn machine(&mut self) -> &mut Machine {
+        self.m
+            .as_machine()
+            .expect("whole-machine access is not available inside a sharded phase")
+    }
+
+    /// The operation backend this context is bound to.
+    pub fn ops(&mut self) -> &mut dyn MachineOps {
         self.m
     }
 
@@ -349,6 +397,43 @@ mod tests {
     fn reserved_handler_ids_rejected() {
         let mut s = sc();
         s.register_handler(0, |_, _, _| {});
+    }
+
+    #[test]
+    fn par_phase_matches_its_sequential_oracle() {
+        use crate::gptr::GlobalPtr;
+        let run = |driver: PhaseDriver| {
+            let mut s = sc();
+            let buf = s.alloc(64, 8);
+            let mut out = Vec::new();
+            s.par_phase_with(driver, |ctx| {
+                let right = ((ctx.pe() + 1) % ctx.nodes()) as u32;
+                ctx.put(GlobalPtr::new(right, buf), 500 + ctx.pe() as u64);
+                ctx.sync();
+            });
+            s.barrier();
+            s.run_phase(|ctx| {
+                let left = (ctx.pe() + ctx.nodes() - 1) % ctx.nodes();
+                let pe = ctx.pe();
+                assert_eq!(ctx.machine().peek8(pe, buf), 500 + left as u64);
+            });
+            for pe in 0..4 {
+                out.push(s.machine_ref().clock(pe));
+            }
+            out
+        };
+        assert_eq!(run(PhaseDriver::Seq), run(PhaseDriver::Par(4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not available inside a sharded phase")]
+    fn whole_machine_access_is_denied_in_a_sharded_phase() {
+        let mut s = sc();
+        s.par_phase_with(PhaseDriver::Seq, |ctx| {
+            if ctx.pe() == 0 {
+                let _ = ctx.machine();
+            }
+        });
     }
 
     #[test]

@@ -16,18 +16,17 @@
 //! cargo run --example histogram
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use splitc::runtime::AM_ADD_U64;
 use splitc::{GlobalPtr, SplitC, SplitcConfig, SpreadArray};
 use t3d_machine::MachineConfig;
+use t3d_prng::Rng;
 
 const NODES: u32 = 8;
 const BINS: u64 = 64;
 const SAMPLES_PER_PE: usize = 400;
 
 fn samples(pe: usize) -> Vec<u64> {
-    let mut rng = StdRng::seed_from_u64(42 + pe as u64);
+    let mut rng = Rng::seed_from_u64(42 + pe as u64);
     (0..SAMPLES_PER_PE)
         .map(|_| rng.gen_range(0..BINS))
         .collect()

@@ -50,13 +50,16 @@ fn main() {
     });
 
     // All nodes exchange a value around the ring with signaling stores.
+    // These phases run through the sharded parallel driver: every PE
+    // executes concurrently, bit-identical to the sequential order
+    // (set T3D_PAR=0 to check).
     let ring = sc.alloc(8, 8);
-    sc.run_phase(|ctx| {
+    sc.par_phase(|ctx| {
         let right = (ctx.pe() + 1) % ctx.nodes();
         ctx.store_u64(GlobalPtr::new(right as u32, ring), 100 + ctx.pe() as u64);
     });
     sc.all_store_sync();
-    sc.run_phase(|ctx| {
+    sc.par_phase(|ctx| {
         let left = (ctx.pe() + ctx.nodes() - 1) % ctx.nodes();
         let got = ctx.read_u64(GlobalPtr::new(ctx.pe() as u32, ring));
         assert_eq!(got, 100 + left as u64);

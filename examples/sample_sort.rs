@@ -13,10 +13,9 @@
 //! cargo run --release --example sample_sort
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use splitc::{GlobalPtr, SplitC};
 use t3d_machine::MachineConfig;
+use t3d_prng::Rng;
 
 const P: u32 = 8;
 const KEYS_PER_PE: u64 = 512;
@@ -47,7 +46,7 @@ fn main() {
 
     // Generate keys.
     for pe in 0..P as usize {
-        let mut rng = StdRng::seed_from_u64(99 + pe as u64);
+        let mut rng = Rng::seed_from_u64(99 + pe as u64);
         for i in 0..KEYS_PER_PE {
             sc.machine()
                 .poke8(pe, keys + i * 8, rng.gen_range(0..1_000_000));
@@ -190,7 +189,7 @@ fn main() {
     // Permutation check: the multiset of keys is preserved.
     let mut expected: Vec<u64> = (0..P as usize)
         .flat_map(|pe| {
-            let mut rng = StdRng::seed_from_u64(99 + pe as u64);
+            let mut rng = Rng::seed_from_u64(99 + pe as u64);
             (0..KEYS_PER_PE).map(move |_| rng.gen_range(0..1_000_000))
         })
         .collect();

@@ -9,6 +9,10 @@
 //! * signaling stores + `allStoreSync` (the paper's recommendation),
 //! * bulk transfer of the whole halo.
 //!
+//! Phases run through the sharded parallel driver (`SplitC::par_phase`);
+//! set `T3D_PAR=0` to force the sequential oracle — the output is
+//! bit-identical either way.
+//!
 //! ```sh
 //! cargo run --example stencil
 //! ```
@@ -43,7 +47,7 @@ fn run(comm: Comm) -> (f64, f64) {
     for _ in 0..STEPS {
         // Exchange: send my first/last interior cells to the
         // neighbours' ghost slots.
-        sc.run_phase(|ctx| {
+        sc.par_phase(|ctx| {
             let pe = ctx.pe();
             let left = (pe + NODES as usize - 1) % NODES as usize;
             let right = (pe + 1) % NODES as usize;
@@ -53,15 +57,15 @@ fn run(comm: Comm) -> (f64, f64) {
             let right_ghost_at_left = cells + (BLOCK + 1) * 8;
             match comm {
                 Comm::BlockingWrite => {
-                    let v = ctx.machine().ld8(pe, my_last);
+                    let v = ctx.ops().ld8(pe, my_last);
                     ctx.write_u64(GlobalPtr::new(right as u32, left_ghost_at_right), v);
-                    let v = ctx.machine().ld8(pe, my_first);
+                    let v = ctx.ops().ld8(pe, my_first);
                     ctx.write_u64(GlobalPtr::new(left as u32, right_ghost_at_left), v);
                 }
                 Comm::Store => {
-                    let v = ctx.machine().ld8(pe, my_last);
+                    let v = ctx.ops().ld8(pe, my_last);
                     ctx.store_u64(GlobalPtr::new(right as u32, left_ghost_at_right), v);
-                    let v = ctx.machine().ld8(pe, my_first);
+                    let v = ctx.ops().ld8(pe, my_first);
                     ctx.store_u64(GlobalPtr::new(left as u32, right_ghost_at_left), v);
                 }
                 Comm::Bulk => {
@@ -86,15 +90,15 @@ fn run(comm: Comm) -> (f64, f64) {
 
         // Relax: new[i] = (old[i-1] + old[i+1]) / 2, in place with a
         // rolling previous value.
-        sc.run_phase(|ctx| {
+        sc.par_phase(|ctx| {
             let pe = ctx.pe();
-            let mut prev = f64::from_bits(ctx.machine().ld8(pe, cells));
+            let mut prev = f64::from_bits(ctx.ops().ld8(pe, cells));
             for i in 1..=BLOCK {
-                let here = f64::from_bits(ctx.machine().ld8(pe, cells + i * 8));
-                let next = f64::from_bits(ctx.machine().ld8(pe, cells + (i + 1) * 8));
+                let here = f64::from_bits(ctx.ops().ld8(pe, cells + i * 8));
+                let next = f64::from_bits(ctx.ops().ld8(pe, cells + (i + 1) * 8));
                 let new = 0.5 * (prev + next);
                 prev = here;
-                ctx.machine().st8(pe, cells + i * 8, new.to_bits());
+                ctx.ops().st8(pe, cells + i * 8, new.to_bits());
                 ctx.advance(8); // FP add + multiply
             }
         });

@@ -1,125 +1,159 @@
 //! Property-based tests on the core data structures and on whole-machine
 //! functional correctness (random operation sequences checked against
 //! flat reference models).
+//!
+//! The cases are drawn from the in-repo deterministic PRNG rather than
+//! an external property-testing framework: each test runs a fixed
+//! number of seeded cases, so failures are reproducible by seed.
 
-use proptest::prelude::*;
 use splitc::{GlobalPtr, SpreadArray};
 use t3d_machine::{Machine, MachineConfig};
 use t3d_memsys::{MemConfig, MemPort};
+use t3d_prng::Rng;
 use t3d_shell::{AnnexEntry, FuncCode};
 use t3d_torus::{Torus, TorusConfig};
 
-proptest! {
-    /// Global pointers round-trip through their packed representation.
-    #[test]
-    fn gptr_pack_roundtrip(pe in 0u32..=u16::MAX as u32, addr in 0u64..(1 << 48)) {
+/// Global pointers round-trip through their packed representation.
+#[test]
+fn gptr_pack_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0x5001);
+    for _ in 0..512 {
+        let pe = rng.gen_range(0u32..u16::MAX as u32 + 1);
+        let addr = rng.gen_range(0u64..1 << 48);
         let p = GlobalPtr::new(pe, addr);
-        prop_assert_eq!(p.pe(), pe);
-        prop_assert_eq!(p.addr(), addr);
-        prop_assert_eq!(GlobalPtr::from_bits(p.bits()), p);
+        assert_eq!(p.pe(), pe);
+        assert_eq!(p.addr(), addr);
+        assert_eq!(GlobalPtr::from_bits(p.bits()), p);
     }
+}
 
-    /// Local arithmetic commutes with extraction.
-    #[test]
-    fn gptr_local_arithmetic(pe in 0u32..256, addr in 0u64..(1 << 40), d in 0u64..(1 << 20)) {
+/// Local arithmetic commutes with extraction.
+#[test]
+fn gptr_local_arithmetic() {
+    let mut rng = Rng::seed_from_u64(0x5002);
+    for _ in 0..512 {
+        let pe = rng.gen_range(0u32..256);
+        let addr = rng.gen_range(0u64..1 << 40);
+        let d = rng.gen_range(0u64..1 << 20);
         let p = GlobalPtr::new(pe, addr);
-        prop_assert_eq!(p.local_add(d).addr(), addr + d);
-        prop_assert_eq!(p.local_add(d).pe(), pe);
-        prop_assert_eq!(p.local_add(d).local_sub(d), p);
+        assert_eq!(p.local_add(d).addr(), addr + d);
+        assert_eq!(p.local_add(d).pe(), pe);
+        assert_eq!(p.local_add(d).local_sub(d), p);
     }
+}
 
-    /// Global arithmetic is associative in step counts and inverted by
-    /// global_index.
-    #[test]
-    fn gptr_global_arithmetic(
-        nprocs in 1u32..64,
-        a in 0u64..500,
-        b in 0u64..500,
-    ) {
+/// Global arithmetic is associative in step counts and inverted by
+/// global_index.
+#[test]
+fn gptr_global_arithmetic() {
+    let mut rng = Rng::seed_from_u64(0x5003);
+    for _ in 0..512 {
+        let nprocs = rng.gen_range(1u32..64);
+        let a = rng.gen_range(0u64..500);
+        let b = rng.gen_range(0u64..500);
         let base = GlobalPtr::new(0, 0x1000);
         let one = base.global_add(a + b, 8, nprocs);
         let two = base.global_add(a, 8, nprocs).global_add(b, 8, nprocs);
-        prop_assert_eq!(one, two, "global_add composes");
-        prop_assert_eq!(one.global_index(0x1000, 8, nprocs), a + b);
+        assert_eq!(one, two, "global_add composes");
+        assert_eq!(one.global_index(0x1000, 8, nprocs), a + b);
     }
+}
 
-    /// Torus hop counts form a metric: symmetric, zero iff equal, and
-    /// obeying the triangle inequality.
-    #[test]
-    fn torus_hops_is_a_metric(
-        dims in (1u32..6, 1u32..6, 1u32..6),
-        seed in any::<u64>(),
-    ) {
+/// Torus hop counts form a metric: symmetric, zero iff equal, and
+/// obeying the triangle inequality.
+#[test]
+fn torus_hops_is_a_metric() {
+    let mut rng = Rng::seed_from_u64(0x5004);
+    for _ in 0..256 {
+        let dims = (
+            rng.gen_range(1u32..6),
+            rng.gen_range(1u32..6),
+            rng.gen_range(1u32..6),
+        );
+        let seed = rng.next_u64();
         let t = Torus::new(TorusConfig { dims, hop_cy: 2.5 });
         let n = t.nodes();
         let a = (seed % n as u64) as u32;
         let b = ((seed >> 16) % n as u64) as u32;
         let c = ((seed >> 32) % n as u64) as u32;
-        prop_assert_eq!(t.hops(a, b), t.hops(b, a));
-        prop_assert_eq!(t.hops(a, a), 0);
+        assert_eq!(t.hops(a, b), t.hops(b, a));
+        assert_eq!(t.hops(a, a), 0);
         if a != b {
-            prop_assert!(t.hops(a, b) > 0);
+            assert!(t.hops(a, b) > 0);
         }
-        prop_assert!(t.hops(a, c) <= t.hops(a, b) + t.hops(b, c));
+        assert!(t.hops(a, c) <= t.hops(a, b) + t.hops(b, c));
     }
+}
 
-    /// Dimension-order routes have exactly `hops` links and stay in
-    /// bounds.
-    #[test]
-    fn torus_route_consistency(
-        dims in (1u32..5, 1u32..5, 1u32..5),
-        seed in any::<u64>(),
-    ) {
+/// Dimension-order routes have exactly `hops` links and stay in bounds.
+#[test]
+fn torus_route_consistency() {
+    let mut rng = Rng::seed_from_u64(0x5005);
+    for _ in 0..256 {
+        let dims = (
+            rng.gen_range(1u32..5),
+            rng.gen_range(1u32..5),
+            rng.gen_range(1u32..5),
+        );
+        let seed = rng.next_u64();
         let t = Torus::new(TorusConfig { dims, hop_cy: 2.5 });
         let n = t.nodes();
         let a = (seed % n as u64) as u32;
         let b = ((seed >> 20) % n as u64) as u32;
         let route = t.route(a, b);
-        prop_assert_eq!(route.len() as u32, t.hops(a, b) + 1);
+        assert_eq!(route.len() as u32, t.hops(a, b) + 1);
         for c in route {
-            prop_assert!(c.x < dims.0 && c.y < dims.1 && c.z < dims.2);
+            assert!(c.x < dims.0 && c.y < dims.1 && c.z < dims.2);
         }
     }
+}
 
-    /// Spread arrays partition ownership completely and disjointly.
-    #[test]
-    fn spread_partition(len in 1u64..2000, nprocs in 1u32..32) {
+/// Spread arrays partition ownership completely and disjointly.
+#[test]
+fn spread_partition() {
+    let mut rng = Rng::seed_from_u64(0x5006);
+    for _ in 0..64 {
+        let len = rng.gen_range(1u64..2000);
+        let nprocs = rng.gen_range(1u32..32);
         let a = SpreadArray::new(0x100, 8, len, nprocs);
         let mut owned = vec![0u32; len as usize];
         for pe in 0..nprocs {
             for i in a.owned_by(pe) {
                 owned[i as usize] += 1;
-                prop_assert_eq!(a.gptr(i).pe(), pe);
+                assert_eq!(a.gptr(i).pe(), pe);
             }
         }
-        prop_assert!(owned.iter().all(|&c| c == 1));
+        assert!(owned.iter().all(|&c| c == 1));
     }
+}
 
-    /// The memory port is functionally a flat byte array under any
-    /// sequence of local reads, writes and barriers — caches, the write
-    /// buffer and forwarding must never change values, only timing.
-    #[test]
-    fn memport_matches_flat_memory(ops in proptest::collection::vec(
-        (0u8..3, 0u64..2048u64, any::<u64>()), 1..200,
-    )) {
+/// The memory port is functionally a flat byte array under any sequence
+/// of local reads, writes and barriers — caches, the write buffer and
+/// forwarding must never change values, only timing.
+#[test]
+fn memport_matches_flat_memory() {
+    let mut rng = Rng::seed_from_u64(0x5007);
+    for _ in 0..48 {
+        let n_ops = rng.gen_range(1usize..200);
         let mut port = MemPort::new(MemConfig::t3d());
         let mut reference = vec![0u8; 2048 + 8];
         let mut now = 0u64;
-        for (op, addr, val) in ops {
-            let addr = addr & !7; // aligned words
+        for _ in 0..n_ops {
+            let op = rng.gen_range(0u8..3);
+            let addr = rng.gen_range(0u64..2048) & !7; // aligned words
+            let val = rng.next_u64();
             match op {
                 0 => {
                     now += port.write(now, addr, &val.to_le_bytes());
-                    reference[addr as usize..addr as usize + 8]
-                        .copy_from_slice(&val.to_le_bytes());
+                    reference[addr as usize..addr as usize + 8].copy_from_slice(&val.to_le_bytes());
                 }
                 1 => {
                     let mut buf = [0u8; 8];
                     now += port.read(now, addr, &mut buf);
-                    prop_assert_eq!(
+                    assert_eq!(
                         &buf,
                         &reference[addr as usize..addr as usize + 8],
-                        "read at {:#x} diverged", addr
+                        "read at {addr:#x} diverged"
                     );
                 }
                 _ => {
@@ -131,20 +165,32 @@ proptest! {
         port.memory_barrier(now);
         let mut buf = vec![0u8; 2048];
         port.peek_mem(0, &mut buf);
-        prop_assert_eq!(&buf[..], &reference[..2048]);
+        assert_eq!(&buf[..], &reference[..2048]);
     }
+}
 
-    /// Remote reads and writes between two nodes are functionally a pair
-    /// of flat arrays, provided each write is fenced+acknowledged before
-    /// a conflicting read — the discipline Split-C's blocking ops follow.
-    #[test]
-    fn machine_remote_ops_match_reference(ops in proptest::collection::vec(
-        (0u8..2, 0u64..512u64, any::<u64>()), 1..60,
-    )) {
+/// Remote reads and writes between two nodes are functionally a pair of
+/// flat arrays, provided each write is fenced+acknowledged before a
+/// conflicting read — the discipline Split-C's blocking ops follow.
+#[test]
+fn machine_remote_ops_match_reference() {
+    let mut rng = Rng::seed_from_u64(0x5008);
+    for _ in 0..24 {
+        let n_ops = rng.gen_range(1usize..60);
         let mut m = Machine::new(MachineConfig::t3d(2));
-        m.annex_set(0, 1, AnnexEntry { pe: 1, func: FuncCode::Uncached });
+        m.annex_set(
+            0,
+            1,
+            AnnexEntry {
+                pe: 1,
+                func: FuncCode::Uncached,
+            },
+        );
         let mut reference = vec![0u64; 512];
-        for (op, slot, val) in ops {
+        for _ in 0..n_ops {
+            let op = rng.gen_range(0u8..2);
+            let slot = rng.gen_range(0u64..512);
+            let val = rng.next_u64();
             let va = m.va(1, slot * 8);
             match op {
                 0 => {
@@ -154,36 +200,52 @@ proptest! {
                     reference[slot as usize] = val;
                 }
                 _ => {
-                    prop_assert_eq!(m.ld8(0, va), reference[slot as usize]);
+                    assert_eq!(m.ld8(0, va), reference[slot as usize]);
                 }
             }
         }
         for (slot, val) in reference.iter().enumerate() {
-            prop_assert_eq!(m.peek8(1, slot as u64 * 8), *val);
+            assert_eq!(m.peek8(1, slot as u64 * 8), *val);
         }
     }
+}
 
-    /// Virtual time is monotone: no operation may move a node's clock
-    /// backwards.
-    #[test]
-    fn clocks_are_monotone(ops in proptest::collection::vec(
-        (0u8..6, 0u64..256u64, any::<u64>()), 1..80,
-    )) {
+/// Virtual time is monotone: no operation may move a node's clock
+/// backwards.
+#[test]
+fn clocks_are_monotone() {
+    let mut rng = Rng::seed_from_u64(0x5009);
+    for _ in 0..24 {
+        let n_ops = rng.gen_range(1usize..80);
         let mut m = Machine::new(MachineConfig::t3d(2));
-        m.annex_set(0, 1, AnnexEntry { pe: 1, func: FuncCode::Uncached });
+        m.annex_set(
+            0,
+            1,
+            AnnexEntry {
+                pe: 1,
+                func: FuncCode::Uncached,
+            },
+        );
         let mut last = m.clock(0);
-        for (op, slot, val) in ops {
+        for _ in 0..n_ops {
+            let op = rng.gen_range(0u8..6);
+            let slot = rng.gen_range(0u64..256);
+            let val = rng.next_u64();
             let off = slot * 8;
             match op {
                 0 => m.st8(0, off, val),
-                1 => { let _ = m.ld8(0, off); }
+                1 => {
+                    let _ = m.ld8(0, off);
+                }
                 2 => m.st8(0, m.va(1, off), val),
-                3 => { let _ = m.ld8(0, m.va(1, off)); }
+                3 => {
+                    let _ = m.ld8(0, m.va(1, off));
+                }
                 4 => m.memory_barrier(0),
                 _ => m.wait_write_acks(0),
             }
             let now = m.clock(0);
-            prop_assert!(now >= last, "clock went backwards: {last} -> {now}");
+            assert!(now >= last, "clock went backwards: {last} -> {now}");
             last = now;
         }
     }
