@@ -667,6 +667,17 @@ pub fn run_version_with(
         }
     }
 
+    // Negative sanitizer corpus: every EM3D version is properly
+    // synchronized, so a run with `T3D_SAN` set must report nothing.
+    if let Some(report) = sc.san_report() {
+        assert!(
+            report.is_empty(),
+            "{}: sanitizer flagged a correct program:\n{}",
+            version.label(),
+            report.render_table()
+        );
+    }
+
     let edges = params.edges_per_step_per_pe() * params.steps as u64;
     Em3dResult {
         us_per_edge: cycles as f64 * 6.666_666_666_666_667e-3 / edges as f64,

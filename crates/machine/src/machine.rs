@@ -172,8 +172,10 @@ impl Machine {
             "annex target PE {} does not exist",
             entry.pe
         );
+        let now = self.nodes[pe].clock;
         let cost = self.nodes[pe].annex.update(idx, entry);
         self.nodes[pe].clock += cost;
+        self.trace(pe, TraceKind::AnnexSet(entry.pe), idx as u64, now);
     }
 
     /// Reads an annex register (free: it is processor state).
@@ -235,6 +237,7 @@ impl Machine {
             let o = (va - line_pa) as usize;
             buf.copy_from_slice(&line[o..o + buf.len()]);
             self.nodes[pe].clock = now + cost + self.cfg.mem.l1.hit_cy;
+            self.trace(pe, TraceKind::LoadRemote(entry.pe), va, now);
             return;
         }
         match entry.func {
@@ -371,6 +374,7 @@ impl Machine {
         let now = self.nodes[pe].clock;
         let (clear, cost) = self.nodes[pe].acks.poll(now);
         self.nodes[pe].clock = now + cost;
+        self.trace(pe, TraceKind::StatusPoll, 0, now);
         clear
     }
 
@@ -577,8 +581,10 @@ impl Machine {
 
     /// Blocks until a BLT transfer completes.
     pub fn blt_wait(&mut self, pe: usize, handle: BltHandle) {
+        let now = self.nodes[pe].clock;
         let n = &mut self.nodes[pe];
         n.clock = n.clock.max(handle.completion);
+        self.trace(pe, TraceKind::BltWait, 0, now);
     }
 
     fn poke_and_invalidate(&mut self, pe: usize, off: u64, data: &[u8]) {
@@ -641,7 +647,9 @@ impl Machine {
 
     /// Loads this node's swap operand register.
     pub fn swap_load(&mut self, pe: usize, value: u64) {
+        let now = self.nodes[pe].clock;
         self.nodes[pe].swap.load(value);
+        self.trace(pe, TraceKind::SwapLoad, 0, now);
     }
 
     /// Atomically exchanges the swap register with the word at `va`
@@ -725,9 +733,11 @@ impl Machine {
     ///
     /// Panics if this node already started the current episode.
     pub fn fuzzy_barrier_start(&mut self, pe: usize) {
+        let now = self.nodes[pe].clock;
         self.nodes[pe].clock += self.cfg.shell.barrier_start_cy;
         let t = self.nodes[pe].clock;
         self.barrier.start(pe, t);
+        self.trace(pe, TraceKind::FuzzyBarrierStart, 0, now);
     }
 
     /// Completes the fuzzy barrier for *all* nodes (driver-level: every
@@ -744,8 +754,10 @@ impl Machine {
             .completion_time()
             .expect("every node must start-barrier before end-barrier");
         self.barrier.reset();
-        for node in &mut self.nodes {
-            node.clock = node.clock.max(done) + self.cfg.shell.barrier_end_cy;
+        for pe in 0..self.nodes.len() {
+            let start = self.nodes[pe].clock;
+            self.nodes[pe].clock = start.max(done) + self.cfg.shell.barrier_end_cy;
+            self.trace(pe, TraceKind::FuzzyBarrierEnd, 0, start);
         }
     }
 
@@ -1177,6 +1189,7 @@ mod tests {
         assert_eq!(
             kinds,
             vec![
+                TraceKind::AnnexSet(1),
                 TraceKind::StoreRemote(1),
                 TraceKind::MemoryBarrier,
                 TraceKind::AckWait,

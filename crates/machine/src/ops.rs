@@ -3,7 +3,7 @@
 //!
 //! Two backends implement [`MachineOps`]:
 //!
-//! * [`Machine`](crate::Machine) — the direct engine: every operation
+//! * [`Machine`] — the direct engine: every operation
 //!   acts on the whole machine immediately (remote stores charge the
 //!   target's DRAM inline, and so on). Node closures run strictly
 //!   sequentially.

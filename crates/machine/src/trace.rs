@@ -37,8 +37,20 @@ pub enum TraceKind {
     FetchInc(u32),
     /// Atomic swap.
     Swap(u32),
+    /// Swap-buffer readback after an atomic swap.
+    SwapLoad,
     /// Global barrier episode.
     Barrier,
+    /// Write-ack status-bit poll (non-blocking).
+    StatusPoll,
+    /// BLT completion wait.
+    BltWait,
+    /// DTB annex register write (target PE attached).
+    AnnexSet(u32),
+    /// Fuzzy barrier arrival (work may continue until the wait).
+    FuzzyBarrierStart,
+    /// Fuzzy barrier completion wait.
+    FuzzyBarrierEnd,
 }
 
 impl TraceKind {
@@ -57,7 +69,13 @@ impl TraceKind {
             TraceKind::MsgRecv => "msg.recv".into(),
             TraceKind::FetchInc(t) => format!("f&i->{t}"),
             TraceKind::Swap(t) => format!("swap->{t}"),
+            TraceKind::SwapLoad => "swap.load".into(),
             TraceKind::Barrier => "barrier".into(),
+            TraceKind::StatusPoll => "status.poll".into(),
+            TraceKind::BltWait => "blt.wait".into(),
+            TraceKind::AnnexSet(t) => format!("annex.set->{t}"),
+            TraceKind::FuzzyBarrierStart => "fbar.start".into(),
+            TraceKind::FuzzyBarrierEnd => "fbar.end".into(),
         }
     }
 }

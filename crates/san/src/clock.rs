@@ -1,0 +1,51 @@
+//! Vector clocks: the partial order the analyzer reasons in.
+
+/// A per-PE vector clock. Component `i` counts events PE `i` has
+/// performed that the clock's owner has (transitively) synchronized
+/// with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorClock(Vec<u64>);
+
+impl VectorClock {
+    /// The zero clock over `n` PEs.
+    pub fn new(n: usize) -> Self {
+        VectorClock(vec![0; n])
+    }
+
+    /// Component `pe`.
+    pub fn get(&self, pe: usize) -> u64 {
+        self.0[pe]
+    }
+
+    /// Advances the owner's own component.
+    pub fn tick(&mut self, pe: usize) {
+        self.0[pe] += 1;
+    }
+
+    /// Elementwise maximum with `other` (a sync edge into the owner).
+    pub fn join(&mut self, other: &VectorClock) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(*b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_and_join_order_events() {
+        let mut a = VectorClock::new(3);
+        let mut b = VectorClock::new(3);
+        a.tick(0);
+        a.tick(0);
+        // b has not synchronized with a: a's epoch is invisible.
+        assert!(b.get(0) < a.get(0));
+        b.join(&a);
+        assert_eq!(b.get(0), 2, "join sees a's history");
+        b.tick(1);
+        assert_eq!(b.get(1), 1);
+        assert_eq!(a.get(1), 0, "joins are one-directional");
+    }
+}

@@ -1,0 +1,223 @@
+//! The event vocabulary the instrumented runtime emits.
+//!
+//! Each `splitc` communication primitive appends one [`SanEvent`] to its
+//! node's [`SanLog`] (no machine interaction — instrumentation never
+//! perturbs virtual time). Logs are drained into the analyzer at phase
+//! boundaries and merged by `(time, pe, seq)`, the same total order the
+//! sharded phase engine imposes on its effect log.
+
+/// Annex register index meaning "not tracked for this operation"
+/// (bulk transfers resolve their registers inside the mechanism layer).
+pub const NO_REG: u32 = u32::MAX;
+
+/// What flavour of remote write an event describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteKind {
+    /// Blocking write (`write_u64`, `bulk_write`): fenced and
+    /// acknowledged before the call returns — synced at birth.
+    Blocking,
+    /// Split-phase put: un-synced until the writer's `sync()`.
+    Put,
+    /// Signaling store: un-synced until the *target* counts it with
+    /// `store_sync` (or everyone does with `all_store_sync`).
+    Store,
+}
+
+/// One instrumented operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SanOp {
+    /// Uncached (or local) data read of `[addr, addr+len)` on `target`.
+    Read {
+        /// PE whose memory is read.
+        target: u32,
+        /// Start offset in the target's memory.
+        addr: u64,
+        /// Bytes read.
+        len: u64,
+        /// Annex register used ([`NO_REG`] when untracked/local).
+        reg: u32,
+    },
+    /// Cached remote read: fills (or hits) a line in the reader's L1.
+    CachedRead {
+        /// PE whose memory is read.
+        target: u32,
+        /// Start offset in the target's memory.
+        addr: u64,
+        /// Bytes read.
+        len: u64,
+        /// Annex register used.
+        reg: u32,
+    },
+    /// Explicit flush of the reader's cached copy of `target`'s line.
+    CacheFlush {
+        /// PE whose line is flushed from the reader's cache.
+        target: u32,
+        /// Any offset within the flushed line.
+        addr: u64,
+    },
+    /// Data write of `[addr, addr+len)` on `target`.
+    Write {
+        /// PE whose memory is written.
+        target: u32,
+        /// Start offset in the target's memory.
+        addr: u64,
+        /// Bytes written.
+        len: u64,
+        /// Completion discipline of the write.
+        kind: WriteKind,
+        /// Annex register used ([`NO_REG`] when untracked/local).
+        reg: u32,
+    },
+    /// Split-phase get issue: binds `[addr, addr+len)` on `target` now,
+    /// lands at local offset `local_off` by `sync()`.
+    GetIssue {
+        /// PE whose memory is read.
+        target: u32,
+        /// Source offset in the target's memory.
+        addr: u64,
+        /// Bytes bound.
+        len: u64,
+        /// Local landing offset.
+        local_off: u64,
+        /// Annex register used.
+        reg: u32,
+    },
+    /// `sync()`: completes the issuer's outstanding gets, puts and
+    /// bulk transfers (fence + ack wait).
+    GetSync,
+    /// Internal prefetch-queue drain at capacity (fence, no ack wait):
+    /// outstanding gets land, but puts/stores stay un-synced.
+    GetDrain,
+    /// `store_sync`: the *target* has counted the signaling bytes
+    /// aimed at it.
+    StoreSyncWait,
+    /// Atomic-message deposit into `target`'s queue (internally fenced
+    /// and acknowledged).
+    AmDeposit {
+        /// PE whose message queue receives the deposit.
+        target: u32,
+    },
+    /// `count` queued messages dispatched to handlers on this PE.
+    AmDispatch {
+        /// Messages handled by this poll.
+        count: u64,
+    },
+    /// Successful lock acquisition (joins the releaser's history).
+    LockAcquire {
+        /// PE holding the lock word.
+        target: u32,
+        /// Lock word offset.
+        addr: u64,
+    },
+    /// Lock release (publishes the holder's history).
+    LockRelease {
+        /// PE holding the lock word.
+        target: u32,
+        /// Lock word offset.
+        addr: u64,
+    },
+}
+
+/// One source-tagged, time-stamped event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SanEvent {
+    /// Issuing PE.
+    pub pe: u32,
+    /// Issuer's virtual clock when the operation completed.
+    pub time: u64,
+    /// Per-PE sequence number (ties within one virtual time).
+    pub seq: u64,
+    /// The operation.
+    pub op: SanOp,
+    /// The runtime entry point that emitted it (e.g. `"read_u64"`).
+    pub source: &'static str,
+}
+
+/// A per-node event log (lives in the runtime's per-PE state so
+/// sharded phases can record without cross-PE contention).
+#[derive(Debug, Clone, Default)]
+pub struct SanLog {
+    enabled: bool,
+    seq: u64,
+    events: Vec<SanEvent>,
+}
+
+impl SanLog {
+    /// A log that records (pass `false` for a disabled, zero-cost one).
+    pub fn new(enabled: bool) -> Self {
+        SanLog {
+            enabled,
+            seq: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether push actually records.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one event (no-op when disabled).
+    pub fn push(&mut self, pe: u32, time: u64, op: SanOp, source: &'static str) {
+        if !self.enabled {
+            return;
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(SanEvent {
+            pe,
+            time,
+            seq,
+            op,
+            source,
+        });
+    }
+
+    /// Takes the recorded events, leaving the log empty (the sequence
+    /// counter keeps running so later events still order after).
+    pub fn drain(&mut self) -> Vec<SanEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Merges per-PE logs into the global analysis order `(time, pe, seq)`
+/// — deterministic regardless of which phase driver produced them.
+pub fn merge_logs(mut logs: Vec<Vec<SanEvent>>) -> Vec<SanEvent> {
+    let mut all: Vec<SanEvent> = logs.drain(..).flatten().collect();
+    all.sort_unstable_by_key(|e| (e.time, e.pe, e.seq));
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = SanLog::new(false);
+        log.push(0, 10, SanOp::GetSync, "sync");
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn merge_orders_by_time_then_pe_then_seq() {
+        let mut a = SanLog::new(true);
+        let mut b = SanLog::new(true);
+        a.push(0, 20, SanOp::GetSync, "sync");
+        a.push(0, 20, SanOp::GetSync, "sync");
+        b.push(1, 10, SanOp::GetSync, "sync");
+        let merged = merge_logs(vec![a.drain(), b.drain()]);
+        let key: Vec<(u64, u32, u64)> = merged.iter().map(|e| (e.time, e.pe, e.seq)).collect();
+        assert_eq!(key, vec![(10, 1, 0), (20, 0, 0), (20, 0, 1)]);
+    }
+}

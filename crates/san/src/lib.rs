@@ -1,0 +1,91 @@
+//! t3dsan — a happens-before hazard analyzer for the simulated T3D.
+//!
+//! The paper's central correctness lesson (§3.4, §4) is that the T3D
+//! shell shifts synchronization onto the *compiler*: a get whose
+//! `sync()` never ran, a signaling store read before `storeSync`, or
+//! two annex registers naming the same PE all silently return stale
+//! data. The machine reproduces those hazards; this crate *detects*
+//! them.
+//!
+//! Two front ends feed one diagnostic vocabulary ([`DiagKind`]):
+//!
+//! * The **split-phase analyzer** ([`Sanitizer`]) consumes source-tagged
+//!   events ([`SanEvent`]) emitted by the instrumented `splitc` runtime.
+//!   It maintains one vector clock per PE, advanced on every operation
+//!   and joined across the sync edges the paper names — get `sync()`,
+//!   `storeSync`/`allStoreSync`, barriers, AM deposit→dispatch pairs and
+//!   lock transfer — plus shadow write records per address range. Reads
+//!   are checked against un-synced or vector-clock-concurrent writes.
+//! * The **trace scanner** ([`trace_scan::scan_trace`]) runs the same
+//!   checks, more coarsely, straight over the machine's architectural
+//!   trace (`t3d_machine::TraceEvent`) — useful for raw shell programs
+//!   that never go through the runtime.
+//!
+//! Enable it through `SplitcConfig::sanitize` or the `T3D_SAN`
+//! environment variable (`1`/`collect` to collect, `panic` to abort on
+//! the first finding). Per-PE event logs are merged by
+//! `(time, pe, seq)` — the same discipline the sharded phase engine
+//! uses for its effect log — so sequential and parallel phase drivers
+//! produce bit-identical reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analyzer;
+mod clock;
+mod event;
+mod report;
+pub mod trace_scan;
+
+pub use analyzer::Sanitizer;
+pub use clock::VectorClock;
+pub use event::{SanEvent, SanLog, SanOp, WriteKind, NO_REG};
+pub use report::{DiagKind, Diagnostic, Report};
+
+/// How the sanitizer behaves when wired into a runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SanitizeMode {
+    /// No instrumentation, no analysis (zero overhead).
+    #[default]
+    Off,
+    /// Analyze and collect diagnostics; never interrupt the program.
+    Collect,
+    /// Analyze and panic on the first diagnostic (after the machine has
+    /// been left in a defined state).
+    Panic,
+}
+
+impl SanitizeMode {
+    /// Parses the `T3D_SAN` environment variable: `0`/`off` → [`Off`],
+    /// `1`/`collect` → [`Collect`], `2`/`panic` → [`Panic`]. Returns
+    /// `None` when unset or unrecognized.
+    ///
+    /// [`Off`]: SanitizeMode::Off
+    /// [`Collect`]: SanitizeMode::Collect
+    /// [`Panic`]: SanitizeMode::Panic
+    pub fn from_env() -> Option<SanitizeMode> {
+        match std::env::var("T3D_SAN").ok()?.to_ascii_lowercase().as_str() {
+            "0" | "off" => Some(SanitizeMode::Off),
+            "1" | "collect" => Some(SanitizeMode::Collect),
+            "2" | "panic" => Some(SanitizeMode::Panic),
+            _ => None,
+        }
+    }
+
+    /// The mode in force. A program that picked a mode explicitly keeps
+    /// it; the `T3D_SAN` environment variable fills in the default
+    /// ([`SanitizeMode::Off`]), so an env knob can switch on the
+    /// sanitizer suite-wide without silently demoting a deliberate
+    /// `Panic` (or promoting a hazard-replay `Collect`) configuration.
+    pub fn effective(configured: SanitizeMode) -> SanitizeMode {
+        match configured {
+            SanitizeMode::Off => SanitizeMode::from_env().unwrap_or(SanitizeMode::Off),
+            explicit => explicit,
+        }
+    }
+
+    /// Whether events should be recorded at all.
+    pub fn is_on(self) -> bool {
+        self != SanitizeMode::Off
+    }
+}

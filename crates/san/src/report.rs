@@ -1,0 +1,176 @@
+//! Typed diagnostics and the rendered report.
+
+use std::fmt;
+
+/// The hazard classes the analyzer reports (each maps to a trap the
+/// paper documents).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DiagKind {
+    /// A get's local landing word was read before the issuer's
+    /// `sync()` completed the get.
+    ReadBeforeGetSync,
+    /// A read observed an address with un-synced writes pending (a
+    /// split-phase put before the writer's `sync()`, a signaling store
+    /// before the target's `store_sync`, a buffered local write, or a
+    /// stale cached line).
+    StaleStoreRead,
+    /// One PE was accessed through two different annex registers while
+    /// writes were still buffered — the `UnsafeMulti` synonym trap
+    /// (paper §3.4).
+    AnnexSynonymHazard,
+    /// Two PEs wrote overlapping bytes with no happens-before edge
+    /// between them: the final value depends on arrival order.
+    ConflictingPuts,
+    /// A binding-prefetch (get) value was completed after an
+    /// intervening store to its source: the popped value predates the
+    /// store.
+    PrefetchOrderMisuse,
+}
+
+impl DiagKind {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DiagKind::ReadBeforeGetSync => "ReadBeforeGetSync",
+            DiagKind::StaleStoreRead => "StaleStoreRead",
+            DiagKind::AnnexSynonymHazard => "AnnexSynonymHazard",
+            DiagKind::ConflictingPuts => "ConflictingPuts",
+            DiagKind::PrefetchOrderMisuse => "PrefetchOrderMisuse",
+        }
+    }
+}
+
+impl fmt::Display for DiagKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One reported hazard (duplicates at the same site fold into `count`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Hazard class.
+    pub kind: DiagKind,
+    /// PE that performed the tripping operation.
+    pub pe: u32,
+    /// PE whose memory is involved.
+    pub target: u32,
+    /// Offset in the target's memory.
+    pub addr: u64,
+    /// Virtual time of the tripping operation.
+    pub time: u64,
+    /// Runtime entry point that tripped it.
+    pub source: &'static str,
+    /// Occurrences folded into this row.
+    pub count: u64,
+    /// Human-oriented explanation.
+    pub detail: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: PE{} -> PE{} addr {:#x} in {} at t={} ({})",
+            self.kind, self.pe, self.target, self.addr, self.source, self.time, self.detail
+        )
+    }
+}
+
+/// The analyzer's findings.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Report {
+    /// All diagnostics, in detection order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Events the analyzer processed.
+    pub events_processed: u64,
+}
+
+impl Report {
+    /// Whether the run is clean.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Number of distinct diagnostic sites.
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    /// The kinds present, in detection order (deduplicated).
+    pub fn kinds(&self) -> Vec<DiagKind> {
+        let mut out = Vec::new();
+        for d in &self.diagnostics {
+            if !out.contains(&d.kind) {
+                out.push(d.kind);
+            }
+        }
+        out
+    }
+
+    /// Renders the findings as an aligned text table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "t3dsan: {} diagnostic site(s), {} event(s) analyzed\n",
+            self.diagnostics.len(),
+            self.events_processed
+        ));
+        if self.diagnostics.is_empty() {
+            out.push_str("no hazards detected\n");
+            return out;
+        }
+        out.push_str(&format!(
+            "{:<20} {:>3} {:>6} {:>12} {:<16} {:>5}  {}\n",
+            "KIND", "PE", "TARGET", "ADDR", "SOURCE", "N", "DETAIL"
+        ));
+        for d in &self.diagnostics {
+            out.push_str(&format!(
+                "{:<20} {:>3} {:>6} {:>#12x} {:<16} {:>5}  {}\n",
+                d.kind.name(),
+                d.pe,
+                d.target,
+                d.addr,
+                d.source,
+                d.count,
+                d.detail
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_all_columns() {
+        let r = Report {
+            diagnostics: vec![Diagnostic {
+                kind: DiagKind::StaleStoreRead,
+                pe: 2,
+                target: 0,
+                addr: 0x1000,
+                time: 42,
+                source: "read_u64",
+                count: 3,
+                detail: "un-synced put by PE 1".into(),
+            }],
+            events_processed: 9,
+        };
+        let t = r.render_table();
+        assert!(t.contains("StaleStoreRead"));
+        assert!(t.contains("read_u64"));
+        assert!(t.contains("0x1000"));
+        assert!(t.contains("un-synced put by PE 1"));
+        assert!(r.kinds() == vec![DiagKind::StaleStoreRead]);
+    }
+
+    #[test]
+    fn empty_report_says_so() {
+        let r = Report::default();
+        assert!(r.is_empty());
+        assert!(r.render_table().contains("no hazards detected"));
+    }
+}

@@ -17,6 +17,7 @@
 
 use crate::runtime::{ScCtx, AM_SLOT_BYTES};
 use t3d_shell::FuncCode;
+use t3dsan::SanOp;
 
 impl ScCtx<'_> {
     /// Deposits an AM-equivalent message for `target_pe`: handler `id`
@@ -60,6 +61,12 @@ impl ScCtx<'_> {
             self.m.wait_write_acks(self.pe);
         }
         self.m.advance(self.pe, self.cfg.am_deposit_overhead_cy);
+        self.san_emit(
+            SanOp::AmDeposit {
+                target: target_pe as u32,
+            },
+            "am_deposit",
+        );
     }
 
     /// Polls this node's queue, dispatching every message present.
@@ -105,6 +112,14 @@ impl ScCtx<'_> {
                 .unwrap_or_else(|| panic!("AM handler {id} not registered"));
             handler(self.m, self.pe, args);
             dispatched += 1;
+        }
+        if dispatched > 0 {
+            self.san_emit(
+                SanOp::AmDispatch {
+                    count: dispatched as u64,
+                },
+                "am_poll",
+            );
         }
         dispatched
     }

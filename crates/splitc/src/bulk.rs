@@ -19,6 +19,7 @@ use crate::gptr::GlobalPtr;
 use crate::runtime::ScCtx;
 use t3d_shell::blt::BltDirection;
 use t3d_shell::FuncCode;
+use t3dsan::{SanOp, WriteKind, NO_REG};
 
 /// Cost of flushing the entire cache in one batched operation, cheaper
 /// than per-line flushes beyond ~64 lines (the Figure 8 footnote's 8 KB
@@ -57,13 +58,24 @@ impl ScCtx<'_> {
         if src.pe() as usize == self.pe {
             self.local_copy(local_off, src.addr(), bytes);
         } else if bytes <= 8 {
+            // Delegates to read_u64, which emits its own event.
             let v = self.read_u64(src);
             self.m.st8(self.pe, local_off, v);
+            return;
         } else if bytes < self.cfg.bulk_blt_read_min {
             self.bulk_read_prefetch(local_off, src, bytes);
         } else {
             self.bulk_read_blt(local_off, src, bytes);
         }
+        self.san_emit(
+            SanOp::Read {
+                target: src.pe(),
+                addr: src.addr(),
+                len: bytes,
+                reg: NO_REG,
+            },
+            "bulk_read",
+        );
     }
 
     /// Blocking bulk write of `bytes` from local memory at `local_off`
@@ -80,11 +92,21 @@ impl ScCtx<'_> {
         self.rt.stats.bulk_ops += 1;
         if dst.pe() as usize == self.pe {
             self.local_copy(dst.addr(), local_off, bytes);
-            return;
+        } else {
+            self.bulk_write_stores(dst, local_off, bytes);
+            self.m.memory_barrier(self.pe);
+            self.m.wait_write_acks(self.pe);
         }
-        self.bulk_write_stores(dst, local_off, bytes);
-        self.m.memory_barrier(self.pe);
-        self.m.wait_write_acks(self.pe);
+        self.san_emit(
+            SanOp::Write {
+                target: dst.pe(),
+                addr: dst.addr(),
+                len: bytes,
+                kind: WriteKind::Blocking,
+                reg: NO_REG,
+            },
+            "bulk_write",
+        );
     }
 
     /// Non-blocking bulk get: initiates the transfer; completion at
@@ -116,6 +138,15 @@ impl ScCtx<'_> {
             );
             self.rt.pending_blts.push(h.completion);
         }
+        self.san_emit(
+            SanOp::Read {
+                target: src.pe(),
+                addr: src.addr(),
+                len: bytes,
+                reg: NO_REG,
+            },
+            "bulk_get",
+        );
     }
 
     /// Non-blocking bulk put: non-blocking stores; completion at
@@ -132,9 +163,19 @@ impl ScCtx<'_> {
         self.rt.stats.bulk_ops += 1;
         if dst.pe() as usize == self.pe {
             self.local_copy(dst.addr(), local_off, bytes);
-            return;
+        } else {
+            self.bulk_write_stores(dst, local_off, bytes);
         }
-        self.bulk_write_stores(dst, local_off, bytes);
+        self.san_emit(
+            SanOp::Write {
+                target: dst.pe(),
+                addr: dst.addr(),
+                len: bytes,
+                kind: WriteKind::Put,
+                reg: NO_REG,
+            },
+            "bulk_put",
+        );
     }
 
     /// Strided bulk read: gathers `count` elements of `elem_bytes`
@@ -189,6 +230,16 @@ impl ScCtx<'_> {
             );
             self.m.blt_wait(self.pe, h);
         }
+        // Conservative span: the whole strided extent at the source.
+        self.san_emit(
+            SanOp::Read {
+                target: src.pe(),
+                addr: src.addr(),
+                len: (count - 1) * stride_bytes + elem_bytes,
+                reg: NO_REG,
+            },
+            "bulk_read_strided",
+        );
         total
     }
 
@@ -221,19 +272,29 @@ impl ScCtx<'_> {
                     elem_bytes,
                 );
             }
-            return total;
+        } else {
+            // Stores win bulk writes at every size; strided stores simply
+            // forgo the line merging.
+            for i in 0..count {
+                self.bulk_write_stores(
+                    GlobalPtr::new(dst.pe(), dst.addr() + i * stride_bytes),
+                    local_off + i * elem_bytes,
+                    elem_bytes,
+                );
+            }
+            self.m.memory_barrier(self.pe);
+            self.m.wait_write_acks(self.pe);
         }
-        // Stores win bulk writes at every size; strided stores simply
-        // forgo the line merging.
-        for i in 0..count {
-            self.bulk_write_stores(
-                GlobalPtr::new(dst.pe(), dst.addr() + i * stride_bytes),
-                local_off + i * elem_bytes,
-                elem_bytes,
-            );
-        }
-        self.m.memory_barrier(self.pe);
-        self.m.wait_write_acks(self.pe);
+        self.san_emit(
+            SanOp::Write {
+                target: dst.pe(),
+                addr: dst.addr(),
+                len: (count - 1) * stride_bytes + elem_bytes,
+                kind: WriteKind::Blocking,
+                reg: NO_REG,
+            },
+            "bulk_write_strided",
+        );
         total
     }
 

@@ -9,6 +9,7 @@
 //! store of a completed get 3 cy.
 
 use crate::annex::AnnexPolicy;
+use t3dsan::SanitizeMode;
 
 /// Runtime configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +50,10 @@ pub struct SplitcConfig {
     pub am_dispatch_overhead_cy: u64,
     /// Number of slots in each node's AM-equivalent queue.
     pub am_slots: u64,
+    /// Hazard-sanitizer behaviour. Left at `Off`, the `T3D_SAN`
+    /// environment variable chooses the mode at runtime construction;
+    /// an explicit setting here always wins (see the `t3dsan` crate).
+    pub sanitize: SanitizeMode,
 }
 
 impl SplitcConfig {
@@ -69,6 +74,7 @@ impl SplitcConfig {
             am_deposit_overhead_cy: 120,
             am_dispatch_overhead_cy: 90,
             am_slots: 256,
+            sanitize: SanitizeMode::Off,
         }
     }
 }

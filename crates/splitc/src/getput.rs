@@ -16,6 +16,7 @@
 use crate::gptr::GlobalPtr;
 use crate::runtime::ScCtx;
 use t3d_shell::FuncCode;
+use t3dsan::{SanOp, WriteKind, NO_REG};
 
 impl ScCtx<'_> {
     /// Split-phase read: initiates a fetch of `*gp` into local offset
@@ -43,12 +44,24 @@ impl ScCtx<'_> {
             // Local get degenerates to a copy.
             let v = self.m.ld8(self.pe, gp.addr());
             self.m.st8(self.pe, local_off, v);
+            self.san_emit(
+                SanOp::Read {
+                    target: gp.pe(),
+                    addr: gp.addr(),
+                    len: 8,
+                    reg: NO_REG,
+                },
+                "get",
+            );
             return;
         }
         // The hardware queue holds 16; drain when full, as the runtime
         // described in Section 5.4 does.
         if self.rt.pending_gets.len() == self.m.node(self.pe).prefetch.depth() {
             self.drain_gets(true);
+            // The auto-drain fences and pops but does not ack-wait: gets
+            // complete, puts may still be in flight.
+            self.san_emit(SanOp::GetDrain, "get");
         }
         let idx = self
             .rt
@@ -59,6 +72,16 @@ impl ScCtx<'_> {
         debug_assert!(issued, "queue was drained above");
         self.m.advance(self.pe, self.cfg.get_table_cy);
         self.rt.pending_gets.push(local_off);
+        self.san_emit(
+            SanOp::GetIssue {
+                target: gp.pe(),
+                addr: gp.addr(),
+                len: 8,
+                local_off,
+                reg: idx as u32,
+            },
+            "get",
+        );
     }
 
     /// Split-phase write: initiates a non-blocking store of `value` to
@@ -85,6 +108,16 @@ impl ScCtx<'_> {
         if gp.pe() as usize == self.pe {
             self.m.st8(self.pe, gp.addr(), value);
             self.m.advance(self.pe, self.cfg.put_check_cy);
+            self.san_emit(
+                SanOp::Write {
+                    target: gp.pe(),
+                    addr: gp.addr(),
+                    len: 8,
+                    kind: WriteKind::Put,
+                    reg: NO_REG,
+                },
+                "put",
+            );
             return;
         }
         let idx = self
@@ -94,6 +127,16 @@ impl ScCtx<'_> {
         let va = self.m.va(idx, gp.addr());
         self.m.st8(self.pe, va, value);
         self.m.advance(self.pe, self.cfg.put_check_cy);
+        self.san_emit(
+            SanOp::Write {
+                target: gp.pe(),
+                addr: gp.addr(),
+                len: 8,
+                kind: WriteKind::Put,
+                reg: idx as u32,
+            },
+            "put",
+        );
     }
 
     /// Split-phase write of a double.
@@ -117,6 +160,7 @@ impl ScCtx<'_> {
                 self.m.advance(self.pe, completion - now);
             }
         }
+        self.san_emit(SanOp::GetSync, "sync");
     }
 
     /// Fences and drains the get table: pops each prefetch in order and

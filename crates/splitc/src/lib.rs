@@ -79,3 +79,5 @@ pub use runtime::{NodeRt, ScCtx, SplitC};
 pub use spread::SpreadArray;
 
 pub use t3d_machine as machine;
+
+pub use t3dsan::{DiagKind, Diagnostic, Report, SanitizeMode};

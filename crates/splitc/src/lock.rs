@@ -13,6 +13,7 @@
 use crate::gptr::GlobalPtr;
 use crate::runtime::ScCtx;
 use t3d_shell::FuncCode;
+use t3dsan::SanOp;
 
 /// A lock word in the global address space (0 = free, 1 = held).
 ///
@@ -62,7 +63,17 @@ impl ScCtx<'_> {
             self.m.va(idx, gp.addr())
         };
         self.m.swap_load(self.pe, 1);
-        self.m.atomic_swap(self.pe, va) == 0
+        let acquired = self.m.atomic_swap(self.pe, va) == 0;
+        if acquired {
+            self.san_emit(
+                SanOp::LockAcquire {
+                    target: gp.pe(),
+                    addr: gp.addr(),
+                },
+                "lock_try_acquire",
+            );
+        }
+        acquired
     }
 
     /// Releases `lock`.
@@ -85,6 +96,13 @@ impl ScCtx<'_> {
         self.m.swap_load(self.pe, 0);
         let old = self.m.atomic_swap(self.pe, va);
         assert_eq!(old, 1, "released a lock that was not held");
+        self.san_emit(
+            SanOp::LockRelease {
+                target: gp.pe(),
+                addr: gp.addr(),
+            },
+            "lock_release",
+        );
     }
 
     /// Whether `lock` is currently held (functional peek; no timing).

@@ -1,9 +1,12 @@
 //! The Split-C runtime proper: per-node state, the SPMD driver, the
 //! symmetric heap and the global barrier.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
 use crate::annex::AnnexState;
 use crate::config::SplitcConfig;
 use t3d_machine::{Machine, MachineConfig, MachineOps, PhaseDriver};
+use t3dsan::{Report, SanEvent, SanLog, SanOp, SanitizeMode, Sanitizer};
 
 /// An Active-Message-equivalent handler: runs at the *receiving* node
 /// against its machine backend (the whole machine in direct mode, the
@@ -42,6 +45,8 @@ pub struct NodeRt {
     pub am_consumed: u64,
     /// Operation counters (instrumentation).
     pub stats: RtStats,
+    /// Sanitizer event log (empty and free when the sanitizer is off).
+    pub(crate) san: SanLog,
 }
 
 /// Operation counters for one node.
@@ -72,6 +77,7 @@ impl NodeRt {
             pending_blts: Vec::new(),
             am_consumed: 0,
             stats: RtStats::default(),
+            san: SanLog::new(cfg.sanitize.is_on()),
         }
     }
 }
@@ -86,6 +92,7 @@ pub struct SplitC {
     handlers: Vec<Option<AmHandler>>,
     alloc_next: u64,
     am_region: u64,
+    san: Option<Sanitizer>,
 }
 
 impl SplitC {
@@ -95,8 +102,12 @@ impl SplitC {
         Self::with_config(mcfg, SplitcConfig::t3d())
     }
 
-    /// Builds a runtime with an explicit Split-C configuration.
+    /// Builds a runtime with an explicit Split-C configuration. The
+    /// `T3D_SAN` environment variable overrides `cfg.sanitize`
+    /// (`1`/`collect`, `2`/`panic`, `0`/`off`).
     pub fn with_config(mcfg: MachineConfig, cfg: SplitcConfig) -> Self {
+        let mut cfg = cfg;
+        cfg.sanitize = SanitizeMode::effective(cfg.sanitize);
         let m = Machine::new(mcfg);
         let n = m.nodes();
         let annex_regs = mcfg.shell.annex_entries;
@@ -114,6 +125,10 @@ impl SplitC {
         handlers[AM_WRITE_U32 as usize] = Some(|m, pe, args| {
             m.poke_mem(pe, args[0], &(args[1] as u32).to_le_bytes());
         });
+        let san = cfg
+            .sanitize
+            .is_on()
+            .then(|| Sanitizer::with_line_bytes(n, cfg.sanitize, mcfg.mem.l1.line as u64));
         SplitC {
             rts: (0..n).map(|_| NodeRt::new(&cfg, annex_regs)).collect(),
             handlers,
@@ -121,6 +136,7 @@ impl SplitC {
             am_region,
             cfg,
             m,
+            san,
         }
     }
 
@@ -217,42 +233,70 @@ impl SplitC {
 
     /// [`SplitC::par_phase`] with an explicit driver (e.g.
     /// [`PhaseDriver::Seq`] as the determinism oracle).
+    /// Panics from phase bodies (and the sanitizer's panic mode)
+    /// propagate only after the per-node runtime state is restored: the
+    /// runtime stays in a defined state, usable for further phases.
     pub fn par_phase_with(&mut self, driver: PhaseDriver, f: impl Fn(&mut ScCtx) + Sync) {
         let mut rts = std::mem::take(&mut self.rts);
-        let cfg = &self.cfg;
-        let handlers = &self.handlers;
-        let am_region = self.am_region;
-        self.m.sharded_phase_zip(driver, &mut rts, |ops, pe, rt| {
-            let mut ctx = ScCtx {
-                m: ops,
-                rt,
-                cfg,
-                handlers,
-                am_region,
-                pe,
-            };
-            f(&mut ctx);
-        });
+        let result = {
+            let cfg = &self.cfg;
+            let handlers = &self.handlers;
+            let am_region = self.am_region;
+            let m = &mut self.m;
+            let rts = &mut rts;
+            catch_unwind(AssertUnwindSafe(move || {
+                m.sharded_phase_zip(driver, rts, |ops, pe, rt| {
+                    let mut ctx = ScCtx {
+                        m: ops,
+                        rt,
+                        cfg,
+                        handlers,
+                        am_region,
+                        pe,
+                    };
+                    f(&mut ctx);
+                });
+            }))
+        };
         self.rts = rts;
+        self.drain_san_logs();
+        match result {
+            Ok(()) => self.san_check(),
+            Err(p) => resume_unwind(p),
+        }
     }
 
     /// Runs a closure as node `pe` (single-node probes and setup).
+    ///
+    /// Panics from the closure (and the sanitizer's panic mode)
+    /// propagate only after the node's runtime state is restored — the
+    /// runtime stays usable, with every counter drained to where the
+    /// program actually got.
     pub fn on<R>(&mut self, pe: usize, f: impl FnOnce(&mut ScCtx) -> R) -> R {
         let mut rt = std::mem::replace(
             &mut self.rts[pe],
             NodeRt::new(&self.cfg, self.m.config().shell.annex_entries),
         );
-        let mut ctx = ScCtx {
-            m: &mut self.m,
-            rt: &mut rt,
-            cfg: &self.cfg,
-            handlers: &self.handlers,
-            am_region: self.am_region,
-            pe,
+        let result = {
+            let mut ctx = ScCtx {
+                m: &mut self.m,
+                rt: &mut rt,
+                cfg: &self.cfg,
+                handlers: &self.handlers,
+                am_region: self.am_region,
+                pe,
+            };
+            catch_unwind(AssertUnwindSafe(move || f(&mut ctx)))
         };
-        let r = f(&mut ctx);
         self.rts[pe] = rt;
-        r
+        self.drain_san_logs();
+        match result {
+            Ok(r) => {
+                self.san_check();
+                r
+            }
+            Err(p) => resume_unwind(p),
+        }
     }
 
     /// Global barrier: drains every node's AM-equivalent queue (so
@@ -262,6 +306,10 @@ impl SplitC {
             self.on(pe, |ctx| ctx.am_poll());
         }
         self.m.barrier_all();
+        if let Some(san) = &mut self.san {
+            san.global_barrier();
+            san.check();
+        }
     }
 
     /// `all_store_sync`: returns when all stores issued before it have
@@ -274,6 +322,37 @@ impl SplitC {
             self.m.advance(pe, self.cfg.store_sync_check_cy);
         }
         self.barrier();
+    }
+
+    /// Drains every node's sanitizer event log into the analyzer,
+    /// merged by `(time, pe, seq)` — the same total order the sharded
+    /// phase engine imposes on its effect log, so sequential and
+    /// parallel drivers analyze an identical stream.
+    fn drain_san_logs(&mut self) {
+        if let Some(san) = &mut self.san {
+            let logs: Vec<Vec<SanEvent>> = self.rts.iter_mut().map(|rt| rt.san.drain()).collect();
+            san.ingest_logs(logs);
+        }
+    }
+
+    /// In panic mode, aborts on findings not yet reported (the runtime
+    /// is in a defined state by the time this runs).
+    fn san_check(&mut self) {
+        if let Some(san) = &mut self.san {
+            san.check();
+        }
+    }
+
+    /// The hazard analyzer's findings so far, or `None` when the
+    /// sanitizer is off. Call after draining phases (findings are
+    /// ingested at `on`/phase exits and barriers).
+    pub fn san_report(&self) -> Option<Report> {
+        self.san.as_ref().map(|s| s.report())
+    }
+
+    /// The analyzer itself (`None` when off).
+    pub fn sanitizer(&self) -> Option<&Sanitizer> {
+        self.san.as_ref()
     }
 
     /// A node's operation counters.
@@ -348,6 +427,15 @@ impl ScCtx<'_> {
     /// The runtime state of this node (instrumentation).
     pub fn rt(&self) -> &NodeRt {
         self.rt
+    }
+
+    /// Records one sanitizer event stamped with this node's clock
+    /// (free when the sanitizer is off; never touches the machine).
+    pub(crate) fn san_emit(&mut self, op: SanOp, source: &'static str) {
+        if self.rt.san.is_enabled() {
+            let t = self.m.clock(self.pe);
+            self.rt.san.push(self.pe as u32, t, op, source);
+        }
     }
 }
 

@@ -14,6 +14,7 @@
 use crate::gptr::GlobalPtr;
 use crate::runtime::ScCtx;
 use t3d_shell::FuncCode;
+use t3dsan::{SanOp, WriteKind, NO_REG};
 
 impl ScCtx<'_> {
     /// Blocking read of a 64-bit word through a global pointer.
@@ -21,7 +22,17 @@ impl ScCtx<'_> {
         self.rt.stats.reads += 1;
         if gp.pe() as usize == self.pe {
             // Local region of the global space: an ordinary load.
-            return self.m.ld8(self.pe, gp.addr());
+            let v = self.m.ld8(self.pe, gp.addr());
+            self.san_emit(
+                SanOp::Read {
+                    target: gp.pe(),
+                    addr: gp.addr(),
+                    len: 8,
+                    reg: NO_REG,
+                },
+                "read_u64",
+            );
+            return v;
         }
         let idx = self
             .rt
@@ -30,6 +41,15 @@ impl ScCtx<'_> {
         let va = self.m.va(idx, gp.addr());
         let v = self.m.ld8(self.pe, va);
         self.m.advance(self.pe, self.cfg.read_overhead_cy);
+        self.san_emit(
+            SanOp::Read {
+                target: gp.pe(),
+                addr: gp.addr(),
+                len: 8,
+                reg: idx as u32,
+            },
+            "read_u64",
+        );
         v
     }
 
@@ -46,7 +66,17 @@ impl ScCtx<'_> {
     pub fn read_u64_cached(&mut self, gp: GlobalPtr) -> u64 {
         self.rt.stats.reads += 1;
         if gp.pe() as usize == self.pe {
-            return self.m.ld8(self.pe, gp.addr());
+            let v = self.m.ld8(self.pe, gp.addr());
+            self.san_emit(
+                SanOp::Read {
+                    target: gp.pe(),
+                    addr: gp.addr(),
+                    len: 8,
+                    reg: NO_REG,
+                },
+                "read_u64_cached",
+            );
+            return v;
         }
         let idx = self
             .rt
@@ -55,6 +85,15 @@ impl ScCtx<'_> {
         let va = self.m.va(idx, gp.addr());
         let v = self.m.ld8(self.pe, va);
         self.m.advance(self.pe, self.cfg.read_overhead_cy);
+        self.san_emit(
+            SanOp::CachedRead {
+                target: gp.pe(),
+                addr: gp.addr(),
+                len: 8,
+                reg: idx as u32,
+            },
+            "read_u64_cached",
+        );
         v
     }
 
@@ -70,6 +109,13 @@ impl ScCtx<'_> {
         let va = self.m.va(idx, gp.addr());
         let cost = self.m.node_mut(self.pe).port.flush_line(va);
         self.m.advance(self.pe, cost);
+        self.san_emit(
+            SanOp::CacheFlush {
+                target: gp.pe(),
+                addr: gp.addr(),
+            },
+            "flush_remote_line",
+        );
     }
 
     /// Blocking write of a 64-bit word through a global pointer. Waits
@@ -81,6 +127,16 @@ impl ScCtx<'_> {
         if gp.pe() as usize == self.pe {
             self.m.st8(self.pe, gp.addr(), value);
             self.m.memory_barrier(self.pe);
+            self.san_emit(
+                SanOp::Write {
+                    target: gp.pe(),
+                    addr: gp.addr(),
+                    len: 8,
+                    kind: WriteKind::Blocking,
+                    reg: NO_REG,
+                },
+                "write_u64",
+            );
             return;
         }
         let idx = self
@@ -94,6 +150,16 @@ impl ScCtx<'_> {
         self.m.memory_barrier(self.pe);
         self.m.wait_write_acks(self.pe);
         self.m.advance(self.pe, self.cfg.write_overhead_cy);
+        self.san_emit(
+            SanOp::Write {
+                target: gp.pe(),
+                addr: gp.addr(),
+                len: 8,
+                kind: WriteKind::Blocking,
+                reg: idx as u32,
+            },
+            "write_u64",
+        );
     }
 
     /// Blocking write of a double.

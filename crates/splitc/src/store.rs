@@ -17,6 +17,7 @@
 use crate::gptr::GlobalPtr;
 use crate::runtime::ScCtx;
 use t3d_shell::FuncCode;
+use t3dsan::{SanOp, WriteKind, NO_REG};
 
 impl ScCtx<'_> {
     /// Signaling store of a 64-bit word (`*gp := value`). One-way: no
@@ -42,6 +43,16 @@ impl ScCtx<'_> {
         if gp.pe() as usize == self.pe {
             self.m.st8(self.pe, gp.addr(), value);
             self.m.advance(self.pe, self.cfg.store_check_cy);
+            self.san_emit(
+                SanOp::Write {
+                    target: gp.pe(),
+                    addr: gp.addr(),
+                    len: 8,
+                    kind: WriteKind::Store,
+                    reg: NO_REG,
+                },
+                "store_u64",
+            );
             return;
         }
         let idx = self
@@ -51,6 +62,16 @@ impl ScCtx<'_> {
         let va = self.m.va(idx, gp.addr());
         self.m.st8(self.pe, va, value);
         self.m.advance(self.pe, self.cfg.store_check_cy);
+        self.san_emit(
+            SanOp::Write {
+                target: gp.pe(),
+                addr: gp.addr(),
+                len: 8,
+                kind: WriteKind::Store,
+                reg: idx as u32,
+            },
+            "store_u64",
+        );
     }
 
     /// Signaling store of a double.
@@ -79,6 +100,7 @@ impl ScCtx<'_> {
         let now = self.m.clock(self.pe);
         let wait = t.saturating_sub(now);
         self.m.advance(self.pe, wait + self.cfg.store_sync_check_cy);
+        self.san_emit(SanOp::StoreSyncWait, "store_sync");
     }
 
     /// Bytes of store data that have arrived but not yet been awaited.
