@@ -1,0 +1,659 @@
+//! Grammar-based generation of well-formed Split-C programs.
+//!
+//! The generator composes the full primitive surface, but under a *zone
+//! discipline* that makes every program sanitizer-clean and
+//! reference-equivalent by construction:
+//!
+//! * **Sharded phases** (run inside `par_phase`, so any PE interleaving
+//!   must be equivalent): each region cell is written by at most one
+//!   action per phase, and no action reads a cell any action writes in
+//!   the same phase — all communication crosses a phase boundary, which
+//!   is exactly the bulk-synchronous discipline the runtime's barrier
+//!   (a full happens-before edge) synchronizes. Strided transfers zone
+//!   their whole span, gaps included, mirroring the sanitizer's
+//!   conservative span events. AM-routed ops (remote adds, remote byte
+//!   and u32 writes) additionally honor the engine's documented
+//!   single-depositor-per-target rule: per-shard fetch&inc tickets make
+//!   multi-sender deposits to one queue collide inside one phase.
+//! * **Direct phases** (actions run sequentially against the whole
+//!   machine): reads are unrestricted and plain writes stay exclusive
+//!   per cell; locks live only here (remote atomic swap is illegal in a
+//!   shard), with each lock guarding its own group cell so concurrent
+//!   critical sections are ordered by the lock's happens-before edge;
+//!   AM adds may contend freely (they commute).
+//! * **Split-phase issuers sync before the phase ends** (enforced
+//!   structurally by lowering), and `store_sync` waits are derived from
+//!   the stores that actually arrived — cumulative, so they can never
+//!   deadlock.
+//!
+//! Occasionally the region is sized in the thousands of words so bulk
+//! transfers cross the prefetch→BLT mechanism crossovers (7,900 B for
+//! gets, 16 KB for reads).
+
+use crate::program::{Action, ActionKind, Cell, Phase, PhaseKind, Program, Terminator};
+use std::collections::{HashMap, HashSet};
+use t3d_prng::Rng;
+
+/// Hard cap on AM deposits per target per phase (queue has 256 slots;
+/// every deposit is drained at the phase-ending barrier).
+const MAX_DEPOSITS_PER_TARGET: u32 = 48;
+/// Cap on split-phase gets per PE per phase.
+const MAX_GETS_PER_PE: u32 = 12;
+
+/// Generates one random well-formed program.
+pub fn gen_program(rng: &mut Rng) -> Program {
+    let nodes = rng.gen_range(2u32..6);
+    // ~10% of programs get a big region so bulk ops cross the BLT
+    // thresholds (988 words for gets, 2,048 for reads).
+    let slots = if rng.chance(0.1) {
+        rng.gen_range(4300u64..4800)
+    } else {
+        rng.gen_range(16u64..64)
+    };
+    let locks = rng.gen_range(1u32..4);
+    let n_phases = rng.gen_range(1usize..5);
+    let mut phases = Vec::with_capacity(n_phases);
+    for i in 0..n_phases {
+        let kind = if rng.chance(0.3) {
+            PhaseKind::Direct
+        } else {
+            PhaseKind::Sharded
+        };
+        let actions = match kind {
+            PhaseKind::Sharded => gen_sharded_actions(rng, nodes, slots),
+            PhaseKind::Direct => gen_direct_actions(rng, nodes, slots, locks),
+        };
+        phases.push(Phase {
+            kind,
+            terminator: if rng.chance(0.3) {
+                Terminator::AllStoreSync
+            } else {
+                Terminator::Barrier
+            },
+            await_stores: i > 0 && rng.chance(0.5),
+            actions,
+        });
+    }
+    Program {
+        nodes,
+        slots,
+        locks,
+        phases,
+    }
+}
+
+/// A value with a bias toward interesting shapes.
+fn value(rng: &mut Rng) -> u64 {
+    match rng.gen_range(0u32..4) {
+        0 => rng.gen_range(0u64..16),
+        1 => u64::MAX,
+        2 => 1u64 << rng.gen_range(0u32..64),
+        _ => rng.next_u64(),
+    }
+}
+
+struct Zone {
+    /// Cells written this phase (one writer, no readers).
+    written: HashSet<Cell>,
+    /// Cells read this phase. Inside a sharded phase a remote read
+    /// observes *phase-start* state no matter where the writing action
+    /// sits in the generated list (shards are isolated, and merged
+    /// effect timestamps need not follow generation order), so reads
+    /// and writes of a cell exclude each other in *both* directions.
+    read: HashSet<Cell>,
+    depositor: HashMap<u32, u32>,
+    deposits: HashMap<u32, u32>,
+    gets: HashMap<u32, u32>,
+    slots: u64,
+    nodes: u32,
+}
+
+impl Zone {
+    fn new(nodes: u32, slots: u64) -> Self {
+        Zone {
+            written: HashSet::new(),
+            read: HashSet::new(),
+            depositor: HashMap::new(),
+            deposits: HashMap::new(),
+            gets: HashMap::new(),
+            slots,
+            nodes,
+        }
+    }
+
+    fn cell(&self, rng: &mut Rng) -> Cell {
+        Cell {
+            pe: rng.gen_range(0..self.nodes),
+            slot: rng.gen_range(0..self.slots),
+        }
+    }
+
+    /// Whether `[slot, slot + len)` on `pe` may be read this phase.
+    fn read_ok(&self, pe: u32, slot: u64, len: u64) -> bool {
+        slot + len <= self.slots
+            && (0..len).all(|k| !self.written.contains(&Cell { pe, slot: slot + k }))
+    }
+
+    fn claim_read(&mut self, pe: u32, slot: u64, len: u64) {
+        for k in 0..len {
+            self.read.insert(Cell { pe, slot: slot + k });
+        }
+    }
+
+    /// Whether `[slot, slot + len)` on `pe` may be written this phase
+    /// (nobody else wrote it, nobody reads it).
+    fn write_ok(&self, pe: u32, slot: u64, len: u64) -> bool {
+        slot + len <= self.slots
+            && (0..len).all(|k| {
+                let c = Cell { pe, slot: slot + k };
+                !self.written.contains(&c) && !self.read.contains(&c)
+            })
+    }
+
+    fn claim_write(&mut self, pe: u32, slot: u64, len: u64) {
+        for k in 0..len {
+            self.written.insert(Cell { pe, slot: slot + k });
+        }
+    }
+
+    /// Reserves an AM deposit from `sender` to `target`'s queue under
+    /// the single-depositor-per-target rule (sharded phases only pass
+    /// `exclusive = true`).
+    fn claim_deposit(&mut self, sender: u32, target: u32, exclusive: bool) -> bool {
+        if exclusive {
+            match self.depositor.get(&target) {
+                Some(&s) if s != sender => return false,
+                _ => {}
+            }
+        }
+        let n = self.deposits.entry(target).or_insert(0);
+        if *n >= MAX_DEPOSITS_PER_TARGET {
+            return false;
+        }
+        *n += 1;
+        if exclusive {
+            self.depositor.insert(target, sender);
+        }
+        true
+    }
+}
+
+fn gen_sharded_actions(rng: &mut Rng, nodes: u32, slots: u64) -> Vec<Action> {
+    let mut zone = Zone::new(nodes, slots);
+    let n_actions = rng.gen_range(0..(nodes as usize * 6));
+    let mut actions = Vec::new();
+    for _ in 0..n_actions {
+        let pe = rng.gen_range(0..nodes);
+        for _attempt in 0..10 {
+            if let Some(kind) = gen_sharded_action(rng, pe, &mut zone) {
+                actions.push(Action { pe, kind });
+                break;
+            }
+        }
+    }
+    actions
+}
+
+/// Whether `[a, a + alen)` and `[b, b + blen)` intersect.
+fn overlaps(a: u64, alen: u64, b: u64, blen: u64) -> bool {
+    a < b + blen && b < a + alen
+}
+
+/// One zone-disciplined sharded action, or `None` when the random pick
+/// could not be placed (caller retries). An action's own read and write
+/// spans must not intersect either — `read_ok`/`write_ok` are checked
+/// before anything is claimed, so self-overlap needs an explicit test.
+fn gen_sharded_action(rng: &mut Rng, pe: u32, z: &mut Zone) -> Option<ActionKind> {
+    let big = z.slots > 1024;
+    let bulk_words = |rng: &mut Rng, z: &Zone| -> u64 {
+        if big && rng.chance(0.5) {
+            rng.gen_range(700u64..(z.slots / 2))
+        } else {
+            rng.gen_range(1u64..9)
+        }
+    };
+    match rng.gen_range(0u32..17) {
+        0 => Some(ActionKind::Advance {
+            cycles: rng.gen_range(1u64..400),
+        }),
+        // Reads: any cell nobody writes this phase.
+        1 | 2 => {
+            let src = z.cell(rng);
+            z.read_ok(src.pe, src.slot, 1).then(|| {
+                z.claim_read(src.pe, src.slot, 1);
+                ActionKind::Read { src }
+            })
+        }
+        3 => {
+            let src = z.cell(rng);
+            z.read_ok(src.pe, src.slot, 1).then(|| {
+                z.claim_read(src.pe, src.slot, 1);
+                ActionKind::ReadU32 {
+                    src,
+                    hi: rng.chance(0.5),
+                }
+            })
+        }
+        4 => {
+            let src = z.cell(rng);
+            z.read_ok(src.pe, src.slot, 1).then(|| {
+                z.claim_read(src.pe, src.slot, 1);
+                ActionKind::ByteRead {
+                    src,
+                    byte: rng.gen_range(0u8..8),
+                }
+            })
+        }
+        // Word writes: exclusive cell.
+        5 | 6 => {
+            let dst = z.cell(rng);
+            z.write_ok(dst.pe, dst.slot, 1).then(|| {
+                z.claim_write(dst.pe, dst.slot, 1);
+                ActionKind::Write {
+                    dst,
+                    value: value(rng),
+                }
+            })
+        }
+        7 => {
+            let dst = z.cell(rng);
+            if !z.write_ok(dst.pe, dst.slot, 1) {
+                return None;
+            }
+            // Remote sub-word writes ride the AM queue.
+            if dst.pe != pe && !z.claim_deposit(pe, dst.pe, true) {
+                return None;
+            }
+            z.claim_write(dst.pe, dst.slot, 1);
+            Some(ActionKind::WriteU32 {
+                dst,
+                hi: rng.chance(0.5),
+                value: value(rng) as u32,
+            })
+        }
+        8 => {
+            let dst = z.cell(rng);
+            if !z.write_ok(dst.pe, dst.slot, 1) {
+                return None;
+            }
+            if dst.pe != pe && !z.claim_deposit(pe, dst.pe, true) {
+                return None;
+            }
+            z.claim_write(dst.pe, dst.slot, 1);
+            Some(ActionKind::ByteWrite {
+                dst,
+                byte: rng.gen_range(0u8..8),
+                value: value(rng) as u8,
+            })
+        }
+        9 => {
+            let dst = z.cell(rng);
+            z.write_ok(dst.pe, dst.slot, 1).then(|| {
+                z.claim_write(dst.pe, dst.slot, 1);
+                ActionKind::Put {
+                    dst,
+                    value: value(rng),
+                }
+            })
+        }
+        10 => {
+            let dst = z.cell(rng);
+            z.write_ok(dst.pe, dst.slot, 1).then(|| {
+                z.claim_write(dst.pe, dst.slot, 1);
+                ActionKind::Store {
+                    dst,
+                    value: value(rng),
+                }
+            })
+        }
+        11 => {
+            let gets = z.gets.entry(pe).or_insert(0);
+            if *gets >= MAX_GETS_PER_PE {
+                return None;
+            }
+            let src = z.cell(rng);
+            let land = rng.gen_range(0..z.slots);
+            if !z.read_ok(src.pe, src.slot, 1)
+                || !z.write_ok(pe, land, 1)
+                || (src.pe == pe && src.slot == land)
+            {
+                return None;
+            }
+            *z.gets.get_mut(&pe).unwrap() += 1;
+            z.claim_read(src.pe, src.slot, 1);
+            z.claim_write(pe, land, 1);
+            Some(ActionKind::Get { src, land })
+        }
+        12 | 13 => {
+            // Dense bulk: reads/gets land locally, writes/puts go out.
+            let words = bulk_words(rng, z);
+            let inbound = rng.chance(0.5);
+            if inbound {
+                let src = z.cell(rng);
+                let land = rng.gen_range(0..z.slots);
+                if !z.read_ok(src.pe, src.slot, words)
+                    || !z.write_ok(pe, land, words)
+                    || (src.pe == pe && overlaps(src.slot, words, land, words))
+                {
+                    return None;
+                }
+                z.claim_read(src.pe, src.slot, words);
+                z.claim_write(pe, land, words);
+                Some(if rng.chance(0.5) {
+                    ActionKind::BulkRead { src, words, land }
+                } else {
+                    ActionKind::BulkGet { src, words, land }
+                })
+            } else {
+                let dst = z.cell(rng);
+                let from = rng.gen_range(0..z.slots);
+                if !z.write_ok(dst.pe, dst.slot, words)
+                    || !z.read_ok(pe, from, words)
+                    || (dst.pe == pe && overlaps(dst.slot, words, from, words))
+                {
+                    return None;
+                }
+                z.claim_read(pe, from, words);
+                z.claim_write(dst.pe, dst.slot, words);
+                Some(if rng.chance(0.5) {
+                    ActionKind::BulkWrite { dst, words, from }
+                } else {
+                    ActionKind::BulkPut { dst, words, from }
+                })
+            }
+        }
+        14 => {
+            // Strided: zone the whole remote span, gaps included (the
+            // sanitizer's span events are equally conservative).
+            let count = rng.gen_range(2u64..6);
+            let stride = rng.gen_range(1u64..4);
+            let span = (count - 1) * stride + 1;
+            let inbound = rng.chance(0.5);
+            if inbound {
+                let src = z.cell(rng);
+                let land = rng.gen_range(0..z.slots);
+                if !z.read_ok(src.pe, src.slot, span)
+                    || !z.write_ok(pe, land, count)
+                    || (src.pe == pe && overlaps(src.slot, span, land, count))
+                {
+                    return None;
+                }
+                z.claim_read(src.pe, src.slot, span);
+                z.claim_write(pe, land, count);
+                Some(ActionKind::BulkReadStrided {
+                    src,
+                    count,
+                    stride,
+                    land,
+                })
+            } else {
+                let dst = z.cell(rng);
+                let from = rng.gen_range(0..z.slots);
+                if !z.write_ok(dst.pe, dst.slot, span)
+                    || !z.read_ok(pe, from, count)
+                    || (dst.pe == pe && overlaps(dst.slot, span, from, count))
+                {
+                    return None;
+                }
+                z.claim_read(pe, from, count);
+                z.claim_write(dst.pe, dst.slot, span);
+                Some(ActionKind::BulkWriteStrided {
+                    dst,
+                    count,
+                    stride,
+                    from,
+                })
+            }
+        }
+        _ => {
+            // AM add: commutes with everything that lands at the same
+            // barrier, so the cell needs no exclusivity — only the
+            // depositor rule.
+            let dst = z.cell(rng);
+            z.claim_deposit(pe, dst.pe, true)
+                .then(|| ActionKind::AmAdd {
+                    dst,
+                    delta: value(rng),
+                })
+        }
+    }
+}
+
+fn gen_direct_actions(rng: &mut Rng, nodes: u32, slots: u64, locks: u32) -> Vec<Action> {
+    let mut zone = Zone::new(nodes, slots);
+    let n_actions = rng.gen_range(0..(nodes as usize * 5));
+    let mut actions = Vec::new();
+    for _ in 0..n_actions {
+        let pe = rng.gen_range(0..nodes);
+        for _attempt in 0..10 {
+            if let Some(kind) = gen_direct_action(rng, pe, locks, &mut zone) {
+                actions.push(Action { pe, kind });
+                break;
+            }
+        }
+    }
+    actions
+}
+
+/// One direct-phase action. Reads are unrestricted (execution is
+/// sequential in action order); plain writes stay exclusive per cell and
+/// avoid the lock-group slots `0..locks`, whose writes flow through
+/// their lock's critical section instead.
+fn gen_direct_action(rng: &mut Rng, pe: u32, locks: u32, z: &mut Zone) -> Option<ActionKind> {
+    match rng.gen_range(0u32..12) {
+        0 => Some(ActionKind::Advance {
+            cycles: rng.gen_range(1u64..400),
+        }),
+        1 | 2 => Some(ActionKind::Read { src: z.cell(rng) }),
+        3 => Some(ActionKind::ReadU32 {
+            src: z.cell(rng),
+            hi: rng.chance(0.5),
+        }),
+        4 => Some(ActionKind::ByteRead {
+            src: z.cell(rng),
+            byte: rng.gen_range(0u8..8),
+        }),
+        5 | 6 => {
+            if z.slots <= locks as u64 {
+                return None;
+            }
+            let dst = Cell {
+                pe: rng.gen_range(0..z.nodes),
+                slot: rng.gen_range(locks as u64..z.slots),
+            };
+            z.write_ok(dst.pe, dst.slot, 1).then(|| {
+                z.claim_write(dst.pe, dst.slot, 1);
+                ActionKind::Write {
+                    dst,
+                    value: value(rng),
+                }
+            })
+        }
+        7 | 8 => {
+            // Contended AM adds are legal here: the direct engine gives
+            // every deposit a real ticket.
+            let dst = z.cell(rng);
+            z.claim_deposit(pe, dst.pe, false)
+                .then(|| ActionKind::AmAdd {
+                    dst,
+                    delta: value(rng),
+                })
+        }
+        9 => Some(ActionKind::LockGuardedWrite {
+            lock: rng.gen_range(0..locks),
+            dst_pe: rng.gen_range(0..z.nodes),
+            value: value(rng),
+        }),
+        10 => Some(if rng.chance(0.5) {
+            ActionKind::LockHold {
+                lock: rng.gen_range(0..locks),
+            }
+        } else {
+            ActionKind::LockFree {
+                lock: rng.gen_range(0..locks),
+            }
+        }),
+        _ => Some(ActionKind::LockProbe {
+            lock: rng.gen_range(0..locks),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every generated sharded phase obeys the zone discipline the
+    /// module documents: single writer per cell, no read of a written
+    /// cell, one depositor per AM target.
+    #[test]
+    fn sharded_phases_are_zone_disciplined() {
+        Rng::cases(0x51AD, 200, |_, rng| {
+            let p = gen_program(rng);
+            for phase in p.phases.iter().filter(|p| p.kind == PhaseKind::Sharded) {
+                let mut written: HashSet<Cell> = HashSet::new();
+                let mut read: HashSet<Cell> = HashSet::new();
+                let mut depositor: HashMap<u32, u32> = HashMap::new();
+                for a in &phase.actions {
+                    let (r, w, dep) = spans(a, p.slots);
+                    for c in &r {
+                        read.insert(*c);
+                    }
+                    for c in &w {
+                        assert!(written.insert(*c), "double write of {c:?}");
+                    }
+                    if let Some(t) = dep {
+                        let prev = depositor.insert(t, a.pe);
+                        assert!(
+                            prev.is_none() || prev == Some(a.pe),
+                            "two depositors for PE {t}"
+                        );
+                    }
+                }
+                for c in &read {
+                    assert!(!written.contains(c), "read of written cell {c:?}");
+                }
+            }
+        });
+    }
+
+    /// Read/write/deposit footprint of one action (test-local mirror of
+    /// the generator's rules).
+    fn spans(a: &Action, _slots: u64) -> (Vec<Cell>, Vec<Cell>, Option<u32>) {
+        let me = a.pe;
+        let cells = |pe: u32, slot: u64, len: u64, stride: u64| -> Vec<Cell> {
+            (0..len)
+                .map(|k| Cell {
+                    pe,
+                    slot: slot + k * stride,
+                })
+                .collect()
+        };
+        match a.kind {
+            ActionKind::Advance { .. } => (vec![], vec![], None),
+            ActionKind::Read { src }
+            | ActionKind::ReadU32 { src, .. }
+            | ActionKind::ByteRead { src, .. } => (vec![src], vec![], None),
+            ActionKind::Write { dst, .. }
+            | ActionKind::Put { dst, .. }
+            | ActionKind::Store { dst, .. } => (vec![], vec![dst], None),
+            ActionKind::WriteU32 { dst, .. } | ActionKind::ByteWrite { dst, .. } => {
+                (vec![], vec![dst], (dst.pe != me).then_some(dst.pe))
+            }
+            ActionKind::Get { src, land } => (vec![src], vec![Cell { pe: me, slot: land }], None),
+            ActionKind::BulkRead { src, words, land }
+            | ActionKind::BulkGet { src, words, land } => (
+                cells(src.pe, src.slot, words, 1),
+                cells(me, land, words, 1),
+                None,
+            ),
+            ActionKind::BulkWrite { dst, words, from }
+            | ActionKind::BulkPut { dst, words, from } => (
+                cells(me, from, words, 1),
+                cells(dst.pe, dst.slot, words, 1),
+                None,
+            ),
+            ActionKind::BulkReadStrided {
+                src,
+                count,
+                stride,
+                land,
+            } => (
+                cells(src.pe, src.slot, (count - 1) * stride + 1, 1),
+                cells(me, land, count, 1),
+                None,
+            ),
+            ActionKind::BulkWriteStrided {
+                dst,
+                count,
+                stride,
+                from,
+            } => (
+                cells(me, from, count, 1),
+                cells(dst.pe, dst.slot, (count - 1) * stride + 1, 1),
+                None,
+            ),
+            ActionKind::AmAdd { dst, .. } => (vec![], vec![], Some(dst.pe)),
+            ActionKind::LockGuardedWrite { .. }
+            | ActionKind::LockHold { .. }
+            | ActionKind::LockFree { .. }
+            | ActionKind::LockProbe { .. } => {
+                panic!("lock ops never appear in sharded phases")
+            }
+        }
+    }
+
+    #[test]
+    fn generator_exercises_every_action_kind() {
+        let mut seen: HashSet<std::mem::Discriminant<ActionKind>> = HashSet::new();
+        Rng::cases(0xC0FE, 400, |_, rng| {
+            for phase in gen_program(rng).phases {
+                for a in phase.actions {
+                    seen.insert(std::mem::discriminant(&a.kind));
+                }
+            }
+        });
+        assert!(seen.len() >= 20, "saw {} of 21 action kinds", seen.len());
+    }
+
+    #[test]
+    fn programs_replay_identically_by_seed() {
+        let a = gen_program(&mut Rng::seed_from_u64(42));
+        let b = gen_program(&mut Rng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn big_regions_cross_the_blt_thresholds() {
+        let mut crossed = false;
+        Rng::cases(0xB16, 300, |_, rng| {
+            for phase in gen_program(rng).phases {
+                for a in phase.actions {
+                    if let ActionKind::BulkGet { words, .. } | ActionKind::BulkRead { words, .. } =
+                        a.kind
+                    {
+                        crossed |= words * 8 >= 7_900;
+                    }
+                }
+            }
+        });
+        assert!(crossed, "some bulk transfer crosses the 7,900 B threshold");
+    }
+
+    #[test]
+    fn locks_only_in_direct_phases() {
+        Rng::cases(0x10C5, 200, |_, rng| {
+            for phase in gen_program(rng).phases {
+                if phase.kind == PhaseKind::Sharded {
+                    assert!(!phase.actions.iter().any(|a| matches!(
+                        a.kind,
+                        ActionKind::LockGuardedWrite { .. }
+                            | ActionKind::LockHold { .. }
+                            | ActionKind::LockFree { .. }
+                            | ActionKind::LockProbe { .. }
+                    )));
+                }
+            }
+        });
+    }
+}

@@ -1,0 +1,670 @@
+//! The fuzzer's program representation and its deterministic lowering.
+//!
+//! A [`Program`] is a phase-structured SPMD Split-C program over a small
+//! per-PE data region: `slots` words of data plus one word per lock.
+//! Phases are either *sharded* (every PE's actions run inside one
+//! `par_phase`, so they must be zone-disciplined — see the generator) or
+//! *direct* (actions run one after another against the whole machine,
+//! which is where locks and contended AM traffic live). Every phase ends
+//! in a collective terminator (barrier or `all_store_sync`), which is
+//! where the differential harness compares memory.
+//!
+//! The representation is *actions*, not raw ops: an action is a
+//! well-formed mini-unit (a lock critical section is one action, a get
+//! is one action whose completing `sync` is implied). [`Program::lower`]
+//! turns actions into per-PE [`ScOp`] lists and re-derives every
+//! consistency obligation — trailing `sync`s for split-phase issuers,
+//! `store_sync` byte counts from the stores that actually remain — so a
+//! shrinker can delete *any* subset of actions and the lowered program
+//! is still well-formed. That structural re-lowering is what makes
+//! automatic shrinking sound.
+
+use splitc::{GlobalPtr, ScOp};
+use std::fmt::Write as _;
+
+/// Bytes per data word.
+pub const WORD: u64 = 8;
+
+/// One word of the fuzzed region: `slot` on node `pe`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cell {
+    /// Owning node.
+    pub pe: u32,
+    /// Word index within the region.
+    pub slot: u64,
+}
+
+/// One generated action. See [`Program`] for the phase discipline that
+/// makes these safe to compose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActionKind {
+    /// Charge local compute cycles.
+    Advance {
+        /// Cycles charged.
+        cycles: u64,
+    },
+    /// Blocking word read; result recorded.
+    Read {
+        /// Word read.
+        src: Cell,
+    },
+    /// Aligned 32-bit read of one half of a word; result recorded.
+    ReadU32 {
+        /// Word read.
+        src: Cell,
+        /// High (`true`) or low half.
+        hi: bool,
+    },
+    /// Single-byte read; result recorded.
+    ByteRead {
+        /// Word read.
+        src: Cell,
+        /// Byte within the word (0..8).
+        byte: u8,
+    },
+    /// Blocking word write.
+    Write {
+        /// Word written.
+        dst: Cell,
+        /// Value stored.
+        value: u64,
+    },
+    /// Aligned 32-bit write of one half of a word (remote via AM).
+    WriteU32 {
+        /// Word written.
+        dst: Cell,
+        /// High (`true`) or low half.
+        hi: bool,
+        /// Value stored.
+        value: u32,
+    },
+    /// Correct byte write (remote via AM).
+    ByteWrite {
+        /// Word written.
+        dst: Cell,
+        /// Byte within the word (0..8).
+        byte: u8,
+        /// Value stored.
+        value: u8,
+    },
+    /// Split-phase put.
+    Put {
+        /// Word written.
+        dst: Cell,
+        /// Value stored.
+        value: u64,
+    },
+    /// Signaling store.
+    Store {
+        /// Word written.
+        dst: Cell,
+        /// Value stored.
+        value: u64,
+    },
+    /// Split-phase get into the issuer's `land` slot.
+    Get {
+        /// Word fetched.
+        src: Cell,
+        /// Issuer-local landing slot.
+        land: u64,
+    },
+    /// Blocking bulk read of `words` words into the issuer's `land`.
+    BulkRead {
+        /// First word read.
+        src: Cell,
+        /// Word count.
+        words: u64,
+        /// Issuer-local landing slot.
+        land: u64,
+    },
+    /// Non-blocking bulk get of `words` words into the issuer's `land`.
+    BulkGet {
+        /// First word read.
+        src: Cell,
+        /// Word count.
+        words: u64,
+        /// Issuer-local landing slot.
+        land: u64,
+    },
+    /// Blocking bulk write of `words` issuer words starting at `from`.
+    BulkWrite {
+        /// First word written.
+        dst: Cell,
+        /// Word count.
+        words: u64,
+        /// Issuer-local source slot.
+        from: u64,
+    },
+    /// Non-blocking bulk put of `words` issuer words starting at `from`.
+    BulkPut {
+        /// First word written.
+        dst: Cell,
+        /// Word count.
+        words: u64,
+        /// Issuer-local source slot.
+        from: u64,
+    },
+    /// Strided gather of `count` words, `stride` words apart, into the
+    /// issuer's dense `land`.
+    BulkReadStrided {
+        /// First element read.
+        src: Cell,
+        /// Element count.
+        count: u64,
+        /// Stride in words (≥ 1).
+        stride: u64,
+        /// Issuer-local landing slot.
+        land: u64,
+    },
+    /// Strided scatter of `count` issuer words from dense `from` to
+    /// elements `stride` words apart.
+    BulkWriteStrided {
+        /// First element written.
+        dst: Cell,
+        /// Element count.
+        count: u64,
+        /// Stride in words (≥ 1).
+        stride: u64,
+        /// Issuer-local source slot.
+        from: u64,
+    },
+    /// AM-queue remote add: `delta` lands on `dst` when its owner polls
+    /// (at the phase terminator).
+    AmAdd {
+        /// Word added to.
+        dst: Cell,
+        /// Added (wrapping) at dispatch.
+        delta: u64,
+    },
+    /// Critical section (direct phases only): try-acquire lock, write
+    /// `value` into the lock's group cell on `dst_pe`, release. Records
+    /// whether the lock was won.
+    LockGuardedWrite {
+        /// Lock index.
+        lock: u32,
+        /// Node whose group cell is written.
+        dst_pe: u32,
+        /// Value stored.
+        value: u64,
+    },
+    /// Try-acquire and *keep* the lock (direct phases only); records
+    /// whether it was won.
+    LockHold {
+        /// Lock index.
+        lock: u32,
+    },
+    /// Release the lock if currently held (direct phases only); records
+    /// whether a release happened.
+    LockFree {
+        /// Lock index.
+        lock: u32,
+    },
+    /// Functional probe of the lock word; records held/free.
+    LockProbe {
+        /// Lock index.
+        lock: u32,
+    },
+}
+
+/// An action with its issuing PE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Action {
+    /// Issuing PE.
+    pub pe: u32,
+    /// What it does.
+    pub kind: ActionKind,
+}
+
+/// How a phase executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseKind {
+    /// All PEs inside one `par_phase` (zone-disciplined).
+    Sharded,
+    /// Actions one after another against the whole machine.
+    Direct,
+}
+
+/// The collective that ends a phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Terminator {
+    /// `SplitC::barrier`.
+    Barrier,
+    /// `SplitC::all_store_sync` (ends in a barrier too).
+    AllStoreSync,
+}
+
+/// One phase: actions plus its terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Phase {
+    /// Execution regime.
+    pub kind: PhaseKind,
+    /// Closing collective.
+    pub terminator: Terminator,
+    /// When set, every PE that received signaling-store bytes in the
+    /// *previous* phase opens this one with a matching `store_sync`.
+    /// The byte counts are re-derived at lowering time from the stores
+    /// that actually remain, so shrinking keeps this sound.
+    pub await_stores: bool,
+    /// The phase body.
+    pub actions: Vec<Action>,
+}
+
+/// A complete generated program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Number of PEs.
+    pub nodes: u32,
+    /// Data words per PE.
+    pub slots: u64,
+    /// Lock count; lock `l` lives on PE `l % nodes` at word `slots + l`,
+    /// and guards group cell `l` on every PE.
+    pub locks: u32,
+    /// The phases.
+    pub phases: Vec<Phase>,
+}
+
+/// One lowered phase: per-PE op lists for sharded phases, a global
+/// (pe, op) sequence for direct ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoweredPhase {
+    /// Runs under `par_phase_with`; `ops[pe]` is PE `pe`'s list.
+    Sharded {
+        /// Per-PE op lists.
+        ops: Vec<Vec<ScOp>>,
+        /// Closing collective.
+        terminator: Terminator,
+    },
+    /// Runs as a sequence of `SplitC::on` calls, in order.
+    Direct {
+        /// The (pe, op) sequence.
+        ops: Vec<(u32, ScOp)>,
+        /// Closing collective.
+        terminator: Terminator,
+    },
+}
+
+impl LoweredPhase {
+    /// Number of ops in this phase.
+    pub fn op_count(&self) -> usize {
+        match self {
+            LoweredPhase::Sharded { ops, .. } => ops.iter().map(Vec::len).sum(),
+            LoweredPhase::Direct { ops, .. } => ops.len(),
+        }
+    }
+}
+
+impl Program {
+    /// Region size in words: data slots plus one word per lock.
+    pub fn region_words(&self) -> u64 {
+        self.slots + self.locks as u64
+    }
+
+    /// Region size in bytes.
+    pub fn region_bytes(&self) -> u64 {
+        self.region_words() * WORD
+    }
+
+    /// Total action count (the shrinker's size metric).
+    pub fn action_count(&self) -> usize {
+        self.phases.iter().map(|p| p.actions.len()).sum()
+    }
+
+    /// The global pointer of a data cell, given the region base.
+    pub fn cell_ptr(&self, base: u64, c: Cell) -> GlobalPtr {
+        GlobalPtr::new(c.pe, base + c.slot * WORD)
+    }
+
+    /// The global pointer of lock `l`'s word.
+    pub fn lock_word(&self, base: u64, l: u32) -> GlobalPtr {
+        GlobalPtr::new(l % self.nodes, base + (self.slots + l as u64) * WORD)
+    }
+
+    /// Signaling-store bytes each PE receives from *other* PEs in phase
+    /// `i` (what an `await_stores` prefix of phase `i + 1` waits for).
+    pub fn store_bytes_received(&self, i: usize) -> Vec<u64> {
+        let mut bytes = vec![0u64; self.nodes as usize];
+        for a in &self.phases[i].actions {
+            if let ActionKind::Store { dst, .. } = a.kind {
+                if dst.pe != a.pe {
+                    bytes[dst.pe as usize] += WORD;
+                }
+            }
+        }
+        bytes
+    }
+
+    /// Lowers every phase to executable [`ScOp`]s. `base` is the local
+    /// offset of the allocated region (identical on every PE and in
+    /// every run, because allocation is deterministic).
+    pub fn lower(&self, base: u64) -> Vec<LoweredPhase> {
+        let n = self.nodes as usize;
+        let mut out = Vec::with_capacity(self.phases.len());
+        for (i, phase) in self.phases.iter().enumerate() {
+            // store_sync prefix: what arrived during the previous phase.
+            let awaited = if phase.await_stores && i > 0 {
+                self.store_bytes_received(i - 1)
+            } else {
+                vec![0; n]
+            };
+            match phase.kind {
+                PhaseKind::Sharded => {
+                    let mut ops: Vec<Vec<ScOp>> = vec![Vec::new(); n];
+                    for (pe, &bytes) in awaited.iter().enumerate() {
+                        if bytes > 0 {
+                            ops[pe].push(ScOp::StoreSync { bytes });
+                        }
+                    }
+                    let mut needs_sync = vec![false; n];
+                    for a in &phase.actions {
+                        let pe = a.pe as usize;
+                        ops[pe].push(self.lower_action(base, a));
+                        if matches!(
+                            a.kind,
+                            ActionKind::Get { .. }
+                                | ActionKind::Put { .. }
+                                | ActionKind::BulkGet { .. }
+                                | ActionKind::BulkPut { .. }
+                        ) {
+                            needs_sync[pe] = true;
+                        }
+                    }
+                    for (pe, &s) in needs_sync.iter().enumerate() {
+                        if s {
+                            ops[pe].push(ScOp::Sync);
+                        }
+                    }
+                    out.push(LoweredPhase::Sharded {
+                        ops,
+                        terminator: phase.terminator,
+                    });
+                }
+                PhaseKind::Direct => {
+                    let mut ops: Vec<(u32, ScOp)> = Vec::new();
+                    for (pe, &bytes) in awaited.iter().enumerate() {
+                        if bytes > 0 {
+                            ops.push((pe as u32, ScOp::StoreSync { bytes }));
+                        }
+                    }
+                    for a in &phase.actions {
+                        ops.push((a.pe, self.lower_action(base, a)));
+                    }
+                    out.push(LoweredPhase::Direct {
+                        ops,
+                        terminator: phase.terminator,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn lower_action(&self, base: u64, a: &Action) -> ScOp {
+        let ptr = |c: Cell| self.cell_ptr(base, c);
+        match a.kind {
+            ActionKind::Advance { cycles } => ScOp::Advance { cycles },
+            ActionKind::Read { src } => ScOp::ReadU64 { src: ptr(src) },
+            ActionKind::ReadU32 { src, hi } => ScOp::ReadU32 {
+                src: ptr(src).local_add(if hi { 4 } else { 0 }),
+            },
+            ActionKind::ByteRead { src, byte } => ScOp::ByteRead {
+                src: ptr(src).local_add(byte as u64),
+            },
+            ActionKind::Write { dst, value } => ScOp::WriteU64 {
+                dst: ptr(dst),
+                value,
+            },
+            ActionKind::WriteU32 { dst, hi, value } => ScOp::WriteU32 {
+                dst: ptr(dst).local_add(if hi { 4 } else { 0 }),
+                value,
+            },
+            ActionKind::ByteWrite { dst, byte, value } => ScOp::ByteWrite {
+                dst: ptr(dst).local_add(byte as u64),
+                value,
+            },
+            ActionKind::Put { dst, value } => ScOp::Put {
+                dst: ptr(dst),
+                value,
+            },
+            ActionKind::Store { dst, value } => ScOp::StoreU64 {
+                dst: ptr(dst),
+                value,
+            },
+            ActionKind::Get { src, land } => ScOp::Get {
+                local_off: base + land * WORD,
+                src: ptr(src),
+            },
+            ActionKind::BulkRead { src, words, land } => ScOp::BulkRead {
+                local_off: base + land * WORD,
+                src: ptr(src),
+                bytes: words * WORD,
+            },
+            ActionKind::BulkGet { src, words, land } => ScOp::BulkGet {
+                local_off: base + land * WORD,
+                src: ptr(src),
+                bytes: words * WORD,
+            },
+            ActionKind::BulkWrite { dst, words, from } => ScOp::BulkWrite {
+                dst: ptr(dst),
+                local_off: base + from * WORD,
+                bytes: words * WORD,
+            },
+            ActionKind::BulkPut { dst, words, from } => ScOp::BulkPut {
+                dst: ptr(dst),
+                local_off: base + from * WORD,
+                bytes: words * WORD,
+            },
+            ActionKind::BulkReadStrided {
+                src,
+                count,
+                stride,
+                land,
+            } => ScOp::BulkReadStrided {
+                local_off: base + land * WORD,
+                src: ptr(src),
+                count,
+                elem_bytes: WORD,
+                stride_bytes: stride * WORD,
+            },
+            ActionKind::BulkWriteStrided {
+                dst,
+                count,
+                stride,
+                from,
+            } => ScOp::BulkWriteStrided {
+                dst: ptr(dst),
+                local_off: base + from * WORD,
+                count,
+                elem_bytes: WORD,
+                stride_bytes: stride * WORD,
+            },
+            ActionKind::AmAdd { dst, delta } => ScOp::AmAdd {
+                target_pe: dst.pe,
+                off: base + dst.slot * WORD,
+                delta,
+            },
+            ActionKind::LockGuardedWrite {
+                lock,
+                dst_pe,
+                value,
+            } => ScOp::LockGuardedWrite {
+                word: self.lock_word(base, lock),
+                dst: self.cell_ptr(
+                    base,
+                    Cell {
+                        pe: dst_pe,
+                        slot: lock as u64,
+                    },
+                ),
+                value,
+            },
+            ActionKind::LockHold { lock } => ScOp::LockTryAcquire {
+                word: self.lock_word(base, lock),
+            },
+            ActionKind::LockFree { lock } => ScOp::LockFreeIfHeld {
+                word: self.lock_word(base, lock),
+            },
+            ActionKind::LockProbe { lock } => ScOp::LockIsHeld {
+                word: self.lock_word(base, lock),
+            },
+        }
+    }
+
+    /// Renders a self-contained reproducer: the seed line plus the full
+    /// action and lowered-op listing.
+    pub fn render_reproducer(&self, seed: u64, base: u64) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "# t3d-fuzz reproducer — replay with: t3d-fuzz --cases 1 --seed {seed:#x}"
+        );
+        let _ = writeln!(
+            s,
+            "nodes={} slots={} locks={} region_base={base:#x}",
+            self.nodes, self.slots, self.locks
+        );
+        for (i, p) in self.phases.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "phase {i}: {:?}, terminator={:?}, await_stores={}",
+                p.kind, p.terminator, p.await_stores
+            );
+            for a in &p.actions {
+                let _ = writeln!(s, "  pe{}: {:?}", a.pe, a.kind);
+            }
+        }
+        let _ = writeln!(s, "lowered ops:");
+        for (i, lp) in self.lower(base).iter().enumerate() {
+            match lp {
+                LoweredPhase::Sharded { ops, terminator } => {
+                    let _ = writeln!(s, "  phase {i} (sharded, {terminator:?}):");
+                    for (pe, list) in ops.iter().enumerate() {
+                        if !list.is_empty() {
+                            let _ = writeln!(s, "    pe{pe}: {list:?}");
+                        }
+                    }
+                }
+                LoweredPhase::Direct { ops, terminator } => {
+                    let _ = writeln!(s, "  phase {i} (direct, {terminator:?}):");
+                    for (pe, op) in ops {
+                        let _ = writeln!(s, "    pe{pe}: {op:?}");
+                    }
+                }
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Program {
+        Program {
+            nodes: 2,
+            slots: 8,
+            locks: 1,
+            phases: vec![
+                Phase {
+                    kind: PhaseKind::Sharded,
+                    terminator: Terminator::Barrier,
+                    await_stores: false,
+                    actions: vec![
+                        Action {
+                            pe: 0,
+                            kind: ActionKind::Store {
+                                dst: Cell { pe: 1, slot: 2 },
+                                value: 7,
+                            },
+                        },
+                        Action {
+                            pe: 1,
+                            kind: ActionKind::Get {
+                                src: Cell { pe: 0, slot: 0 },
+                                land: 3,
+                            },
+                        },
+                    ],
+                },
+                Phase {
+                    kind: PhaseKind::Direct,
+                    terminator: Terminator::AllStoreSync,
+                    await_stores: true,
+                    actions: vec![Action {
+                        pe: 0,
+                        kind: ActionKind::LockProbe { lock: 0 },
+                    }],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn lowering_appends_sync_for_split_phase_issuers() {
+        let p = tiny();
+        let lowered = p.lower(0x100);
+        let LoweredPhase::Sharded { ops, .. } = &lowered[0] else {
+            panic!("phase 0 is sharded");
+        };
+        assert!(
+            matches!(ops[0].as_slice(), [ScOp::StoreU64 { .. }]),
+            "{:?}",
+            ops[0]
+        );
+        assert!(
+            matches!(ops[1].as_slice(), [ScOp::Get { .. }, ScOp::Sync]),
+            "get issuer syncs: {:?}",
+            ops[1]
+        );
+    }
+
+    #[test]
+    fn await_stores_waits_for_exactly_the_surviving_bytes() {
+        let mut p = tiny();
+        let lowered = p.lower(0x100);
+        let LoweredPhase::Direct { ops, .. } = &lowered[1] else {
+            panic!("phase 1 is direct");
+        };
+        assert_eq!(
+            ops[0],
+            (1, ScOp::StoreSync { bytes: 8 }),
+            "PE 1 awaits one store"
+        );
+        // Delete the store (what a shrinker does): the prefix disappears.
+        p.phases[0].actions.remove(0);
+        let lowered = p.lower(0x100);
+        let LoweredPhase::Direct { ops, .. } = &lowered[1] else {
+            panic!("phase 1 is direct");
+        };
+        assert!(
+            !ops.iter()
+                .any(|(_, op)| matches!(op, ScOp::StoreSync { .. })),
+            "no stores → no store_sync: {ops:?}"
+        );
+    }
+
+    #[test]
+    fn local_stores_do_not_count_as_arrivals() {
+        let mut p = tiny();
+        p.phases[0].actions[0].pe = 1; // store to self
+        assert_eq!(p.store_bytes_received(0), vec![0, 0]);
+    }
+
+    #[test]
+    fn lock_words_sit_after_the_data_slots() {
+        let p = tiny();
+        assert_eq!(p.region_words(), 9);
+        let w = p.lock_word(0x100, 0);
+        assert_eq!(w.pe(), 0);
+        assert_eq!(w.addr(), 0x100 + 8 * WORD);
+    }
+
+    #[test]
+    fn reproducer_mentions_seed_and_ops() {
+        let p = tiny();
+        let r = p.render_reproducer(0xBEEF, 0x100);
+        assert!(r.contains("--seed 0xbeef"));
+        assert!(r.contains("StoreU64"));
+        assert!(r.contains("lowered ops:"));
+    }
+}

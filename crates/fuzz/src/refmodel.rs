@@ -1,0 +1,408 @@
+//! The flat reference interpreter.
+//!
+//! A deliberately boring model of what a generated program *means*: one
+//! `u64` array per PE (data slots followed by lock words), every
+//! operation applied immediately and sequentially in action order, with
+//! the single timing-flavored nuance the runtime's semantics force —
+//! AM-routed effects (remote adds, remote byte and u32 writes) are
+//! buffered and land at the phase-ending barrier, when the target polls
+//! its queue. There are no caches, no write buffers, no clocks and no
+//! network: if the real runtime's memory disagrees with this model at a
+//! barrier, some mechanism (or the phase engine merging its effects)
+//! broke.
+//!
+//! The model also predicts every value-producing op's result (reads,
+//! lock outcomes), which the harness compares against both drivers.
+
+use crate::program::{ActionKind, Cell, Phase, PhaseKind, Program};
+
+/// An AM effect parked until the phase-ending barrier.
+enum AmEffect {
+    Add { dst: Cell, delta: u64 },
+    Byte { dst: Cell, byte: u8, value: u8 },
+    U32 { dst: Cell, hi: bool, value: u32 },
+}
+
+/// What the reference model expects of a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefOutcome {
+    /// Per phase, per PE: the full region (data slots then lock words)
+    /// as settled at that phase's terminator.
+    pub phase_mems: Vec<Vec<Vec<u64>>>,
+    /// Per PE: every value-producing op's result, in issue order.
+    pub results: Vec<Vec<u64>>,
+}
+
+struct FlatRef {
+    slots: u64,
+    /// `mem[pe][slot]`; lock `l`'s word is `mem[l % nodes][slots + l]`.
+    mem: Vec<Vec<u64>>,
+    pending_am: Vec<AmEffect>,
+    results: Vec<Vec<u64>>,
+}
+
+/// Interprets a program, returning the expected memory at every barrier
+/// and the expected results.
+pub fn interpret(prog: &Program) -> RefOutcome {
+    let mut r = FlatRef {
+        slots: prog.slots,
+        mem: vec![vec![0u64; prog.region_words() as usize]; prog.nodes as usize],
+        pending_am: Vec::new(),
+        results: vec![Vec::new(); prog.nodes as usize],
+    };
+    let mut phase_mems = Vec::with_capacity(prog.phases.len());
+    for phase in &prog.phases {
+        r.run_phase(prog, phase);
+        phase_mems.push(r.mem.clone());
+    }
+    RefOutcome {
+        phase_mems,
+        results: r.results,
+    }
+}
+
+impl FlatRef {
+    fn word(&self, c: Cell) -> u64 {
+        self.mem[c.pe as usize][c.slot as usize]
+    }
+
+    fn word_mut(&mut self, c: Cell) -> &mut u64 {
+        &mut self.mem[c.pe as usize][c.slot as usize]
+    }
+
+    fn lock_cell(&self, prog: &Program, l: u32) -> Cell {
+        Cell {
+            pe: l % prog.nodes,
+            slot: self.slots + l as u64,
+        }
+    }
+
+    fn run_phase(&mut self, prog: &Program, phase: &Phase) {
+        for a in &phase.actions {
+            self.run_action(prog, phase.kind, a.pe, a.kind);
+        }
+        // The terminator: every queue is polled, parked AM effects land
+        // in deposit order.
+        for eff in std::mem::take(&mut self.pending_am) {
+            match eff {
+                AmEffect::Add { dst, delta } => {
+                    *self.word_mut(dst) = self.word(dst).wrapping_add(delta);
+                }
+                AmEffect::Byte { dst, byte, value } => {
+                    *self.word_mut(dst) = set_byte(self.word(dst), byte, value);
+                }
+                AmEffect::U32 { dst, hi, value } => {
+                    *self.word_mut(dst) = set_half(self.word(dst), hi, value);
+                }
+            }
+        }
+    }
+
+    fn run_action(&mut self, prog: &Program, _kind: PhaseKind, pe: u32, a: ActionKind) {
+        let me = pe as usize;
+        match a {
+            ActionKind::Advance { .. } => {}
+            ActionKind::Read { src } => {
+                let v = self.word(src);
+                self.results[me].push(v);
+            }
+            ActionKind::ReadU32 { src, hi } => {
+                let w = self.word(src);
+                let v = if hi { (w >> 32) as u32 } else { w as u32 };
+                self.results[me].push(v as u64);
+            }
+            ActionKind::ByteRead { src, byte } => {
+                let v = (self.word(src) >> (8 * byte as u32)) & 0xFF;
+                self.results[me].push(v);
+            }
+            ActionKind::Write { dst, value }
+            | ActionKind::Put { dst, value }
+            | ActionKind::Store { dst, value } => {
+                *self.word_mut(dst) = value;
+            }
+            ActionKind::WriteU32 { dst, hi, value } => {
+                if dst.pe == pe {
+                    *self.word_mut(dst) = set_half(self.word(dst), hi, value);
+                } else {
+                    self.pending_am.push(AmEffect::U32 { dst, hi, value });
+                }
+            }
+            ActionKind::ByteWrite { dst, byte, value } => {
+                if dst.pe == pe {
+                    *self.word_mut(dst) = set_byte(self.word(dst), byte, value);
+                } else {
+                    self.pending_am.push(AmEffect::Byte { dst, byte, value });
+                }
+            }
+            ActionKind::Get { src, land } => {
+                let v = self.word(src);
+                self.mem[me][land as usize] = v;
+            }
+            ActionKind::BulkRead { src, words, land }
+            | ActionKind::BulkGet { src, words, land } => {
+                for k in 0..words {
+                    let v = self.word(Cell {
+                        pe: src.pe,
+                        slot: src.slot + k,
+                    });
+                    self.mem[me][(land + k) as usize] = v;
+                }
+            }
+            ActionKind::BulkWrite { dst, words, from }
+            | ActionKind::BulkPut { dst, words, from } => {
+                for k in 0..words {
+                    let v = self.mem[me][(from + k) as usize];
+                    *self.word_mut(Cell {
+                        pe: dst.pe,
+                        slot: dst.slot + k,
+                    }) = v;
+                }
+            }
+            ActionKind::BulkReadStrided {
+                src,
+                count,
+                stride,
+                land,
+            } => {
+                for k in 0..count {
+                    let v = self.word(Cell {
+                        pe: src.pe,
+                        slot: src.slot + k * stride,
+                    });
+                    self.mem[me][(land + k) as usize] = v;
+                }
+            }
+            ActionKind::BulkWriteStrided {
+                dst,
+                count,
+                stride,
+                from,
+            } => {
+                for k in 0..count {
+                    let v = self.mem[me][(from + k) as usize];
+                    *self.word_mut(Cell {
+                        pe: dst.pe,
+                        slot: dst.slot + k * stride,
+                    }) = v;
+                }
+            }
+            ActionKind::AmAdd { dst, delta } => {
+                self.pending_am.push(AmEffect::Add { dst, delta });
+            }
+            ActionKind::LockGuardedWrite {
+                lock,
+                dst_pe,
+                value,
+            } => {
+                let word = self.lock_cell(prog, lock);
+                if self.word(word) == 0 {
+                    *self.word_mut(Cell {
+                        pe: dst_pe,
+                        slot: lock as u64,
+                    }) = value;
+                    self.results[me].push(1);
+                } else {
+                    self.results[me].push(0);
+                }
+            }
+            ActionKind::LockHold { lock } => {
+                let word = self.lock_cell(prog, lock);
+                if self.word(word) == 0 {
+                    *self.word_mut(word) = 1;
+                    self.results[me].push(1);
+                } else {
+                    self.results[me].push(0);
+                }
+            }
+            ActionKind::LockFree { lock } => {
+                let word = self.lock_cell(prog, lock);
+                if self.word(word) == 1 {
+                    *self.word_mut(word) = 0;
+                    self.results[me].push(1);
+                } else {
+                    self.results[me].push(0);
+                }
+            }
+            ActionKind::LockProbe { lock } => {
+                let v = self.word(self.lock_cell(prog, lock));
+                self.results[me].push(v);
+            }
+        }
+    }
+}
+
+fn set_byte(w: u64, byte: u8, v: u8) -> u64 {
+    let sh = 8 * byte as u32;
+    (w & !(0xFFu64 << sh)) | ((v as u64) << sh)
+}
+
+fn set_half(w: u64, hi: bool, v: u32) -> u64 {
+    if hi {
+        (w & 0x0000_0000_FFFF_FFFF) | ((v as u64) << 32)
+    } else {
+        (w & 0xFFFF_FFFF_0000_0000) | v as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Action, Phase, PhaseKind, Terminator};
+
+    fn prog(actions: Vec<Action>, kind: PhaseKind) -> Program {
+        Program {
+            nodes: 2,
+            slots: 8,
+            locks: 1,
+            phases: vec![Phase {
+                kind,
+                terminator: Terminator::Barrier,
+                await_stores: false,
+                actions,
+            }],
+        }
+    }
+
+    #[test]
+    fn am_adds_land_at_the_barrier_not_before() {
+        let p = prog(
+            vec![
+                Action {
+                    pe: 0,
+                    kind: ActionKind::AmAdd {
+                        dst: Cell { pe: 1, slot: 2 },
+                        delta: 5,
+                    },
+                },
+                // A read of the same cell inside the phase sees the
+                // pre-add value (the queue is polled at the barrier).
+                Action {
+                    pe: 1,
+                    kind: ActionKind::Read {
+                        src: Cell { pe: 1, slot: 2 },
+                    },
+                },
+            ],
+            PhaseKind::Direct,
+        );
+        let out = interpret(&p);
+        assert_eq!(out.results[1], vec![0], "read precedes the dispatch");
+        assert_eq!(out.phase_mems[0][1][2], 5, "add landed by the barrier");
+    }
+
+    #[test]
+    fn sub_word_writes_edit_the_containing_word() {
+        let p = prog(
+            vec![
+                Action {
+                    pe: 0,
+                    kind: ActionKind::Write {
+                        dst: Cell { pe: 0, slot: 1 },
+                        value: u64::MAX,
+                    },
+                },
+                Action {
+                    pe: 0,
+                    kind: ActionKind::ByteWrite {
+                        dst: Cell { pe: 0, slot: 1 },
+                        byte: 2,
+                        value: 0,
+                    },
+                },
+                Action {
+                    pe: 0,
+                    kind: ActionKind::WriteU32 {
+                        dst: Cell { pe: 0, slot: 1 },
+                        hi: true,
+                        value: 7,
+                    },
+                },
+            ],
+            PhaseKind::Direct,
+        );
+        let out = interpret(&p);
+        assert_eq!(out.phase_mems[0][0][1], 0x0000_0007_FF00_FFFF);
+    }
+
+    #[test]
+    fn lock_state_machine_matches_word_semantics() {
+        let p = prog(
+            vec![
+                Action {
+                    pe: 0,
+                    kind: ActionKind::LockHold { lock: 0 },
+                },
+                Action {
+                    pe: 1,
+                    kind: ActionKind::LockGuardedWrite {
+                        lock: 0,
+                        dst_pe: 1,
+                        value: 9,
+                    },
+                },
+                Action {
+                    pe: 1,
+                    kind: ActionKind::LockProbe { lock: 0 },
+                },
+                Action {
+                    pe: 0,
+                    kind: ActionKind::LockFree { lock: 0 },
+                },
+                Action {
+                    pe: 1,
+                    kind: ActionKind::LockGuardedWrite {
+                        lock: 0,
+                        dst_pe: 1,
+                        value: 9,
+                    },
+                },
+            ],
+            PhaseKind::Direct,
+        );
+        let out = interpret(&p);
+        assert_eq!(out.results[0], vec![1, 1], "hold wins, free releases");
+        assert_eq!(
+            out.results[1],
+            vec![0, 1, 1],
+            "busy, probed held, then wins"
+        );
+        assert_eq!(out.phase_mems[0][1][0], 9, "guarded write landed on retry");
+        assert_eq!(out.phase_mems[0][0][8], 0, "lock word free at the end");
+    }
+
+    #[test]
+    fn strided_scatter_gather_use_word_strides() {
+        let p = prog(
+            vec![
+                Action {
+                    pe: 0,
+                    kind: ActionKind::Write {
+                        dst: Cell { pe: 0, slot: 0 },
+                        value: 10,
+                    },
+                },
+                Action {
+                    pe: 0,
+                    kind: ActionKind::Write {
+                        dst: Cell { pe: 0, slot: 1 },
+                        value: 11,
+                    },
+                },
+                Action {
+                    pe: 0,
+                    kind: ActionKind::BulkWriteStrided {
+                        dst: Cell { pe: 1, slot: 1 },
+                        count: 2,
+                        stride: 3,
+                        from: 0,
+                    },
+                },
+            ],
+            PhaseKind::Sharded,
+        );
+        let out = interpret(&p);
+        assert_eq!(out.phase_mems[0][1][1], 10);
+        assert_eq!(out.phase_mems[0][1][4], 11);
+        assert_eq!(out.phase_mems[0][1][2], 0, "gap untouched");
+    }
+}

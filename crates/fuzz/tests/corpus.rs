@@ -1,0 +1,93 @@
+//! Replays the checked-in corpus through the full differential oracle
+//! on every `cargo test`, and self-tests the fault-injection path.
+
+use std::collections::HashSet;
+use t3d_fuzz::{
+    case_seed, check_case, fault_for_seed, parse_seed, program_for_seed, shrink, ActionKind,
+    DEFAULT_BUDGET,
+};
+
+const CORPUS: &str = include_str!("../corpus/seeds.txt");
+
+/// `(master seed, case count)` pairs from `corpus/seeds.txt`.
+fn corpus_entries() -> Vec<(u64, usize)> {
+    CORPUS
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let mut it = l.split_whitespace();
+            let seed = parse_seed(it.next().expect("seed column"));
+            let cases = it
+                .next()
+                .expect("case-count column")
+                .parse()
+                .expect("case count");
+            (seed, cases)
+        })
+        .collect()
+}
+
+#[test]
+fn the_corpus_is_not_empty() {
+    let entries = corpus_entries();
+    assert!(entries.len() >= 3, "corpus shrank: {entries:?}");
+    assert!(
+        entries.iter().any(|&(s, _)| s == parse_seed("0xT3D")),
+        "the CI smoke seed must stay in the corpus"
+    );
+}
+
+#[test]
+fn corpus_replays_clean() {
+    for (master, cases) in corpus_entries() {
+        for i in 0..cases {
+            let seed = case_seed(master, i);
+            let prog = program_for_seed(seed);
+            assert_eq!(
+                check_case(&prog, 3, None),
+                None,
+                "corpus case {i} of master {master:#x} (replay --cases 1 --seed {seed:#x})"
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_exercises_every_action_kind() {
+    let mut seen: HashSet<std::mem::Discriminant<ActionKind>> = HashSet::new();
+    for (master, cases) in corpus_entries() {
+        for i in 0..cases {
+            for phase in program_for_seed(case_seed(master, i)).phases {
+                for a in phase.actions {
+                    seen.insert(std::mem::discriminant(&a.kind));
+                }
+            }
+        }
+    }
+    assert_eq!(
+        seen.len(),
+        21,
+        "corpus covers {} of 21 action kinds",
+        seen.len()
+    );
+}
+
+/// The acceptance self-test: one flipped byte in the Par run's settled
+/// memory is detected and shrinks to a reproducer of at most 12
+/// lowered ops.
+#[test]
+fn injected_fault_is_caught_and_shrunk_small() {
+    let seed = case_seed(parse_seed("0xT3D"), 0);
+    let prog = program_for_seed(seed);
+    let fault = fault_for_seed(seed);
+    let caught = check_case(&prog, 2, Some(fault));
+    assert!(caught.is_some(), "injected fault must be detected");
+    let small = shrink(&prog, 2, Some(fault), DEFAULT_BUDGET);
+    assert!(
+        check_case(&small, 2, Some(fault)).is_some(),
+        "shrunk program still fails"
+    );
+    let ops: usize = small.lower(0x100).iter().map(|p| p.op_count()).sum();
+    assert!(ops <= 12, "shrunk reproducer has {ops} lowered ops (> 12)");
+}

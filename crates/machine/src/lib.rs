@@ -37,6 +37,7 @@ pub mod machine;
 pub mod node;
 pub mod ops;
 pub mod phase;
+pub mod snapshot;
 pub mod spmd;
 pub mod trace;
 
@@ -46,6 +47,7 @@ pub use machine::{BltHandle, Machine};
 pub use node::{Node, OpStats};
 pub use ops::MachineOps;
 pub use phase::PhaseDriver;
+pub use snapshot::{MemSnapshot, SnapshotDiff};
 pub use spmd::Spmd;
 pub use trace::{TraceEvent, TraceKind, Tracer};
 

@@ -1,0 +1,222 @@
+//! Deterministic memory/clock snapshots for differential checking.
+//!
+//! A [`MemSnapshot`] captures one region of every node's memory plus the
+//! per-node virtual clocks, all functionally (no timing charged, caches
+//! untouched). Two snapshots of the same region compare with
+//! [`MemSnapshot::diff`], which reports the *first* divergence — the
+//! anchor the `t3d-fuzz` differential harness shrinks failures around.
+//!
+//! [`Machine::corrupt_byte`] is the matching fault-injection hook: it
+//! flips one settled byte, exactly what a bug in the sharded phase
+//! engine's effect-log merge would look like, so the harness can prove
+//! its oracle actually detects (and its shrinker minimizes) a
+//! single-byte divergence.
+
+use crate::machine::Machine;
+
+/// A functional capture of `[base, base + bytes)` on every node, plus
+/// the virtual clocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemSnapshot {
+    base: u64,
+    clocks: Vec<u64>,
+    mem: Vec<Vec<u8>>,
+}
+
+/// The first divergence between two snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotDiff {
+    /// Virtual clocks disagree on a node.
+    Clock {
+        /// The diverging node.
+        pe: usize,
+        /// Clock in the first snapshot.
+        a: u64,
+        /// Clock in the second snapshot.
+        b: u64,
+    },
+    /// A memory byte disagrees on a node.
+    Byte {
+        /// The diverging node.
+        pe: usize,
+        /// Absolute local offset of the byte.
+        off: u64,
+        /// Value in the first snapshot.
+        a: u8,
+        /// Value in the second snapshot.
+        b: u8,
+    },
+}
+
+impl std::fmt::Display for SnapshotDiff {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            SnapshotDiff::Clock { pe, a, b } => {
+                write!(f, "PE {pe}: clock {a} vs {b}")
+            }
+            SnapshotDiff::Byte { pe, off, a, b } => {
+                write!(f, "PE {pe}: byte at {off:#x} is {a:#04x} vs {b:#04x}")
+            }
+        }
+    }
+}
+
+impl MemSnapshot {
+    /// First local offset captured.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Captured bytes of one node.
+    pub fn mem(&self, pe: usize) -> &[u8] {
+        &self.mem[pe]
+    }
+
+    /// Captured virtual clock of one node.
+    pub fn clock(&self, pe: usize) -> u64 {
+        self.clocks[pe]
+    }
+
+    /// The first divergence from `other` — clocks first (they order the
+    /// nodes' virtual time), then memory bytes in address order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshots cover different shapes (node count,
+    /// base, or length).
+    pub fn diff(&self, other: &MemSnapshot) -> Option<SnapshotDiff> {
+        assert_eq!(self.base, other.base, "snapshots cover the same region");
+        assert_eq!(self.mem.len(), other.mem.len(), "same node count");
+        for (pe, (&a, &b)) in self.clocks.iter().zip(&other.clocks).enumerate() {
+            if a != b {
+                return Some(SnapshotDiff::Clock { pe, a, b });
+            }
+        }
+        self.mem_diff(other)
+    }
+
+    /// Like [`MemSnapshot::diff`] but ignoring clocks — the comparison
+    /// against a reference model that has no notion of virtual time.
+    pub fn mem_diff(&self, other: &MemSnapshot) -> Option<SnapshotDiff> {
+        assert_eq!(self.base, other.base, "snapshots cover the same region");
+        for (pe, (ma, mb)) in self.mem.iter().zip(&other.mem).enumerate() {
+            assert_eq!(ma.len(), mb.len(), "same region length");
+            for (i, (&a, &b)) in ma.iter().zip(mb).enumerate() {
+                if a != b {
+                    return Some(SnapshotDiff::Byte {
+                        pe,
+                        off: self.base + i as u64,
+                        a,
+                        b,
+                    });
+                }
+            }
+        }
+        None
+    }
+}
+
+impl Machine {
+    /// Functionally captures `[base, base + bytes)` on every node plus
+    /// the virtual clocks. Charges no time and perturbs no caches, so
+    /// snapshotting is invisible to the simulation.
+    pub fn snapshot_region(&self, base: u64, bytes: u64) -> MemSnapshot {
+        let n = self.nodes();
+        let mut mem = Vec::with_capacity(n);
+        let mut clocks = Vec::with_capacity(n);
+        for pe in 0..n {
+            let mut buf = vec![0u8; bytes as usize];
+            self.peek_mem(pe, base, &mut buf);
+            mem.push(buf);
+            clocks.push(self.clock(pe));
+        }
+        MemSnapshot { base, clocks, mem }
+    }
+
+    /// Fault-injection hook: flips every bit of the byte at `off` on
+    /// `pe` (functionally, flushing any cached copy). Differential
+    /// harnesses use this to prove their memory-equivalence oracle
+    /// detects a single corrupted byte.
+    pub fn corrupt_byte(&mut self, pe: usize, off: u64) {
+        let mut b = [0u8; 1];
+        self.peek_mem(pe, off, &mut b);
+        self.poke_mem(pe, off, &[b[0] ^ 0xFF]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    #[test]
+    fn identical_machines_have_no_diff() {
+        let m = Machine::new(MachineConfig::t3d(4));
+        let a = m.snapshot_region(0x100, 64);
+        let b = m.snapshot_region(0x100, 64);
+        assert_eq!(a.diff(&b), None);
+        assert_eq!(a.base(), 0x100);
+        assert_eq!(a.mem(0).len(), 64);
+    }
+
+    #[test]
+    fn a_byte_change_is_found_at_its_offset() {
+        let mut m = Machine::new(MachineConfig::t3d(2));
+        let a = m.snapshot_region(0x100, 64);
+        m.poke_mem(1, 0x120, &[0xAB]);
+        let b = m.snapshot_region(0x100, 64);
+        assert_eq!(
+            a.mem_diff(&b),
+            Some(SnapshotDiff::Byte {
+                pe: 1,
+                off: 0x120,
+                a: 0,
+                b: 0xAB
+            })
+        );
+        // diff() reports it too (clocks are equal).
+        assert_eq!(
+            a.diff(&b),
+            Some(SnapshotDiff::Byte {
+                pe: 1,
+                off: 0x120,
+                a: 0,
+                b: 0xAB
+            })
+        );
+    }
+
+    #[test]
+    fn clock_divergence_is_reported_before_memory() {
+        let mut m = Machine::new(MachineConfig::t3d(2));
+        let a = m.snapshot_region(0x100, 8);
+        m.advance(0, 10);
+        m.poke_mem(0, 0x100, &[1]);
+        let b = m.snapshot_region(0x100, 8);
+        assert_eq!(a.diff(&b), Some(SnapshotDiff::Clock { pe: 0, a: 0, b: 10 }));
+        assert!(matches!(a.mem_diff(&b), Some(SnapshotDiff::Byte { .. })));
+    }
+
+    #[test]
+    fn corrupt_byte_flips_and_is_visible() {
+        let mut m = Machine::new(MachineConfig::t3d(2));
+        m.poke_mem(0, 0x140, &[0x0F]);
+        m.corrupt_byte(0, 0x140);
+        let mut b = [0u8; 1];
+        m.peek_mem(0, 0x140, &mut b);
+        assert_eq!(b[0], 0xF0);
+    }
+
+    #[test]
+    fn diff_renders_readably() {
+        let d = SnapshotDiff::Byte {
+            pe: 3,
+            off: 0x108,
+            a: 1,
+            b: 2,
+        };
+        assert_eq!(d.to_string(), "PE 3: byte at 0x108 is 0x01 vs 0x02");
+        let c = SnapshotDiff::Clock { pe: 1, a: 5, b: 6 };
+        assert_eq!(c.to_string(), "PE 1: clock 5 vs 6");
+    }
+}

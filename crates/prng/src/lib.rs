@@ -97,6 +97,49 @@ impl Rng {
         // 53 high bits → the standard [0,1) double construction.
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
+
+    /// Runs `n` seeded cases through `f`, passing the case index and a
+    /// generator.
+    ///
+    /// All cases draw from *one* generator seeded once from `seed`, so
+    /// the value stream is identical to the hand-written loop this
+    /// helper replaces (`let mut rng = Rng::seed_from_u64(seed); for
+    /// case in 0..n { ... }`). Randomized tests use it to keep their
+    /// recorded behaviour while losing the boilerplate.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use t3d_prng::Rng;
+    ///
+    /// let mut sum = 0u64;
+    /// Rng::cases(7, 16, |case, rng| {
+    ///     assert!(case < 16);
+    ///     sum += rng.gen_range(0u64..10);
+    /// });
+    /// assert!(sum < 160);
+    /// ```
+    pub fn cases(seed: u64, n: usize, mut f: impl FnMut(usize, &mut Rng)) {
+        let mut rng = Rng::seed_from_u64(seed);
+        for case in 0..n {
+            f(case, &mut rng);
+        }
+    }
+
+    /// A uniformly chosen element of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "empty choice");
+        &items[self.below(items.len() as u64) as usize]
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
 }
 
 /// Types that can be drawn uniformly from a half-open `Range`.
@@ -190,5 +233,46 @@ mod tests {
     #[should_panic(expected = "empty range")]
     fn empty_range_panics() {
         Rng::seed_from_u64(0).gen_range(5u32..5);
+    }
+
+    #[test]
+    fn cases_matches_the_manual_loop() {
+        // `cases` must preserve the exact stream of the loop it replaces.
+        let mut manual = Vec::new();
+        let mut rng = Rng::seed_from_u64(0xABC);
+        for case in 0..10 {
+            manual.push((case, rng.next_u64()));
+        }
+        let mut helper = Vec::new();
+        Rng::cases(0xABC, 10, |case, rng| helper.push((case, rng.next_u64())));
+        assert_eq!(manual, helper);
+    }
+
+    #[test]
+    fn pick_draws_every_element() {
+        let mut rng = Rng::seed_from_u64(5);
+        let items = [10u32, 20, 30];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let v = *rng.pick(&items);
+            seen[(v / 10 - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty choice")]
+    fn pick_from_empty_panics() {
+        Rng::seed_from_u64(0).pick::<u64>(&[]);
+    }
+
+    #[test]
+    fn chance_tracks_probability() {
+        let mut rng = Rng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        let frac = hits as f64 / 10_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "P(hit) near 0.25: {frac}");
+        assert!(!Rng::seed_from_u64(0).chance(0.0));
+        assert!(Rng::seed_from_u64(0).chance(1.1));
     }
 }

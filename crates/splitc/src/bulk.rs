@@ -185,7 +185,8 @@ impl ScCtx<'_> {
     ///
     /// # Panics
     ///
-    /// Panics on zero sizes or non-multiple-of-8 element sizes.
+    /// Panics on zero sizes, non-multiple-of-8 element sizes, or a
+    /// stride smaller than the element (overlapping windows).
     pub fn bulk_read_strided(
         &mut self,
         local_off: u64,
@@ -199,6 +200,12 @@ impl ScCtx<'_> {
             "elements are whole words"
         );
         assert!(count > 0, "strided read must move data");
+        // Same precondition as the machine's BLT path, asserted here so
+        // every transfer size rejects overlapping windows identically.
+        assert!(
+            stride_bytes >= elem_bytes,
+            "stride must not overlap elements"
+        );
         self.rt.stats.bulk_ops += 1;
         let total = count * elem_bytes;
         if src.pe() as usize == self.pe {
@@ -248,7 +255,8 @@ impl ScCtx<'_> {
     ///
     /// # Panics
     ///
-    /// Panics on zero sizes or non-multiple-of-8 element sizes.
+    /// Panics on zero sizes, non-multiple-of-8 element sizes, or a
+    /// stride smaller than the element (overlapping windows).
     pub fn bulk_write_strided(
         &mut self,
         dst: GlobalPtr,
@@ -262,6 +270,10 @@ impl ScCtx<'_> {
             "elements are whole words"
         );
         assert!(count > 0, "strided write must move data");
+        assert!(
+            stride_bytes >= elem_bytes,
+            "stride must not overlap elements"
+        );
         self.rt.stats.bulk_ops += 1;
         let total = count * elem_bytes;
         if dst.pe() as usize == self.pe {

@@ -66,6 +66,7 @@ pub mod config;
 pub mod getput;
 pub mod gptr;
 pub mod lock;
+pub mod op;
 pub mod runtime;
 pub mod rw;
 pub mod spread;
@@ -75,6 +76,7 @@ pub use annex::AnnexPolicy;
 pub use config::SplitcConfig;
 pub use gptr::GlobalPtr;
 pub use lock::GlobalLock;
+pub use op::ScOp;
 pub use runtime::{NodeRt, ScCtx, SplitC};
 pub use spread::SpreadArray;
 

@@ -3,8 +3,9 @@
 //! flat reference models).
 //!
 //! The cases are drawn from the in-repo deterministic PRNG rather than
-//! an external property-testing framework: each test runs a fixed
-//! number of seeded cases, so failures are reproducible by seed.
+//! an external property-testing framework: each test runs its seeded
+//! cases through [`Rng::cases`], so failures are reproducible by seed
+//! and the value stream matches the hand-written loop this replaces.
 
 use splitc::{GlobalPtr, SpreadArray};
 use t3d_machine::{Machine, MachineConfig};
@@ -16,22 +17,20 @@ use t3d_torus::{Torus, TorusConfig};
 /// Global pointers round-trip through their packed representation.
 #[test]
 fn gptr_pack_roundtrip() {
-    let mut rng = Rng::seed_from_u64(0x5001);
-    for _ in 0..512 {
+    Rng::cases(0x5001, 512, |_, rng| {
         let pe = rng.gen_range(0u32..u16::MAX as u32 + 1);
         let addr = rng.gen_range(0u64..1 << 48);
         let p = GlobalPtr::new(pe, addr);
         assert_eq!(p.pe(), pe);
         assert_eq!(p.addr(), addr);
         assert_eq!(GlobalPtr::from_bits(p.bits()), p);
-    }
+    });
 }
 
 /// Local arithmetic commutes with extraction.
 #[test]
 fn gptr_local_arithmetic() {
-    let mut rng = Rng::seed_from_u64(0x5002);
-    for _ in 0..512 {
+    Rng::cases(0x5002, 512, |_, rng| {
         let pe = rng.gen_range(0u32..256);
         let addr = rng.gen_range(0u64..1 << 40);
         let d = rng.gen_range(0u64..1 << 20);
@@ -39,15 +38,14 @@ fn gptr_local_arithmetic() {
         assert_eq!(p.local_add(d).addr(), addr + d);
         assert_eq!(p.local_add(d).pe(), pe);
         assert_eq!(p.local_add(d).local_sub(d), p);
-    }
+    });
 }
 
 /// Global arithmetic is associative in step counts and inverted by
 /// global_index.
 #[test]
 fn gptr_global_arithmetic() {
-    let mut rng = Rng::seed_from_u64(0x5003);
-    for _ in 0..512 {
+    Rng::cases(0x5003, 512, |_, rng| {
         let nprocs = rng.gen_range(1u32..64);
         let a = rng.gen_range(0u64..500);
         let b = rng.gen_range(0u64..500);
@@ -56,15 +54,14 @@ fn gptr_global_arithmetic() {
         let two = base.global_add(a, 8, nprocs).global_add(b, 8, nprocs);
         assert_eq!(one, two, "global_add composes");
         assert_eq!(one.global_index(0x1000, 8, nprocs), a + b);
-    }
+    });
 }
 
 /// Torus hop counts form a metric: symmetric, zero iff equal, and
 /// obeying the triangle inequality.
 #[test]
 fn torus_hops_is_a_metric() {
-    let mut rng = Rng::seed_from_u64(0x5004);
-    for _ in 0..256 {
+    Rng::cases(0x5004, 256, |_, rng| {
         let dims = (
             rng.gen_range(1u32..6),
             rng.gen_range(1u32..6),
@@ -82,14 +79,13 @@ fn torus_hops_is_a_metric() {
             assert!(t.hops(a, b) > 0);
         }
         assert!(t.hops(a, c) <= t.hops(a, b) + t.hops(b, c));
-    }
+    });
 }
 
 /// Dimension-order routes have exactly `hops` links and stay in bounds.
 #[test]
 fn torus_route_consistency() {
-    let mut rng = Rng::seed_from_u64(0x5005);
-    for _ in 0..256 {
+    Rng::cases(0x5005, 256, |_, rng| {
         let dims = (
             rng.gen_range(1u32..5),
             rng.gen_range(1u32..5),
@@ -105,14 +101,13 @@ fn torus_route_consistency() {
         for c in route {
             assert!(c.x < dims.0 && c.y < dims.1 && c.z < dims.2);
         }
-    }
+    });
 }
 
 /// Spread arrays partition ownership completely and disjointly.
 #[test]
 fn spread_partition() {
-    let mut rng = Rng::seed_from_u64(0x5006);
-    for _ in 0..64 {
+    Rng::cases(0x5006, 64, |_, rng| {
         let len = rng.gen_range(1u64..2000);
         let nprocs = rng.gen_range(1u32..32);
         let a = SpreadArray::new(0x100, 8, len, nprocs);
@@ -124,7 +119,7 @@ fn spread_partition() {
             }
         }
         assert!(owned.iter().all(|&c| c == 1));
-    }
+    });
 }
 
 /// The memory port is functionally a flat byte array under any sequence
@@ -132,8 +127,7 @@ fn spread_partition() {
 /// forwarding must never change values, only timing.
 #[test]
 fn memport_matches_flat_memory() {
-    let mut rng = Rng::seed_from_u64(0x5007);
-    for _ in 0..48 {
+    Rng::cases(0x5007, 48, |_, rng| {
         let n_ops = rng.gen_range(1usize..200);
         let mut port = MemPort::new(MemConfig::t3d());
         let mut reference = vec![0u8; 2048 + 8];
@@ -166,7 +160,7 @@ fn memport_matches_flat_memory() {
         let mut buf = vec![0u8; 2048];
         port.peek_mem(0, &mut buf);
         assert_eq!(&buf[..], &reference[..2048]);
-    }
+    });
 }
 
 /// Remote reads and writes between two nodes are functionally a pair of
@@ -174,8 +168,7 @@ fn memport_matches_flat_memory() {
 /// conflicting read — the discipline Split-C's blocking ops follow.
 #[test]
 fn machine_remote_ops_match_reference() {
-    let mut rng = Rng::seed_from_u64(0x5008);
-    for _ in 0..24 {
+    Rng::cases(0x5008, 24, |_, rng| {
         let n_ops = rng.gen_range(1usize..60);
         let mut m = Machine::new(MachineConfig::t3d(2));
         m.annex_set(
@@ -207,15 +200,14 @@ fn machine_remote_ops_match_reference() {
         for (slot, val) in reference.iter().enumerate() {
             assert_eq!(m.peek8(1, slot as u64 * 8), *val);
         }
-    }
+    });
 }
 
 /// Virtual time is monotone: no operation may move a node's clock
 /// backwards.
 #[test]
 fn clocks_are_monotone() {
-    let mut rng = Rng::seed_from_u64(0x5009);
-    for _ in 0..24 {
+    Rng::cases(0x5009, 24, |_, rng| {
         let n_ops = rng.gen_range(1usize..80);
         let mut m = Machine::new(MachineConfig::t3d(2));
         m.annex_set(
@@ -248,5 +240,5 @@ fn clocks_are_monotone() {
             assert!(now >= last, "clock went backwards: {last} -> {now}");
             last = now;
         }
-    }
+    });
 }

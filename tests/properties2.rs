@@ -1,8 +1,9 @@
 //! Second property suite: functional models of individual mechanisms
 //! against simple references, and whole-machine determinism.
 //!
-//! Cases are drawn from the in-repo deterministic PRNG (fixed seeds,
-//! fixed case counts) so every failure is reproducible.
+//! Cases run through [`Rng::cases`] (fixed seeds, fixed case counts) so
+//! every failure is reproducible and the value stream matches the
+//! hand-written loop this replaces.
 
 use em3d::{Em3dGraph, Em3dParams};
 use splitc::{AnnexPolicy, GlobalPtr, SplitC, SplitcConfig};
@@ -17,8 +18,7 @@ use t3d_shell::{AnnexEntry, FuncCode, PrefetchUnit, ShellConfig};
 /// exactly what a reference map holds.
 #[test]
 fn l1_matches_reference_map() {
-    let mut rng = Rng::seed_from_u64(0x6001);
-    for _ in 0..48 {
+    Rng::cases(0x6001, 48, |_, rng| {
         let n_ops = rng.gen_range(1usize..300);
         let mut l1 = L1Cache::new(MemConfig::t3d().l1);
         // Reference: line base -> 32 bytes, for lines currently resident.
@@ -59,15 +59,14 @@ fn l1_matches_reference_map() {
                 },
             }
         }
-    }
+    });
 }
 
 /// The prefetch queue is strictly FIFO under any interleaving of
 /// issues, fences and pops, and never yields undeparted data.
 #[test]
 fn prefetch_queue_is_fifo() {
-    let mut rng = Rng::seed_from_u64(0x6002);
-    for _ in 0..64 {
+    Rng::cases(0x6002, 64, |_, rng| {
         let n_ops = rng.gen_range(1usize..200);
         let mut pf = PrefetchUnit::new(&ShellConfig::t3d());
         let mut now = 0u64;
@@ -102,15 +101,14 @@ fn prefetch_queue_is_fifo() {
             now += cost;
         }
         assert_eq!(next_expected, next_issued, "no prefetch lost");
-    }
+    });
 }
 
 /// Safe annex policies never leave two registers naming one PE, no
 /// matter the access pattern.
 #[test]
 fn safe_annex_policies_are_synonym_free() {
-    let mut rng = Rng::seed_from_u64(0x6003);
-    for case in 0..48 {
+    Rng::cases(0x6003, 48, |case, rng| {
         let n_targets = rng.gen_range(1usize..80);
         let targets: Vec<u32> = (0..n_targets).map(|_| rng.gen_range(1u32..8)).collect();
         let policy = match case % 3 {
@@ -133,15 +131,14 @@ fn safe_annex_policies_are_synonym_free() {
                 "{policy:?} created a synonym for PE {pe}"
             );
         }
-    }
+    });
 }
 
 /// The whole machine is deterministic: the same op sequence twice gives
 /// bit-identical clocks and memory.
 #[test]
 fn machine_is_deterministic() {
-    let mut rng = Rng::seed_from_u64(0x6004);
-    for _ in 0..16 {
+    Rng::cases(0x6004, 16, |_, rng| {
         let n_ops = rng.gen_range(1usize..60);
         let ops: Vec<(u8, u64, u64)> = (0..n_ops)
             .map(|_| {
@@ -198,15 +195,14 @@ fn machine_is_deterministic() {
         let a = run(&ops);
         let b = run(&ops);
         assert_eq!(a, b);
-    }
+    });
 }
 
 /// EM3D graph generation respects its own contract for any parameters:
 /// endpoints in range, remote fraction tracking the request.
 #[test]
 fn em3d_graphs_are_well_formed() {
-    let mut rng = Rng::seed_from_u64(0x6005);
-    for case in 0..32 {
+    Rng::cases(0x6005, 32, |case, rng| {
         let nodes_per_pe = rng.gen_range(4usize..60);
         let degree = rng.gen_range(1usize..12);
         let pct: u8 = match case % 4 {
@@ -247,7 +243,7 @@ fn em3d_graphs_are_well_formed() {
             (measured - pct as f64).abs() <= tolerance,
             "requested {pct}%, generated {measured:.1}% (tolerance {tolerance:.1})"
         );
-    }
+    });
 }
 
 /// The write buffer delivers remote entries byte-exactly under any mix
@@ -256,8 +252,7 @@ fn em3d_graphs_are_well_formed() {
 /// to a flat reference array.
 #[test]
 fn remote_write_buffer_is_byte_exact() {
-    let mut rng = Rng::seed_from_u64(0x6006);
-    for _ in 0..24 {
+    Rng::cases(0x6006, 24, |_, rng| {
         let n_ops = rng.gen_range(1usize..120);
         let mut m = Machine::new(MachineConfig::t3d(2));
         m.annex_set(
@@ -285,15 +280,14 @@ fn remote_write_buffer_is_byte_exact() {
         let mut got = vec![0u8; 2048];
         m.peek_mem(1, 0, &mut got);
         assert_eq!(got, reference);
-    }
+    });
 }
 
 /// Split-C reads always return the last fenced write, across any
 /// pattern of writers (single-writer-per-slot discipline).
 #[test]
 fn splitc_rw_linearizes() {
-    let mut rng = Rng::seed_from_u64(0x6007);
-    for _ in 0..24 {
+    Rng::cases(0x6007, 24, |_, rng| {
         let n_ops = rng.gen_range(1usize..40);
         let mut sc = SplitC::new(MachineConfig::t3d(4));
         let base = sc.alloc(32 * 8, 8);
@@ -310,5 +304,5 @@ fn splitc_rw_linearizes() {
             let got = sc.on(reader, |ctx| ctx.read_u64(gp));
             assert_eq!(got, reference[slot as usize]);
         }
-    }
+    });
 }
