@@ -7,7 +7,7 @@
 use crate::graph::{Em3dGraph, Em3dParams, Endpoint};
 use splitc::{GlobalPtr, SplitC};
 use std::collections::HashMap;
-use t3d_machine::{MachineConfig, OpStats, PhaseDriver};
+use t3d_machine::{MachineConfig, OpStats, PerfMode, PerfReport, PhaseDriver};
 
 /// Which optimization level to run (Section 8, in paper order).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -426,6 +426,31 @@ pub fn run_version_with(
     params: Em3dParams,
     version: Version,
 ) -> Em3dResult {
+    run_version_inner(driver, nprocs, params, version, false).0
+}
+
+/// [`run_version_with`], with cycle attribution: the measured steps run
+/// under [`PerfMode::Counters`] (rebased after the warm-up step, so the
+/// report covers exactly the timed region), with the comm and compute
+/// halves marked as named phases. Attribution is pure observation — the
+/// returned [`Em3dResult`] is bit-identical to an unprofiled run.
+pub fn run_version_profiled(
+    driver: PhaseDriver,
+    nprocs: u32,
+    params: Em3dParams,
+    version: Version,
+) -> (Em3dResult, PerfReport) {
+    let (r, p) = run_version_inner(driver, nprocs, params, version, true);
+    (r, p.expect("profiling was requested"))
+}
+
+fn run_version_inner(
+    driver: PhaseDriver,
+    nprocs: u32,
+    params: Em3dParams,
+    version: Version,
+    profile: bool,
+) -> (Em3dResult, Option<PerfReport>) {
     let g = Em3dGraph::generate(params, nprocs);
     let mut sc = SplitC::new(MachineConfig::t3d_with_mem(nprocs, 4 * 1024 * 1024));
     let npp = params.nodes_per_pe as u64;
@@ -466,9 +491,16 @@ pub fn run_version_with(
         }
     }
 
+    // Phase markers for the profiler (no-ops unless profiling is on).
+    let mark = |sc: &mut SplitC, label: &str| {
+        if profile {
+            sc.machine().perf_begin_phase(label);
+        }
+    };
     let step = |sc: &mut SplitC| {
         if version == Version::StoreSync {
             // Message-driven: no global barriers inside the step.
+            mark(sc, "comm.e");
             sc.par_phase_with(driver, |ctx| {
                 fill_ghosts(
                     ctx,
@@ -480,6 +512,7 @@ pub fn run_version_with(
                     CommPhase::Push,
                 )
             });
+            mark(sc, "compute.e");
             sc.par_phase_with(driver, |ctx| {
                 fill_ghosts(
                     ctx,
@@ -502,6 +535,7 @@ pub fn run_version_with(
                     layout.ghost_h,
                 );
             });
+            mark(sc, "comm.h");
             sc.par_phase_with(driver, |ctx| {
                 fill_ghosts(
                     ctx,
@@ -513,6 +547,7 @@ pub fn run_version_with(
                     CommPhase::Push,
                 )
             });
+            mark(sc, "compute.h");
             sc.par_phase_with(driver, |ctx| {
                 fill_ghosts(
                     ctx,
@@ -538,6 +573,7 @@ pub fn run_version_with(
             return;
         }
         // E half: H values flow to E consumers.
+        mark(sc, "comm.e");
         if matches!(version, Version::Put | Version::Bulk) {
             sc.par_phase_with(driver, |ctx| {
                 fill_ghosts(
@@ -564,6 +600,7 @@ pub fn run_version_with(
             )
         });
         sc.barrier();
+        mark(sc, "compute.e");
         sc.par_phase_with(driver, |ctx| {
             compute_half(
                 ctx,
@@ -579,6 +616,7 @@ pub fn run_version_with(
         });
         sc.barrier();
         // H half: E values flow to H consumers.
+        mark(sc, "comm.h");
         if matches!(version, Version::Put | Version::Bulk) {
             sc.par_phase_with(driver, |ctx| {
                 fill_ghosts(
@@ -605,6 +643,7 @@ pub fn run_version_with(
             )
         });
         sc.barrier();
+        mark(sc, "compute.h");
         sc.par_phase_with(driver, |ctx| {
             compute_half(
                 ctx,
@@ -626,10 +665,21 @@ pub fn run_version_with(
     for pe in 0..nprocs as usize {
         sc.machine().clear_op_stats(pe);
     }
+    if profile {
+        // Rebase attribution here so the report covers exactly the
+        // measured region (the warm-up step is excluded).
+        sc.machine().set_perf_mode(PerfMode::Counters);
+    }
     let t0 = sc.max_clock();
     for _ in 0..params.steps {
         step(&mut sc);
     }
+    let report = if profile {
+        sc.machine().perf_end_phase();
+        Some(sc.machine_ref().perf())
+    } else {
+        None
+    };
     let cycles = sc.max_clock() - t0;
     let clock_fnv = (0..nprocs as usize)
         .map(|pe| sc.machine_ref().clock(pe))
@@ -679,13 +729,16 @@ pub fn run_version_with(
     }
 
     let edges = params.edges_per_step_per_pe() * params.steps as u64;
-    Em3dResult {
-        us_per_edge: cycles as f64 * 6.666_666_666_666_667e-3 / edges as f64,
-        edges,
-        cycles,
-        ops,
-        clock_fnv,
-    }
+    (
+        Em3dResult {
+            us_per_edge: cycles as f64 * 6.666_666_666_666_667e-3 / edges as f64,
+            edges,
+            cycles,
+            ops,
+            clock_fnv,
+        },
+        report,
+    )
 }
 
 /// Scaling study: µs per edge as the machine grows at fixed per-PE

@@ -51,6 +51,9 @@ pub use snapshot::{MemSnapshot, SnapshotDiff};
 pub use spmd::Spmd;
 pub use trace::{TraceEvent, TraceKind, Tracer};
 
+pub use t3d_perf as perf;
+pub use t3d_perf::{CostClass, PerfMode, PerfReport};
+
 pub use t3d_memsys as memsys;
 pub use t3d_shell as shell;
 pub use t3d_torus as torus;

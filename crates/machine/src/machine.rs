@@ -5,6 +5,10 @@ use crate::config::MachineConfig;
 use crate::node::Node;
 use crate::trace::{TraceEvent, TraceKind, Tracer};
 use t3d_memsys::{RemoteSink, WriteTarget};
+use t3d_perf::{
+    chrome_trace, CostClass, Ledger, OpHists, OpKind, PePerf, PerfMode, PerfReport, PhaseLog,
+    Registry, Span,
+};
 use t3d_shell::blt::BltDirection;
 use t3d_shell::{AnnexEntry, BarrierUnit, FuncCode, Message, PopError};
 use t3d_torus::Torus;
@@ -28,20 +32,31 @@ pub struct Machine {
     nodes: Vec<Node>,
     barrier: BarrierUnit,
     tracer: Tracer,
+    perf_mode: PerfMode,
+    phase_log: PhaseLog,
 }
 
 impl Machine {
-    /// Builds a machine from a configuration.
+    /// Builds a machine from a configuration. Profiling defaults to the
+    /// `T3D_PERF` environment variable (off when unset), mirroring the
+    /// sanitizer's `T3D_SAN` convention.
     pub fn new(cfg: MachineConfig) -> Self {
         let torus = Torus::new(cfg.torus);
         let n = torus.nodes();
-        Machine {
+        let mut m = Machine {
             nodes: (0..n).map(|pe| Node::new(&cfg, pe)).collect(),
             barrier: BarrierUnit::new(&cfg.shell, n as usize),
             torus,
             cfg,
             tracer: Tracer::default(),
+            perf_mode: PerfMode::Off,
+            phase_log: PhaseLog::default(),
+        };
+        let mode = PerfMode::effective(PerfMode::Off);
+        if mode.counters() {
+            m.set_perf_mode(mode);
         }
+        m
     }
 
     /// The configuration this machine was built with.
@@ -82,6 +97,7 @@ impl Machine {
     /// Charges `cycles` of computation to a node.
     pub fn advance(&mut self, pe: usize, cycles: u64) {
         self.nodes[pe].clock += cycles;
+        self.nodes[pe].perf.credit(CostClass::Compute, cycles);
     }
 
     /// Number of physical-address bits forming the local offset.
@@ -175,6 +191,7 @@ impl Machine {
         let now = self.nodes[pe].clock;
         let cost = self.nodes[pe].annex.update(idx, entry);
         self.nodes[pe].clock += cost;
+        self.nodes[pe].perf.credit(CostClass::AnnexUpdate, cost);
         self.trace(pe, TraceKind::AnnexSet(entry.pe), idx as u64, now);
     }
 
@@ -213,6 +230,7 @@ impl Machine {
             let now = self.nodes[pe].clock;
             let cost = self.nodes[pe].port.read(now, va, buf);
             self.nodes[pe].clock = now + cost;
+            self.nodes[pe].perf.sample(OpKind::LdLocal, cost);
             self.deliver_outbox(pe);
             self.trace(pe, TraceKind::LoadLocal, va, now);
             return;
@@ -237,6 +255,9 @@ impl Machine {
             let o = (va - line_pa) as usize;
             buf.copy_from_slice(&line[o..o + buf.len()]);
             self.nodes[pe].clock = now + cost + self.cfg.mem.l1.hit_cy;
+            let hit = self.cfg.mem.l1.hit_cy;
+            self.nodes[pe].perf.credit(CostClass::L1Hit, hit);
+            self.nodes[pe].perf.sample(OpKind::LdRemote, cost + hit);
             self.trace(pe, TraceKind::LoadRemote(entry.pe), va, now);
             return;
         }
@@ -260,6 +281,14 @@ impl Machine {
                     + self.rtt_cy(pe, target)
                     + dram
                     + queue;
+                let shell =
+                    self.cfg.shell.remote_read_shell_cy + self.cfg.shell.cached_read_extra_cy;
+                let rtt = self.rtt_cy(pe, target);
+                let p = &mut self.nodes[pe].perf;
+                p.credit(CostClass::ShellLaunch, shell);
+                p.credit(CostClass::NetHop, rtt);
+                p.credit(CostClass::RemoteDram, dram);
+                p.credit(CostClass::Contention, queue);
                 if self.nodes[pe].port.has_pending_line(line_pa) {
                     self.nodes[pe].port.forward_pending(line_pa, &mut line_buf);
                 }
@@ -283,6 +312,13 @@ impl Machine {
                 let queue = self.contend(target, ready, dram + 5);
                 cost +=
                     self.cfg.shell.remote_read_shell_cy + self.rtt_cy(pe, target) + dram + queue;
+                let shell = self.cfg.shell.remote_read_shell_cy;
+                let rtt = self.rtt_cy(pe, target);
+                let p = &mut self.nodes[pe].perf;
+                p.credit(CostClass::ShellLaunch, shell);
+                p.credit(CostClass::NetHop, rtt);
+                p.credit(CostClass::RemoteDram, dram);
+                p.credit(CostClass::Contention, queue);
                 // Our own pending stores to the same full PA forward.
                 if self.nodes[pe].port.has_pending_line(line_pa) {
                     let mut line_buf = vec![0u8; self.cfg.mem.l1.line];
@@ -295,6 +331,7 @@ impl Machine {
             }
         }
         self.nodes[pe].clock = now + cost;
+        self.nodes[pe].perf.sample(OpKind::LdRemote, cost);
         self.trace(pe, TraceKind::LoadRemote(entry.pe), va, now);
     }
 
@@ -345,6 +382,12 @@ impl Machine {
                 .write_to(now, va, bytes, WriteTarget::Remote(sink))
         };
         self.nodes[pe].clock = now + cost;
+        let kind_op = if aidx == 0 {
+            OpKind::StLocal
+        } else {
+            OpKind::StRemote
+        };
+        self.nodes[pe].perf.sample(kind_op, cost);
         self.deliver_outbox(pe);
         let kind = if aidx == 0 {
             TraceKind::StoreLocal
@@ -361,6 +404,7 @@ impl Machine {
         let now = self.nodes[pe].clock;
         let cost = self.nodes[pe].port.memory_barrier(now);
         self.nodes[pe].clock = now + cost;
+        self.nodes[pe].perf.sample(OpKind::Fence, cost);
         let t = self.nodes[pe].clock;
         self.nodes[pe].prefetch.note_memory_barrier(t);
         self.deliver_outbox(pe);
@@ -374,6 +418,7 @@ impl Machine {
         let now = self.nodes[pe].clock;
         let (clear, cost) = self.nodes[pe].acks.poll(now);
         self.nodes[pe].clock = now + cost;
+        self.nodes[pe].perf.credit(CostClass::AckWait, cost);
         self.trace(pe, TraceKind::StatusPoll, 0, now);
         clear
     }
@@ -385,6 +430,8 @@ impl Machine {
         let now = self.nodes[pe].clock;
         let cost = self.nodes[pe].acks.wait_clear(now);
         self.nodes[pe].clock = now + cost;
+        self.nodes[pe].perf.credit(CostClass::AckWait, cost);
+        self.nodes[pe].perf.sample(OpKind::AckWait, cost);
         self.trace(pe, TraceKind::AckWait, 0, now);
     }
 
@@ -442,10 +489,13 @@ impl Machine {
             {
                 Some(c) => {
                     self.nodes[pe].clock = now + tlb + c;
+                    self.nodes[pe].perf.credit(CostClass::PrefetchIssue, c);
+                    self.nodes[pe].perf.sample(OpKind::Fetch, tlb + c);
                     true
                 }
                 None => {
                     self.nodes[pe].clock = now + tlb;
+                    self.nodes[pe].perf.sample(OpKind::Fetch, tlb);
                     false
                 }
             };
@@ -466,6 +516,8 @@ impl Machine {
         let now = self.nodes[pe].clock;
         let (value, cost) = self.nodes[pe].prefetch.pop(now)?;
         self.nodes[pe].clock = now + cost;
+        self.nodes[pe].perf.credit(CostClass::PrefetchWait, cost);
+        self.nodes[pe].perf.sample(OpKind::Pop, cost);
         self.trace(pe, TraceKind::Pop, 0, now);
         Ok(value)
     }
@@ -509,6 +561,12 @@ impl Machine {
         let now = self.nodes[pe].clock;
         let timing = self.nodes[pe].blt.start(now, dir, bytes);
         self.nodes[pe].clock = now + timing.startup_cy;
+        self.nodes[pe]
+            .perf
+            .credit(CostClass::BltStartup, timing.startup_cy);
+        self.nodes[pe]
+            .perf
+            .sample(OpKind::BltStart, timing.startup_cy);
         self.trace(pe, TraceKind::Blt(target_pe as u32), remote_off, now);
         BltHandle {
             completion: now + timing.total_cy(),
@@ -571,6 +629,12 @@ impl Machine {
         let now = self.nodes[pe].clock;
         let timing = self.nodes[pe].blt.start(now, dir, count * elem_bytes);
         self.nodes[pe].clock = now + timing.startup_cy;
+        self.nodes[pe]
+            .perf
+            .credit(CostClass::BltStartup, timing.startup_cy);
+        self.nodes[pe]
+            .perf
+            .sample(OpKind::BltStart, timing.startup_cy);
         self.trace(pe, TraceKind::Blt(target_pe as u32), remote_off, now);
         BltHandle {
             completion: now + timing.total_cy() + extra,
@@ -584,6 +648,9 @@ impl Machine {
         let now = self.nodes[pe].clock;
         let n = &mut self.nodes[pe];
         n.clock = n.clock.max(handle.completion);
+        let waited = n.clock - now;
+        n.perf.credit(CostClass::BltWait, waited);
+        n.perf.sample(OpKind::BltWait, waited);
         self.trace(pe, TraceKind::BltWait, 0, now);
     }
 
@@ -606,6 +673,9 @@ impl Machine {
         self.nodes[pe].ops.msgs_sent += 1;
         let now = self.nodes[pe].clock;
         self.nodes[pe].clock += self.cfg.shell.msg_send_cy;
+        let send_cy = self.cfg.shell.msg_send_cy;
+        self.nodes[pe].perf.credit(CostClass::MsgSend, send_cy);
+        self.nodes[pe].perf.sample(OpKind::MsgSend, send_cy);
         let arrival = self.nodes[pe].clock + self.one_way_cy(pe, dst);
         self.nodes[dst].msgq.deliver(Message {
             from: pe as u32,
@@ -622,6 +692,8 @@ impl Machine {
         self.nodes[pe].ops.msgs_received += 1;
         let (msg, cost) = self.nodes[pe].msgq.receive(now)?;
         self.nodes[pe].clock = now + cost;
+        self.nodes[pe].perf.credit(CostClass::MsgRecv, cost);
+        self.nodes[pe].perf.sample(OpKind::MsgRecv, cost);
         self.trace(pe, TraceKind::MsgRecv, 0, now);
         Some(msg)
     }
@@ -641,6 +713,15 @@ impl Machine {
             + self.cfg.shell.amo_extra_cy
             + queue;
         self.nodes[pe].clock += cost;
+        let shell = self.cfg.shell.remote_read_shell_cy;
+        let rtt = self.rtt_cy(pe, target_pe);
+        let amo = self.cfg.shell.amo_extra_cy;
+        let p = &mut self.nodes[pe].perf;
+        p.credit(CostClass::ShellLaunch, shell);
+        p.credit(CostClass::NetHop, rtt);
+        p.credit(CostClass::Amo, amo);
+        p.credit(CostClass::Contention, queue);
+        p.sample(OpKind::FetchInc, cost);
         self.trace(pe, TraceKind::FetchInc(target_pe as u32), reg as u64, now);
         self.nodes[target_pe].fetchinc.fetch_inc(reg)
     }
@@ -688,6 +769,16 @@ impl Machine {
             + dram
             + queue;
         self.nodes[pe].clock += cost;
+        let shell = self.cfg.shell.remote_read_shell_cy;
+        let rtt = self.rtt_cy(pe, target);
+        let amo = self.cfg.shell.amo_extra_cy;
+        let p = &mut self.nodes[pe].perf;
+        p.credit(CostClass::ShellLaunch, shell);
+        p.credit(CostClass::NetHop, rtt);
+        p.credit(CostClass::Amo, amo);
+        p.credit(CostClass::RemoteDram, dram);
+        p.credit(CostClass::Contention, queue);
+        p.sample(OpKind::Swap, cost);
         self.trace(pe, TraceKind::Swap(target as u32), va, now);
         old_mem
     }
@@ -709,9 +800,15 @@ impl Machine {
         }
         let done = self.barrier.completion_time().expect("all nodes arrived");
         self.barrier.reset();
+        let overhead = self.cfg.shell.barrier_start_cy + self.cfg.shell.barrier_end_cy;
         for pe in 0..self.nodes.len() {
             let start = self.nodes[pe].clock;
             self.nodes[pe].clock = done + self.cfg.shell.barrier_end_cy;
+            let delta = self.nodes[pe].clock - start;
+            let p = &mut self.nodes[pe].perf;
+            p.credit(CostClass::BarrierOverhead, overhead);
+            p.credit(CostClass::BarrierWait, delta - overhead);
+            p.sample(OpKind::Barrier, delta);
             self.trace(pe, TraceKind::Barrier, 0, start);
         }
     }
@@ -735,6 +832,10 @@ impl Machine {
     pub fn fuzzy_barrier_start(&mut self, pe: usize) {
         let now = self.nodes[pe].clock;
         self.nodes[pe].clock += self.cfg.shell.barrier_start_cy;
+        let start_cy = self.cfg.shell.barrier_start_cy;
+        self.nodes[pe]
+            .perf
+            .credit(CostClass::BarrierOverhead, start_cy);
         let t = self.nodes[pe].clock;
         self.barrier.start(pe, t);
         self.trace(pe, TraceKind::FuzzyBarrierStart, 0, now);
@@ -757,6 +858,12 @@ impl Machine {
         for pe in 0..self.nodes.len() {
             let start = self.nodes[pe].clock;
             self.nodes[pe].clock = start.max(done) + self.cfg.shell.barrier_end_cy;
+            let end_cy = self.cfg.shell.barrier_end_cy;
+            let delta = self.nodes[pe].clock - start;
+            let p = &mut self.nodes[pe].perf;
+            p.credit(CostClass::BarrierOverhead, end_cy);
+            p.credit(CostClass::BarrierWait, done.saturating_sub(start));
+            p.sample(OpKind::Barrier, delta);
             self.trace(pe, TraceKind::FuzzyBarrierEnd, 0, start);
         }
     }
@@ -801,7 +908,14 @@ impl Machine {
             node.incoming.clear();
             node.acks.wait_clear(u64::MAX / 2);
             node.shell_busy_until = 0;
+            // Rebase attribution at the zeroed clock (collection state is
+            // preserved; accumulated credits from before the reset would
+            // otherwise break conservation against the new clocks).
+            let on = node.perf.on;
+            node.perf.restart(on, 0);
+            node.port.set_perf(on);
         }
+        self.phase_log.clear();
     }
 
     /// A node's operation counters.
@@ -812,6 +926,158 @@ impl Machine {
     /// Clears a node's operation counters.
     pub fn clear_op_stats(&mut self, pe: usize) {
         self.nodes[pe].ops = crate::node::OpStats::default();
+    }
+
+    // ------------------------------------------------------------------
+    // Profiling (t3d-perf)
+    // ------------------------------------------------------------------
+
+    /// The profiling mode in force.
+    pub fn perf_mode(&self) -> PerfMode {
+        self.perf_mode
+    }
+
+    /// Sets the profiling mode, restarting collection: every PE's
+    /// ledgers and histograms clear and rebase at its current clock, and
+    /// the phase log empties. `Timeline` also enables the tracer (with
+    /// the `T3D_TRACE_CAP` capacity, default 65536) if it is not already
+    /// on. Attribution is pure observation — no virtual time changes.
+    pub fn set_perf_mode(&mut self, mode: PerfMode) {
+        self.perf_mode = mode;
+        let on = mode.counters();
+        for node in &mut self.nodes {
+            let clock = node.clock;
+            node.perf.restart(on, clock);
+            node.port.set_perf(on);
+        }
+        self.phase_log.clear();
+        if mode.timeline() && !self.tracer.is_enabled() {
+            self.tracer.enable(Tracer::env_cap(65_536));
+        }
+    }
+
+    /// All PEs' attribution ledgers (node + memory port) merged.
+    fn merged_perf_ledger(&self) -> Ledger {
+        let mut out = Ledger::default();
+        for node in &self.nodes {
+            out.merge(&node.perf.ledger);
+            out.merge(node.port.perf_ledger());
+        }
+        out
+    }
+
+    /// The reference clock for phase spans: the maximum PE clock.
+    fn perf_ref_clock(&self) -> u64 {
+        self.nodes.iter().map(|n| n.clock).max().unwrap_or(0)
+    }
+
+    /// Opens a named phase in the perf report (no-op unless profiling).
+    /// Phases are flat: beginning a phase ends any open one.
+    pub fn perf_begin_phase(&mut self, label: &str) {
+        if !self.perf_mode.counters() {
+            return;
+        }
+        let now = self.perf_ref_clock();
+        let snap = self.merged_perf_ledger();
+        self.phase_log.begin(label, now, snap);
+    }
+
+    /// Closes the open phase (no-op unless profiling / nothing is open).
+    pub fn perf_end_phase(&mut self) {
+        if !self.perf_mode.counters() {
+            return;
+        }
+        let now = self.perf_ref_clock();
+        let snap = self.merged_perf_ledger();
+        self.phase_log.end(now, snap);
+    }
+
+    /// Assembles the perf report: per-PE attribution (node + memory-port
+    /// ledgers), per-phase attribution, and the metrics registry
+    /// (operation counters, memory-system counters, latency histograms).
+    /// Deterministic: PEs are visited in order and the registry sorts by
+    /// name, so Seq and Par phase-driver runs report bit-identically.
+    pub fn perf(&self) -> PerfReport {
+        let mut pes = Vec::with_capacity(self.nodes.len());
+        let mut registry = Registry::default();
+        let mut hists = OpHists::default();
+        let mut wbuf_pending = 0i64;
+        for (pe, node) in self.nodes.iter().enumerate() {
+            let mut ledger = node.perf.ledger;
+            ledger.merge(node.port.perf_ledger());
+            pes.push(PePerf {
+                pe,
+                elapsed: node.clock.saturating_sub(node.perf.base_clock),
+                ledger,
+            });
+            hists.merge(&node.perf.hists);
+            let ops = node.ops;
+            registry.count("ops.ld.local", ops.loads_local);
+            registry.count("ops.ld.remote", ops.loads_remote);
+            registry.count("ops.st.local", ops.stores_local);
+            registry.count("ops.st.remote", ops.stores_remote);
+            registry.count("ops.fetch", ops.fetches);
+            registry.count("ops.pop", ops.pops);
+            registry.count("ops.fence", ops.memory_barriers);
+            registry.count("ops.blt", ops.blts);
+            registry.count("ops.msg.send", ops.msgs_sent);
+            registry.count("ops.msg.recv", ops.msgs_received);
+            registry.count("ops.atomic", ops.atomics);
+            registry.count("ops.ack.wait", ops.ack_waits);
+            let mem = node.port.stats();
+            registry.count("mem.l1.hits", mem.l1_hits);
+            registry.count("mem.l1.misses", mem.l1_misses);
+            registry.count("mem.l2.hits", mem.l2_hits);
+            registry.count("mem.wbuf.merges", mem.wbuf_merges);
+            registry.count("mem.wbuf.stalls", mem.wbuf_stalls);
+            registry.count("mem.tlb.misses", mem.tlb_misses);
+            wbuf_pending += node.port.wbuf_pending() as i64;
+        }
+        registry.count("barrier.episodes", self.barrier.episodes());
+        registry.count("trace.dropped", self.tracer.dropped());
+        registry.gauge("wbuf.pending", wbuf_pending);
+        for kind in t3d_perf::OpKind::ALL {
+            let h = hists.get(kind);
+            if h.count() > 0 {
+                registry.observe_hist(&format!("lat.{}", kind.label()), h);
+            }
+        }
+        PerfReport {
+            mode: self.perf_mode,
+            pes,
+            phases: self.phase_log.records().to_vec(),
+            registry,
+        }
+    }
+
+    /// Exports a `chrome://tracing` timeline: one row per PE built from
+    /// the tracer's events (enable `Timeline` mode or the tracer), plus
+    /// a machine-wide row (tid 10000) carrying the named phase spans.
+    /// Returns pretty-printed Chrome-trace JSON.
+    pub fn perf_chrome_trace(&self) -> String {
+        let mut spans: Vec<Span> = self
+            .tracer
+            .events()
+            .map(|e| Span {
+                name: e.kind.label(),
+                cat: "event".to_string(),
+                tid: e.pe as u64,
+                start: e.start,
+                dur: e.cycles,
+            })
+            .collect();
+        for rec in self.phase_log.records() {
+            for &(start, end) in &rec.spans {
+                spans.push(Span {
+                    name: rec.label.clone(),
+                    cat: "phase".to_string(),
+                    tid: 10_000,
+                    start,
+                    dur: end - start,
+                });
+            }
+        }
+        chrome_trace(&spans).render_pretty()
     }
 
     /// Earliest virtual time at which `target_bytes` of remote-write data

@@ -2,6 +2,7 @@
 
 use crate::config::MachineConfig;
 use t3d_memsys::MemPort;
+use t3d_perf::PerfAccum;
 
 /// Counters of the operations a node has issued (instrumentation: the
 /// communication/computation breakdowns in the application study).
@@ -83,6 +84,11 @@ pub struct Node {
     pub incoming: Vec<(u64, u64)>,
     /// Operation counters.
     pub ops: OpStats,
+    /// Cycle-attribution accumulator for costs the machine layer charges
+    /// directly (shell, network, waits); the memory port keeps its own
+    /// ledger for the costs it returns. Node-owned so the sharded phase
+    /// engine carries it thread-privately.
+    pub perf: PerfAccum,
     /// When this node's shell finishes servicing its current remote
     /// request (used only when contention modeling is on).
     pub shell_busy_until: u64,
@@ -103,6 +109,7 @@ impl Node {
             clock: 0,
             incoming: Vec::new(),
             ops: OpStats::default(),
+            perf: PerfAccum::default(),
             shell_busy_until: 0,
         }
     }

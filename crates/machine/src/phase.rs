@@ -58,6 +58,7 @@ use crate::node::{Node, OpStats};
 use crate::ops::MachineOps;
 use std::sync::Arc;
 use t3d_memsys::{Dram, MemArena, RemoteSink, WriteTarget};
+use t3d_perf::{CostClass, OpKind};
 use t3d_shell::blt::BltDirection;
 use t3d_shell::{AnnexEntry, FetchIncRegs, FuncCode, Message, PopError};
 use t3d_torus::Torus;
@@ -371,6 +372,7 @@ impl MachineOps for PhasePe<'_> {
     fn advance(&mut self, pe: usize, cycles: u64) {
         self.own(pe);
         self.node.clock += cycles;
+        self.node.perf.credit(CostClass::Compute, cycles);
     }
 
     fn annex_set(&mut self, pe: usize, idx: usize, entry: AnnexEntry) {
@@ -382,6 +384,7 @@ impl MachineOps for PhasePe<'_> {
         );
         let cost = self.node.annex.update(idx, entry);
         self.node.clock += cost;
+        self.node.perf.credit(CostClass::AnnexUpdate, cost);
     }
 
     fn annex_entry(&self, pe: usize, idx: usize) -> AnnexEntry {
@@ -397,6 +400,7 @@ impl MachineOps for PhasePe<'_> {
             let now = self.node.clock;
             let cost = self.node.port.read(now, va, buf);
             self.node.clock = now + cost;
+            self.node.perf.sample(OpKind::LdLocal, cost);
             self.flush_outbox();
             return;
         }
@@ -417,6 +421,9 @@ impl MachineOps for PhasePe<'_> {
             let o = (va - line_pa) as usize;
             buf.copy_from_slice(&line[o..o + buf.len()]);
             self.node.clock = now + cost + self.sh.cfg.mem.l1.hit_cy;
+            let hit = self.sh.cfg.mem.l1.hit_cy;
+            self.node.perf.credit(CostClass::L1Hit, hit);
+            self.node.perf.sample(OpKind::LdRemote, cost + hit);
             return;
         }
         let shell = self.sh.cfg.shell;
@@ -445,6 +452,13 @@ impl MachineOps for PhasePe<'_> {
                 + self.rtt(target)
                 + dram
                 + queue;
+            let launch = shell.remote_read_shell_cy + shell.cached_read_extra_cy;
+            let rtt = self.rtt(target);
+            let p = &mut self.node.perf;
+            p.credit(CostClass::ShellLaunch, launch);
+            p.credit(CostClass::NetHop, rtt);
+            p.credit(CostClass::RemoteDram, dram);
+            p.credit(CostClass::Contention, queue);
             if self.node.port.has_pending_line(line_pa) {
                 self.node.port.forward_pending(line_pa, &mut line_buf);
             }
@@ -475,6 +489,12 @@ impl MachineOps for PhasePe<'_> {
                 );
             }
             cost += shell.remote_read_shell_cy + self.rtt(target) + dram + queue;
+            let rtt = self.rtt(target);
+            let p = &mut self.node.perf;
+            p.credit(CostClass::ShellLaunch, shell.remote_read_shell_cy);
+            p.credit(CostClass::NetHop, rtt);
+            p.credit(CostClass::RemoteDram, dram);
+            p.credit(CostClass::Contention, queue);
             // Our own pending stores to the same full PA forward.
             if self.node.port.has_pending_line(line_pa) {
                 let mut line_buf = vec![0u8; self.sh.cfg.mem.l1.line];
@@ -486,6 +506,7 @@ impl MachineOps for PhasePe<'_> {
             }
         }
         self.node.clock = now + cost;
+        self.node.perf.sample(OpKind::LdRemote, cost);
     }
 
     fn st(&mut self, pe: usize, va: u64, bytes: &[u8]) {
@@ -522,6 +543,12 @@ impl MachineOps for PhasePe<'_> {
                 .write_to(now, va, bytes, WriteTarget::Remote(sink))
         };
         self.node.clock = now + cost;
+        let kind_op = if aidx == 0 {
+            OpKind::StLocal
+        } else {
+            OpKind::StRemote
+        };
+        self.node.perf.sample(kind_op, cost);
         self.flush_outbox();
     }
 
@@ -531,6 +558,7 @@ impl MachineOps for PhasePe<'_> {
         let now = self.node.clock;
         let cost = self.node.port.memory_barrier(now);
         self.node.clock = now + cost;
+        self.node.perf.sample(OpKind::Fence, cost);
         let t = self.node.clock;
         self.node.prefetch.note_memory_barrier(t);
         self.flush_outbox();
@@ -541,6 +569,7 @@ impl MachineOps for PhasePe<'_> {
         let now = self.node.clock;
         let (clear, cost) = self.node.acks.poll(now);
         self.node.clock = now + cost;
+        self.node.perf.credit(CostClass::AckWait, cost);
         clear
     }
 
@@ -550,6 +579,8 @@ impl MachineOps for PhasePe<'_> {
         let now = self.node.clock;
         let cost = self.node.acks.wait_clear(now);
         self.node.clock = now + cost;
+        self.node.perf.credit(CostClass::AckWait, cost);
+        self.node.perf.sample(OpKind::AckWait, cost);
     }
 
     fn fetch(&mut self, pe: usize, va: u64) -> bool {
@@ -592,10 +623,13 @@ impl MachineOps for PhasePe<'_> {
         {
             Some(c) => {
                 self.node.clock = now + tlb + c;
+                self.node.perf.credit(CostClass::PrefetchIssue, c);
+                self.node.perf.sample(OpKind::Fetch, tlb + c);
                 true
             }
             None => {
                 self.node.clock = now + tlb;
+                self.node.perf.sample(OpKind::Fetch, tlb);
                 false
             }
         }
@@ -607,6 +641,8 @@ impl MachineOps for PhasePe<'_> {
         let now = self.node.clock;
         let (value, cost) = self.node.prefetch.pop(now)?;
         self.node.clock = now + cost;
+        self.node.perf.credit(CostClass::PrefetchWait, cost);
+        self.node.perf.sample(OpKind::Pop, cost);
         Ok(value)
     }
 
@@ -648,6 +684,10 @@ impl MachineOps for PhasePe<'_> {
             }
         }
         self.node.clock = now + timing.startup_cy;
+        self.node
+            .perf
+            .credit(CostClass::BltStartup, timing.startup_cy);
+        self.node.perf.sample(OpKind::BltStart, timing.startup_cy);
         BltHandle {
             completion,
             startup_cy: timing.startup_cy,
@@ -710,6 +750,10 @@ impl MachineOps for PhasePe<'_> {
             self.push(completion, target_pe, None, Effect::Poke { off, data });
         }
         self.node.clock = now + timing.startup_cy;
+        self.node
+            .perf
+            .credit(CostClass::BltStartup, timing.startup_cy);
+        self.node.perf.sample(OpKind::BltStart, timing.startup_cy);
         BltHandle {
             completion,
             startup_cy: timing.startup_cy,
@@ -719,13 +763,20 @@ impl MachineOps for PhasePe<'_> {
 
     fn blt_wait(&mut self, pe: usize, handle: BltHandle) {
         self.own(pe);
+        let now = self.node.clock;
         self.node.clock = self.node.clock.max(handle.completion);
+        let waited = self.node.clock - now;
+        self.node.perf.credit(CostClass::BltWait, waited);
+        self.node.perf.sample(OpKind::BltWait, waited);
     }
 
     fn msg_send(&mut self, pe: usize, dst: usize, words: [u64; 4]) {
         self.own(pe);
         self.node.ops.msgs_sent += 1;
         self.node.clock += self.sh.cfg.shell.msg_send_cy;
+        let send_cy = self.sh.cfg.shell.msg_send_cy;
+        self.node.perf.credit(CostClass::MsgSend, send_cy);
+        self.node.perf.sample(OpKind::MsgSend, send_cy);
         let arrival = self.node.clock + self.one_way(dst);
         let msg = Message {
             from: pe as u32,
@@ -745,6 +796,8 @@ impl MachineOps for PhasePe<'_> {
         self.node.ops.msgs_received += 1;
         let (msg, cost) = self.node.msgq.receive(now)?;
         self.node.clock = now + cost;
+        self.node.perf.credit(CostClass::MsgRecv, cost);
+        self.node.perf.sample(OpKind::MsgRecv, cost);
         Some(msg)
     }
 
@@ -757,6 +810,13 @@ impl MachineOps for PhasePe<'_> {
         let queue = self.contend(target_pe, ready, 20);
         let cost = shell.remote_read_shell_cy + self.rtt(target_pe) + shell.amo_extra_cy + queue;
         self.node.clock += cost;
+        let rtt = self.rtt(target_pe);
+        let p = &mut self.node.perf;
+        p.credit(CostClass::ShellLaunch, shell.remote_read_shell_cy);
+        p.credit(CostClass::NetHop, rtt);
+        p.credit(CostClass::Amo, shell.amo_extra_cy);
+        p.credit(CostClass::Contention, queue);
+        p.sample(OpKind::FetchInc, cost);
         if target_pe == self.pe {
             self.node.fetchinc.fetch_inc(reg)
         } else {
@@ -814,6 +874,14 @@ impl MachineOps for PhasePe<'_> {
         let cost =
             shell.remote_read_shell_cy + self.rtt(target) + shell.amo_extra_cy + dram + queue;
         self.node.clock += cost;
+        let rtt = self.rtt(target);
+        let p = &mut self.node.perf;
+        p.credit(CostClass::ShellLaunch, shell.remote_read_shell_cy);
+        p.credit(CostClass::NetHop, rtt);
+        p.credit(CostClass::Amo, shell.amo_extra_cy);
+        p.credit(CostClass::RemoteDram, dram);
+        p.credit(CostClass::Contention, queue);
+        p.sample(OpKind::Swap, cost);
         old_mem
     }
 

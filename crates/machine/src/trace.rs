@@ -54,7 +54,8 @@ pub enum TraceKind {
 }
 
 impl TraceKind {
-    fn label(self) -> String {
+    /// Short text label (used by the dump and the Chrome-trace export).
+    pub fn label(self) -> String {
         match self {
             TraceKind::LoadLocal => "ld.local".into(),
             TraceKind::LoadRemote(t) => format!("ld.remote->{t}"),
@@ -118,6 +119,18 @@ pub struct Tracer {
 }
 
 impl Tracer {
+    /// Trace-buffer capacity from the `T3D_TRACE_CAP` environment
+    /// variable, or `fallback` when unset or unparsable. Enable sites
+    /// pass their old hard-coded capacity as the fallback, so long runs
+    /// can widen the buffer without a rebuild.
+    pub fn env_cap(fallback: usize) -> usize {
+        std::env::var("T3D_TRACE_CAP")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&cap| cap > 0)
+            .unwrap_or(fallback)
+    }
+
     /// Enables tracing with space for `cap` events.
     pub fn enable(&mut self, cap: usize) {
         assert!(cap > 0, "trace buffer needs capacity");
@@ -173,9 +186,16 @@ impl Tracer {
         self.dropped = 0;
     }
 
-    /// Renders the trace as text, one line per event.
+    /// Renders the trace as text: a header with the buffer state (so a
+    /// truncated trace announces itself up front), then one line per
+    /// event.
     pub fn dump(&self) -> String {
-        let mut out = String::new();
+        let mut out = format!(
+            "trace: {} events held, {} dropped (cap {})\n",
+            self.events.len(),
+            self.dropped,
+            self.cap
+        );
         for e in &self.events {
             out.push_str(&format!(
                 "[{:>10}] PE{:<3} {:<16} addr={:#010x} cost={} cy\n",
@@ -185,9 +205,6 @@ impl Tracer {
                 e.addr,
                 e.cycles
             ));
-        }
-        if self.dropped > 0 {
-            out.push_str(&format!("({} earlier events dropped)\n", self.dropped));
         }
         out
     }
@@ -245,6 +262,29 @@ mod tests {
         assert!(d.contains("PE1"));
         assert!(d.contains("f&i->0"));
         assert!(d.contains("cost=109"));
+        assert!(
+            d.starts_with("trace: 1 events held, 0 dropped (cap 8)"),
+            "header announces buffer state: {d}"
+        );
+    }
+
+    #[test]
+    fn dump_header_reports_drops() {
+        let mut t = Tracer::default();
+        t.enable(2);
+        for i in 0..5 {
+            t.record(ev(0, i));
+        }
+        assert!(t
+            .dump()
+            .starts_with("trace: 2 events held, 3 dropped (cap 2)"));
+    }
+
+    #[test]
+    fn env_cap_falls_back_when_unset() {
+        // The suite never sets T3D_TRACE_CAP (tests run threaded, so the
+        // parser is exercised against the unset default only).
+        assert_eq!(Tracer::env_cap(4096), 4096);
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::arena::MemArena;
 use crate::cache::L1Cache;
 use crate::config::MemConfig;
 use std::sync::Arc;
+use t3d_perf::{CostClass, Ledger};
 
 /// Counters of memory-system events (instrumentation for the gray-box
 /// analyses: hit ratios, merge rates, stall rates).
@@ -81,6 +82,13 @@ pub struct MemPort {
     /// delivery by the machine layer.
     outbox: Vec<Retired>,
     stats: PortStats,
+    /// Whether the attribution ledger collects (see [`MemPort::set_perf`]).
+    perf_on: bool,
+    /// Cycle attribution for the costs this port *returns* to its caller.
+    /// The machine layer adds every returned cost to the PE clock, so
+    /// crediting exactly the returned cycles here keeps the conservation
+    /// invariant: port ledger + node ledger = elapsed clock.
+    perf: Ledger,
 }
 
 impl MemPort {
@@ -99,6 +107,8 @@ impl MemPort {
             mem: Arc::new(MemArena::new(cfg.mem_bytes)),
             outbox: Vec::new(),
             stats: PortStats::default(),
+            perf_on: false,
+            perf: Ledger::default(),
             offset_mask: if cfg.offset_bits >= 64 {
                 u64::MAX
             } else {
@@ -148,6 +158,7 @@ impl MemPort {
         if tlb_cost > 0 {
             self.stats.tlb_misses += 1;
         }
+        self.credit(CostClass::Tlb, tlb_cost);
         let mut cost = tlb_cost;
         let line = self.cfg.l1.line as u64;
         let mut done = 0usize;
@@ -160,6 +171,7 @@ impl MemPort {
                 buf[done..done + take].copy_from_slice(&data[off_in_line..off_in_line + take]);
                 cost += self.cfg.l1.hit_cy;
                 self.stats.l1_hits += 1;
+                self.credit(CostClass::L1Hit, self.cfg.l1.hit_cy);
             } else {
                 // L1 miss: go to L2 (workstation) or DRAM, fill the line.
                 self.stats.l1_misses += 1;
@@ -171,8 +183,15 @@ impl MemPort {
                     self.stats.l2_hits += 1;
                 }
                 cost += match l2_hit {
-                    Some((true, hit_cy)) => hit_cy,
-                    _ => self.dram.access(self.offset_of(line_pa)),
+                    Some((true, hit_cy)) => {
+                        self.credit(CostClass::L2Hit, hit_cy);
+                        hit_cy
+                    }
+                    _ => {
+                        let dram_cy = self.dram.access(self.offset_of(line_pa));
+                        self.credit(self.classify_dram(dram_cy), dram_cy);
+                        dram_cy
+                    }
                 };
                 let mut line_buf = vec![0u8; line as usize];
                 self.mem.read(self.offset_of(line_pa), &mut line_buf);
@@ -207,6 +226,7 @@ impl MemPort {
         }
         self.apply_due(now);
         let mut cost = self.tlb.access(pa);
+        self.credit(CostClass::Tlb, cost);
         // Write-through: a store that hits updates the cached line in
         // place. (Remote stores do not touch the local cache.)
         if matches!(target, WriteTarget::Local) {
@@ -223,6 +243,9 @@ impl MemPort {
         if out.cycles > self.cfg.wbuf.store_issue_cy {
             self.stats.wbuf_stalls += 1;
         }
+        let issue = out.cycles.min(self.cfg.wbuf.store_issue_cy);
+        self.credit(CostClass::WbufIssue, issue);
+        self.credit(CostClass::WbufStall, out.cycles - issue);
         cost += out.cycles;
         self.apply_retired(retired);
         cost
@@ -233,6 +256,7 @@ impl MemPort {
     pub fn memory_barrier(&mut self, now: u64) -> u64 {
         let (cost, retired) = self.wbuf.drain_all(now);
         self.apply_retired(retired);
+        self.credit(CostClass::WbufDrain, cost);
         cost
     }
 
@@ -265,7 +289,9 @@ impl MemPort {
     /// Charges one TLB translation for `pa` (the remote-access path
     /// translates through the local TLB before reaching the shell).
     pub fn tlb_access(&mut self, pa: u64) -> u64 {
-        self.tlb.access(pa)
+        let cost = self.tlb.access(pa);
+        self.credit(CostClass::Tlb, cost);
+        cost
     }
 
     /// Overlays bytes pending in the write buffer for exactly this full
@@ -387,6 +413,41 @@ impl MemPort {
         &mut self.dram
     }
 
+    #[inline]
+    fn credit(&mut self, class: CostClass, cycles: u64) {
+        if self.perf_on && cycles > 0 {
+            self.perf.add(class, cycles);
+        }
+    }
+
+    /// Classifies a cost returned by [`Dram::access`] against the
+    /// configured plateau values. `Dram::access` returns exactly one of
+    /// the three configured costs, so equality is a faithful decode;
+    /// `bank_busy` is checked first in case configurations alias values.
+    fn classify_dram(&self, cy: u64) -> CostClass {
+        let d = &self.cfg.dram;
+        if cy == d.bank_busy_cy {
+            CostClass::DramBankBusy
+        } else if cy == d.page_miss_cy {
+            CostClass::DramPageMiss
+        } else {
+            CostClass::DramPageHit
+        }
+    }
+
+    /// Switches attribution collection on or off, clearing the ledger
+    /// either way. The machine layer drives this from its perf mode.
+    pub fn set_perf(&mut self, on: bool) {
+        self.perf_on = on;
+        self.perf.clear();
+    }
+
+    /// The cycle-attribution ledger for costs this port has returned
+    /// since [`MemPort::set_perf`] last ran.
+    pub fn perf_ledger(&self) -> &Ledger {
+        &self.perf
+    }
+
     /// The event counters accumulated so far.
     pub fn stats(&self) -> PortStats {
         self.stats
@@ -430,6 +491,8 @@ impl Clone for MemPort {
             offset_mask: self.offset_mask,
             outbox: self.outbox.clone(),
             stats: self.stats,
+            perf_on: self.perf_on,
+            perf: self.perf,
         }
     }
 }
@@ -631,6 +694,45 @@ mod tests {
             "stalls: {}",
             p.stats().wbuf_stalls
         );
+    }
+
+    #[test]
+    fn perf_ledger_conserves_returned_costs() {
+        let mut p = port();
+        p.set_perf(true);
+        let mut now = 0u64;
+        let mut total = 0u64;
+        // Reads: misses and hits, both DRAM plateaus.
+        for i in 0..256u64 {
+            let mut b = [0u8; 8];
+            let c = p.read(now, i * 8, &mut b);
+            now += c;
+            total += c;
+        }
+        // Stores: merges, steady issue and full-buffer stalls.
+        for i in 0..64u64 {
+            let c = p.write(now, 0x8000 + i * 64, &[1; 8]);
+            now += c;
+            total += c;
+        }
+        let c = p.memory_barrier(now);
+        now += c;
+        total += c;
+        total += p.tlb_access(0xC000);
+        let l = *p.perf_ledger();
+        assert_eq!(l.total(), total, "every returned cycle is attributed");
+        assert!(l.get(CostClass::L1Hit) > 0);
+        assert!(l.get(CostClass::DramPageHit) > 0);
+        assert!(l.get(CostClass::DramPageMiss) > 0);
+        assert!(l.get(CostClass::WbufIssue) > 0);
+        assert!(l.get(CostClass::WbufStall) > 0);
+        assert!(l.get(CostClass::WbufDrain) > 0);
+        // Off by default: a fresh port ignores everything.
+        let mut q = port();
+        let mut b = [0u8; 8];
+        let _ = q.read(0, 0x100, &mut b);
+        assert_eq!(q.perf_ledger().total(), 0);
+        let _ = now;
     }
 
     #[test]

@@ -1,0 +1,314 @@
+//! Cycle-attribution scenarios for the `t3d-perf` harness.
+//!
+//! Each scenario stimulates one mechanism (like the latency probes do)
+//! but returns the profiler's [`PerfReport`] instead of a latency: the
+//! interesting output is *where the cycles went*. The suite doubles as
+//! the conservation corpus — for every scenario, the sum of all cost
+//! classes must equal the elapsed virtual cycles, under both the
+//! sequential and the parallel phase driver.
+
+use splitc::{GlobalPtr, SplitC};
+use t3d_machine::{Machine, MachineConfig, PerfMode, PerfReport, PhaseDriver};
+use t3d_shell::blt::BltDirection;
+use t3d_shell::{AnnexEntry, FuncCode};
+
+/// One named attribution scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// Stable name (the key in `BENCH_micro.json`).
+    pub name: &'static str,
+    /// Runs the scenario under the given phase driver and returns the
+    /// attribution report. Scenarios that never enter a sharded phase
+    /// ignore the driver.
+    pub run: fn(PhaseDriver) -> PerfReport,
+}
+
+/// Every scenario, in report order.
+pub fn all() -> &'static [Scenario] {
+    &[
+        Scenario {
+            name: "local.read.stream",
+            run: local_read_stream,
+        },
+        Scenario {
+            name: "local.write.burst",
+            run: local_write_burst,
+        },
+        Scenario {
+            name: "remote.read.uncached",
+            run: remote_read_uncached,
+        },
+        Scenario {
+            name: "remote.read.cached",
+            run: remote_read_cached,
+        },
+        Scenario {
+            name: "remote.write.block",
+            run: remote_write_block,
+        },
+        Scenario {
+            name: "remote.write.pipeline",
+            run: remote_write_pipeline,
+        },
+        Scenario {
+            name: "prefetch.pipeline",
+            run: prefetch_pipeline,
+        },
+        Scenario {
+            name: "bulk.blt",
+            run: bulk_blt,
+        },
+        Scenario {
+            name: "sync.barrier",
+            run: sync_barrier,
+        },
+        Scenario {
+            name: "sync.fetchinc",
+            run: sync_fetchinc,
+        },
+        Scenario {
+            name: "msg.pingpong",
+            run: msg_pingpong,
+        },
+        Scenario {
+            name: "phase.exchange",
+            run: phase_exchange,
+        },
+        Scenario {
+            name: "splitc.getput",
+            run: splitc_getput,
+        },
+    ]
+}
+
+fn machine(pes: u32) -> Machine {
+    let mut m = Machine::new(MachineConfig::t3d(pes));
+    m.set_perf_mode(PerfMode::Counters);
+    m
+}
+
+fn aim(m: &mut Machine, pe: usize, target: u32, func: FuncCode) -> u64 {
+    m.annex_set(pe, 1, AnnexEntry { pe: target, func });
+    m.va(1, 0)
+}
+
+/// Strided local reads: a miss pass over 16 KB, then a hit pass over the
+/// resident prefix — L1 hits, DRAM page hits and misses all appear.
+fn local_read_stream(_d: PhaseDriver) -> PerfReport {
+    let mut m = machine(1);
+    for i in 0..512u64 {
+        let _ = m.ld8(0, i * 32);
+    }
+    for i in 0..256u64 {
+        let _ = m.ld8(0, i * 8);
+    }
+    m.perf()
+}
+
+/// Local write bursts: merging stores within a line, page-hopping stores
+/// that stall the write buffer, and the drain at the barrier.
+fn local_write_burst(_d: PhaseDriver) -> PerfReport {
+    let mut m = machine(1);
+    for i in 0..128u64 {
+        m.st8(0, i * 8, i);
+    }
+    for i in 0..32u64 {
+        m.st8(0, i * 16 * 1024, i);
+    }
+    m.memory_barrier(0);
+    m.perf()
+}
+
+/// The Figure 4 uncached probe, attributed: shell launch, network and
+/// remote DRAM should dominate.
+fn remote_read_uncached(_d: PhaseDriver) -> PerfReport {
+    let mut m = machine(2);
+    let base = aim(&mut m, 0, 1, FuncCode::Uncached);
+    for i in 0..64u64 {
+        let _ = m.ld8(0, base + i * 64);
+    }
+    m.perf()
+}
+
+/// Cached remote reads at word stride: one line fill amortized over
+/// three L1 hits.
+fn remote_read_cached(_d: PhaseDriver) -> PerfReport {
+    let mut m = machine(2);
+    let base = aim(&mut m, 0, 1, FuncCode::Cached);
+    for i in 0..256u64 {
+        let _ = m.ld8(0, base + i * 8);
+    }
+    m.perf()
+}
+
+/// Blocking remote writes: store, fence, ack wait — every iteration.
+fn remote_write_block(_d: PhaseDriver) -> PerfReport {
+    let mut m = machine(2);
+    let base = aim(&mut m, 0, 1, FuncCode::Uncached);
+    for i in 0..32u64 {
+        m.st8(0, base + i * 64, i);
+        m.memory_barrier(0);
+        m.wait_write_acks(0);
+    }
+    m.perf()
+}
+
+/// Pipelined remote writes (Figure 7's put idiom): a burst of stores,
+/// one fence, one ack wait.
+fn remote_write_pipeline(_d: PhaseDriver) -> PerfReport {
+    let mut m = machine(2);
+    let base = aim(&mut m, 0, 1, FuncCode::Uncached);
+    for i in 0..64u64 {
+        m.st8(0, base + i * 64, i);
+    }
+    m.memory_barrier(0);
+    m.wait_write_acks(0);
+    m.perf()
+}
+
+/// Prefetch groups (Figure 6's group-of-4 sweep): issue, fence, pop.
+fn prefetch_pipeline(_d: PhaseDriver) -> PerfReport {
+    let mut m = machine(2);
+    let base = aim(&mut m, 0, 1, FuncCode::Uncached);
+    for g in 0..16u64 {
+        let mut issued = 0u64;
+        for i in 0..4u64 {
+            if m.fetch(0, base + (g * 4 + i) * 64) {
+                issued += 1;
+            }
+        }
+        m.memory_barrier(0);
+        for _ in 0..issued {
+            m.pop_prefetch(0).expect("fetched values must pop");
+        }
+    }
+    m.perf()
+}
+
+/// One BLT block write and its completion wait.
+fn bulk_blt(_d: PhaseDriver) -> PerfReport {
+    let mut m = machine(2);
+    for i in 0..512u64 {
+        m.poke_mem(0, 0x8000 + i * 8, &i.to_le_bytes());
+    }
+    let h = m.blt_start(0, BltDirection::Write, 0x8000, 1, 0x8000, 4096);
+    m.blt_wait(0, h);
+    m.perf()
+}
+
+/// Skewed barrier episodes: overhead plus wait for the laggard.
+fn sync_barrier(_d: PhaseDriver) -> PerfReport {
+    let mut m = machine(4);
+    for round in 0..8u64 {
+        for pe in 0..4usize {
+            m.advance(pe, 50 + (pe as u64) * 37 + round * 11);
+        }
+        m.barrier_all();
+    }
+    m.perf()
+}
+
+/// Fetch&increment tickets against a remote register.
+fn sync_fetchinc(_d: PhaseDriver) -> PerfReport {
+    let mut m = machine(2);
+    for _ in 0..32 {
+        let _ = m.fetch_inc(0, 1, 0);
+    }
+    m.perf()
+}
+
+/// Message ping-pong: the 122-cycle PAL send and the receive dispatch.
+fn msg_pingpong(_d: PhaseDriver) -> PerfReport {
+    let mut m = machine(2);
+    for round in 0..8u64 {
+        m.msg_send(0, 1, [round, 0, 0, 0]);
+        let target = m.clock(0) + 10_000;
+        let now = m.clock(1);
+        m.advance(1, target.saturating_sub(now));
+        m.msg_receive(1).expect("ping arrived");
+        m.msg_send(1, 0, [round, 1, 0, 0]);
+        let target = m.clock(1) + 10_000;
+        let now = m.clock(0);
+        m.advance(0, target.saturating_sub(now));
+        m.msg_receive(0).expect("pong arrived");
+    }
+    m.perf()
+}
+
+/// A bulk-synchronous neighbour exchange through the sharded engine —
+/// the scenario that exercises the parallel driver's attribution.
+fn phase_exchange(d: PhaseDriver) -> PerfReport {
+    let mut m = machine(4);
+    for _ in 0..4 {
+        m.sharded_phase(d, |cpu| {
+            let pe = cpu.pe();
+            let right = ((pe + 1) % cpu.nodes()) as u32;
+            cpu.annex_set(1, right, FuncCode::Uncached);
+            let va = cpu.va(1, 0x2000 + pe as u64 * 8);
+            cpu.st8(va, (pe as u64) << 8);
+            cpu.memory_barrier();
+            cpu.wait_write_acks();
+        });
+        m.barrier_all();
+        m.sharded_phase(d, |cpu| {
+            let pe = cpu.pe();
+            let left = (pe + cpu.nodes() - 1) % cpu.nodes();
+            let v = cpu.ld8(0x2000 + left as u64 * 8);
+            assert_eq!(v, (left as u64) << 8, "exchange delivered");
+        });
+        m.barrier_all();
+    }
+    m.perf()
+}
+
+/// Split-C gets and puts through the parallel phase driver.
+fn splitc_getput(d: PhaseDriver) -> PerfReport {
+    let mut sc = SplitC::new(MachineConfig::t3d(4));
+    let src = sc.alloc(256, 8);
+    let dst = sc.alloc(256, 8);
+    for pe in 0..4usize {
+        for i in 0..8u64 {
+            sc.machine().poke8(pe, src + i * 8, pe as u64 * 100 + i);
+        }
+    }
+    sc.machine().set_perf_mode(PerfMode::Counters);
+    for _ in 0..2 {
+        sc.par_phase_with(d, |ctx| {
+            let right = ((ctx.pe() + 1) % ctx.nodes()) as u32;
+            for i in 0..8u64 {
+                ctx.get(dst + i * 8, GlobalPtr::new(right, src + i * 8));
+            }
+            ctx.sync();
+            ctx.put(GlobalPtr::new(right, dst + 64), ctx.pe() as u64);
+            ctx.sync();
+        });
+        sc.barrier();
+    }
+    sc.machine_ref().perf()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scenario_attributes_something() {
+        for s in all() {
+            let report = (s.run)(PhaseDriver::Seq);
+            assert!(report.total() > 0, "{} attributed no cycles", s.name);
+        }
+    }
+
+    #[test]
+    fn remote_scenarios_show_remote_cycles() {
+        for name in ["remote.read.uncached", "remote.write.block", "bulk.blt"] {
+            let s = all().iter().find(|s| s.name == name).unwrap();
+            let report = (s.run)(PhaseDriver::Seq);
+            assert!(
+                report.remote_share() > 0.2,
+                "{name} remote share {:.2}",
+                report.remote_share()
+            );
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! The probe collection, one module per paper artifact.
 
 pub mod ablation;
+pub mod attribution;
 pub mod bulk;
 pub mod hotspot;
 pub mod local;

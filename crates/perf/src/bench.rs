@@ -1,0 +1,235 @@
+//! Perf-trajectory bench documents (`BENCH_*.json`) and the regression
+//! comparator.
+//!
+//! Virtual-cycle totals are deterministic, so they are compared with a
+//! tolerance only to absorb deliberate timing-model changes; host
+//! wall-clock is recorded for context but never compared.
+
+use std::collections::BTreeMap;
+
+use crate::json::{parse, Value};
+
+/// Document schema tag, bumped on incompatible layout changes.
+pub const BENCH_SCHEMA: &str = "t3d-perf-bench-v1";
+
+/// One benchmark's record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Stable benchmark name (the compare key).
+    pub name: String,
+    /// Total virtual cycles — the compared figure of merit.
+    pub cycles: u64,
+    /// Cycle attribution by cost-class label (non-zero classes only).
+    pub attribution: BTreeMap<String, u64>,
+    /// Extra derived metrics (e.g. `us_per_edge`), informational.
+    pub extras: BTreeMap<String, f64>,
+    /// Host wall-clock for the run, milliseconds. Informational only:
+    /// never compared, varies run to run.
+    pub wall_ms: f64,
+}
+
+/// A suite of benchmark records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDoc {
+    /// Suite name (`"em3d"`, `"micro"`).
+    pub suite: String,
+    /// The entries, in run order.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchDoc {
+    /// An empty document for `suite`.
+    pub fn new(suite: &str) -> BenchDoc {
+        BenchDoc {
+            suite: suite.to_string(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Looks up an entry by name.
+    pub fn entry(&self, name: &str) -> Option<&BenchEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Exports the document as JSON.
+    pub fn to_json(&self) -> Value {
+        let entries = self
+            .entries
+            .iter()
+            .map(|e| {
+                Value::obj(vec![
+                    ("name", Value::Str(e.name.clone())),
+                    ("cycles", Value::Int(e.cycles as i64)),
+                    (
+                        "attribution",
+                        Value::Obj(
+                            e.attribution
+                                .iter()
+                                .map(|(k, &v)| (k.clone(), Value::Int(v as i64)))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "extras",
+                        Value::Obj(
+                            e.extras
+                                .iter()
+                                .map(|(k, &v)| (k.clone(), Value::Float(v)))
+                                .collect(),
+                        ),
+                    ),
+                    ("wall_ms", Value::Float(e.wall_ms)),
+                ])
+            })
+            .collect();
+        Value::obj(vec![
+            ("schema", Value::Str(BENCH_SCHEMA.to_string())),
+            ("suite", Value::Str(self.suite.clone())),
+            ("entries", Value::Arr(entries)),
+        ])
+    }
+
+    /// Parses a document previously produced by [`BenchDoc::to_json`].
+    pub fn from_json(text: &str) -> Result<BenchDoc, String> {
+        let v = parse(text)?;
+        let schema = v
+            .get("schema")
+            .and_then(|s| s.as_str())
+            .ok_or("missing schema")?;
+        if schema != BENCH_SCHEMA {
+            return Err(format!(
+                "schema mismatch: found {schema:?}, expected {BENCH_SCHEMA:?}"
+            ));
+        }
+        let suite = v
+            .get("suite")
+            .and_then(|s| s.as_str())
+            .ok_or("missing suite")?
+            .to_string();
+        let mut entries = Vec::new();
+        for e in v
+            .get("entries")
+            .and_then(|a| a.as_arr())
+            .ok_or("missing entries")?
+        {
+            let name = e
+                .get("name")
+                .and_then(|s| s.as_str())
+                .ok_or("entry missing name")?
+                .to_string();
+            let cycles = e
+                .get("cycles")
+                .and_then(|c| c.as_i64())
+                .ok_or("entry missing cycles")? as u64;
+            let mut attribution = BTreeMap::new();
+            if let Some(m) = e.get("attribution").and_then(|a| a.as_obj()) {
+                for (k, v) in m {
+                    attribution.insert(k.clone(), v.as_i64().unwrap_or(0) as u64);
+                }
+            }
+            let mut extras = BTreeMap::new();
+            if let Some(m) = e.get("extras").and_then(|a| a.as_obj()) {
+                for (k, v) in m {
+                    extras.insert(k.clone(), v.as_f64().unwrap_or(0.0));
+                }
+            }
+            let wall_ms = e.get("wall_ms").and_then(|w| w.as_f64()).unwrap_or(0.0);
+            entries.push(BenchEntry {
+                name,
+                cycles,
+                attribution,
+                extras,
+                wall_ms,
+            });
+        }
+        Ok(BenchDoc { suite, entries })
+    }
+}
+
+/// Compares a fresh run against a baseline. Returns one message per
+/// problem: an entry whose cycle count grew by more than `tol`
+/// (fractional, e.g. `0.25` = +25%), or an entry present in the baseline
+/// but missing from the new run. Faster entries and brand-new entries
+/// never fail. Empty result = pass.
+pub fn compare(baseline: &BenchDoc, fresh: &BenchDoc, tol: f64) -> Vec<String> {
+    let mut problems = Vec::new();
+    for old in &baseline.entries {
+        let Some(new) = fresh.entry(&old.name) else {
+            problems.push(format!(
+                "{}: present in baseline but missing from new run",
+                old.name
+            ));
+            continue;
+        };
+        let limit = old.cycles as f64 * (1.0 + tol);
+        if new.cycles as f64 > limit {
+            let ratio = if old.cycles == 0 {
+                f64::INFINITY
+            } else {
+                new.cycles as f64 / old.cycles as f64
+            };
+            problems.push(format!(
+                "{}: {} -> {} cycles ({:+.1}% > allowed {:+.1}%)",
+                old.name,
+                old.cycles,
+                new.cycles,
+                (ratio - 1.0) * 100.0,
+                tol * 100.0
+            ));
+        }
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(name: &str, cycles: u64) -> BenchEntry {
+        BenchEntry {
+            name: name.to_string(),
+            cycles,
+            attribution: [("compute".to_string(), cycles)].into_iter().collect(),
+            extras: [("us_per_edge".to_string(), 1.5)].into_iter().collect(),
+            wall_ms: 12.5,
+        }
+    }
+
+    #[test]
+    fn document_round_trips() {
+        let mut doc = BenchDoc::new("micro");
+        doc.entries.push(entry("remote.read.uncached", 912));
+        doc.entries.push(entry("sync.barrier", 400));
+        let text = doc.to_json().render_pretty();
+        let back = BenchDoc::from_json(&text).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let err = BenchDoc::from_json("{\"schema\":\"other\",\"suite\":\"x\",\"entries\":[]}")
+            .unwrap_err();
+        assert!(err.contains("schema mismatch"));
+    }
+
+    #[test]
+    fn compare_flags_regressions_and_missing_entries() {
+        let mut base = BenchDoc::new("micro");
+        base.entries.push(entry("a", 1000));
+        base.entries.push(entry("b", 1000));
+        base.entries.push(entry("gone", 10));
+        let mut fresh = BenchDoc::new("micro");
+        fresh.entries.push(entry("a", 1200)); // within +25%
+        fresh.entries.push(entry("b", 1300)); // over +25%
+        fresh.entries.push(entry("brand-new", 1)); // never a failure
+        let problems = compare(&base, &fresh, 0.25);
+        assert_eq!(problems.len(), 2);
+        assert!(problems.iter().any(|p| p.starts_with("b:")));
+        assert!(problems.iter().any(|p| p.starts_with("gone:")));
+        // faster is always fine
+        let mut faster = fresh.clone();
+        faster.entries[1].cycles = 10;
+        faster.entries.push(entry("gone", 10));
+        assert!(compare(&base, &faster, 0.25).is_empty());
+    }
+}

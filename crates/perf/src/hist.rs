@@ -1,0 +1,180 @@
+//! Log₂-bucketed latency histograms.
+
+/// Number of buckets: bucket *i* holds samples with
+/// `floor(log2(v)) == i` (bucket 0 also holds zero).
+const BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram of cycle counts.
+///
+/// Percentiles are bucket-resolution: `pXX` reports the inclusive upper
+/// bound of the bucket containing the XXth-percentile sample — exact
+/// enough for plateau-style latency distributions, and deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hist {
+    counts: [u64; BUCKETS],
+    sum: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist {
+            counts: [0; BUCKETS],
+            sum: 0,
+        }
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        63 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`2^(i+1) - 1`).
+fn bucket_hi(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        (2u64 << i) - 1
+    }
+}
+
+impl Hist {
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.sum += v;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// The `p`-quantile (0 < p ≤ 100) at bucket resolution: the upper
+    /// bound of the bucket holding the sample at that rank. 0 when
+    /// empty.
+    pub fn percentile(&self, p: u64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = (n * p).div_ceil(100).max(1);
+        let mut acc = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= rank {
+                return bucket_hi(i);
+            }
+        }
+        bucket_hi(BUCKETS - 1)
+    }
+
+    /// Median (bucket upper bound).
+    pub fn p50(&self) -> u64 {
+        self.percentile(50)
+    }
+
+    /// 95th percentile (bucket upper bound).
+    pub fn p95(&self) -> u64 {
+        self.percentile(95)
+    }
+
+    /// 99th percentile (bucket upper bound).
+    pub fn p99(&self) -> u64 {
+        self.percentile(99)
+    }
+
+    /// Adds another histogram bucket-wise.
+    pub fn merge(&mut self, other: &Hist) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.sum += other.sum;
+    }
+
+    /// Non-empty buckets as `(inclusive upper bound, count)`, smallest
+    /// first.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_hi(i), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(1023), 9);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_hi(0), 1);
+        assert_eq!(bucket_hi(4), 31);
+    }
+
+    #[test]
+    fn percentiles_report_bucket_bounds() {
+        let mut h = Hist::default();
+        for _ in 0..90 {
+            h.record(20); // bucket [16,31]
+        }
+        for _ in 0..10 {
+            h.record(1000); // bucket [512,1023]
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.p50(), 31);
+        assert_eq!(h.percentile(90), 31);
+        assert_eq!(h.p95(), 1023);
+        assert_eq!(h.p99(), 1023);
+        assert!((h.mean() - (90.0 * 20.0 + 10.0 * 1000.0) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Hist::default();
+        a.record(5);
+        let mut b = Hist::default();
+        b.record(7);
+        b.record(9);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 21);
+        let buckets: Vec<_> = a.buckets().collect();
+        assert_eq!(buckets, vec![(7, 2), (15, 1)]);
+    }
+
+    #[test]
+    fn empty_hist_is_quiet() {
+        let h = Hist::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

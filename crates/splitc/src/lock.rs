@@ -52,6 +52,7 @@ impl ScCtx<'_> {
     /// Attempts to take `lock` with one atomic swap. Returns `true` on
     /// acquisition.
     pub fn lock_try_acquire(&mut self, lock: GlobalLock) -> bool {
+        self.rt.stats.lock_ops += 1;
         let gp = lock.word();
         let va = if gp.pe() as usize == self.pe {
             gp.addr()
@@ -83,6 +84,7 @@ impl ScCtx<'_> {
     /// Panics if the lock was not held (releasing a free lock is a
     /// program bug this simulator surfaces immediately).
     pub fn lock_release(&mut self, lock: GlobalLock) {
+        self.rt.stats.lock_ops += 1;
         let gp = lock.word();
         let va = if gp.pe() as usize == self.pe {
             gp.addr()

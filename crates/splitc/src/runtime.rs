@@ -66,6 +66,24 @@ pub struct RtStats {
     pub bulk_ops: u64,
     /// AM-equivalent deposits issued.
     pub am_deposits: u64,
+    /// Lock operations issued (acquire attempts and releases).
+    pub lock_ops: u64,
+}
+
+impl RtStats {
+    /// Total runtime primitives issued, across every counter. Useful for
+    /// auditing that no primitive escapes instrumentation: a program that
+    /// issues a known number of operations must see exactly that total.
+    pub fn total(&self) -> u64 {
+        self.reads
+            + self.writes
+            + self.gets
+            + self.puts
+            + self.stores
+            + self.bulk_ops
+            + self.am_deposits
+            + self.lock_ops
+    }
 }
 
 impl NodeRt {

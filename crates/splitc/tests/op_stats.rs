@@ -1,0 +1,63 @@
+//! Audit of the runtime's operation counters: a program that issues a
+//! known number of primitives must be counted exactly — every Split-C
+//! primitive family (rw / getput / store / bulk / amq / lock) bumps its
+//! counter, and nothing is double-counted.
+
+use splitc::{GlobalLock, GlobalPtr, SplitC};
+use t3d_machine::MachineConfig;
+
+#[test]
+fn every_primitive_family_is_counted_exactly() {
+    let mut sc = SplitC::new(MachineConfig::t3d(4));
+    let lock_off = sc.alloc(8, 8);
+    let cell = sc.alloc(256, 8);
+    let scratch = sc.alloc(256, 8);
+    let lock = GlobalLock::new(GlobalPtr::new(2, lock_off));
+    for i in 0..8u64 {
+        sc.machine().poke8(1, cell + i * 8, 10 + i);
+    }
+
+    sc.on(0, |ctx| {
+        // rw: 3 reads (2 uncached + 1 cached), 2 writes.
+        let a = ctx.read_u64(GlobalPtr::new(1, cell));
+        let b = ctx.read_u64(GlobalPtr::new(1, cell + 8));
+        let c = ctx.read_u64_cached(GlobalPtr::new(1, cell + 16));
+        ctx.write_u64(GlobalPtr::new(1, scratch), a + b);
+        ctx.write_u64(GlobalPtr::new(3, scratch), c);
+        // getput: 3 gets, 2 puts, one sync (sync is completion, not an op).
+        for i in 0..3u64 {
+            ctx.get(scratch + 64 + i * 8, GlobalPtr::new(1, cell + i * 8));
+        }
+        ctx.put(GlobalPtr::new(3, scratch + 8), 7);
+        ctx.put(GlobalPtr::new(3, scratch + 16), 8);
+        ctx.sync();
+        // store: 2 signaling stores.
+        ctx.store_u64(GlobalPtr::new(1, scratch + 32), 1);
+        ctx.store_u64(GlobalPtr::new(1, scratch + 40), 2);
+        // bulk: 1 bulk_read + 1 bulk_put.
+        ctx.bulk_read(scratch + 96, GlobalPtr::new(1, cell), 32);
+        ctx.bulk_put(GlobalPtr::new(3, scratch + 64), scratch + 96, 32);
+        ctx.sync();
+        // amq: 1 deposit.
+        ctx.am_deposit(1, splitc::runtime::AM_ADD_U64, [scratch + 48, 5, 0, 0]);
+        // lock: acquire + release = 2 lock ops.
+        assert!(ctx.lock_try_acquire(lock));
+        ctx.lock_release(lock);
+    });
+
+    let s = sc.stats(0);
+    assert_eq!(s.reads, 3, "read_u64/read_u64_cached");
+    assert_eq!(s.writes, 2, "write_u64");
+    assert_eq!(s.gets, 3, "get");
+    assert_eq!(s.puts, 2, "put");
+    assert_eq!(s.stores, 2, "store_u64");
+    assert_eq!(s.bulk_ops, 2, "bulk_read + bulk_put");
+    assert_eq!(s.am_deposits, 1, "am_deposit");
+    assert_eq!(s.lock_ops, 2, "lock acquire + release");
+    assert_eq!(s.total(), 17, "no primitive escapes the audit");
+
+    // Nothing ran on the other nodes, so nothing may be counted there.
+    for pe in 1..4 {
+        assert_eq!(sc.stats(pe).total(), 0, "PE {pe} issued nothing");
+    }
+}

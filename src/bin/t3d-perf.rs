@@ -1,0 +1,226 @@
+//! `t3d-perf` — the perf-trajectory harness.
+//!
+//! Runs the microbench attribution scenarios and all seven EM3D
+//! versions under the cycle-attribution profiler and writes
+//! `BENCH_micro.json` / `BENCH_em3d.json` (virtual-cycle totals,
+//! attribution vectors and host wall-clock). A checked-in pair of those
+//! documents is the repository's performance trajectory: the `compare`
+//! mode flags any benchmark whose virtual-cycle total grew past a
+//! tolerance.
+//!
+//! Usage:
+//!
+//! ```text
+//! t3d-perf [micro|em3d|all] [--out DIR] [--compare DIR] [--tol F] [--report]
+//! t3d-perf compare OLD.json NEW.json [--tol F]
+//! ```
+//!
+//! `--out DIR` writes the fresh documents (default: current directory);
+//! `--compare DIR` additionally checks them against `DIR/BENCH_*.json`
+//! and exits non-zero on regression; `--tol` sets the fractional cycle
+//! tolerance (default 0.25); `--report` prints each run's rendered
+//! attribution report. Virtual cycles are deterministic, so the
+//! tolerance exists only to absorb deliberate timing-model changes.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use em3d::{run_version_profiled, Em3dParams, Version};
+use t3d_machine::{PerfReport, PhaseDriver};
+use t3d_microbench::probes::attribution;
+use t3d_perf::{compare, BenchDoc, BenchEntry};
+
+struct Opts {
+    out: std::path::PathBuf,
+    compare_dir: Option<std::path::PathBuf>,
+    tol: f64,
+    report: bool,
+}
+
+fn entry_from_report(name: &str, report: &PerfReport, wall_ms: f64) -> BenchEntry {
+    let merged = report.merged();
+    let attribution: BTreeMap<String, u64> = merged
+        .entries()
+        .map(|(c, cy)| (c.label().to_string(), cy))
+        .collect();
+    let mut extras = BTreeMap::new();
+    extras.insert("remote_share".to_string(), report.remote_share());
+    BenchEntry {
+        name: name.to_string(),
+        cycles: report.total(),
+        attribution,
+        extras,
+        wall_ms,
+    }
+}
+
+fn run_micro(driver: PhaseDriver, report: bool) -> BenchDoc {
+    let mut doc = BenchDoc::new("micro");
+    for s in attribution::all() {
+        let t = Instant::now();
+        let r = (s.run)(driver);
+        let wall_ms = t.elapsed().as_secs_f64() * 1000.0;
+        if report {
+            println!("=== {} ===\n{}", s.name, r.render());
+        }
+        doc.entries.push(entry_from_report(s.name, &r, wall_ms));
+    }
+    doc
+}
+
+fn run_em3d(driver: PhaseDriver, report: bool) -> BenchDoc {
+    let mut doc = BenchDoc::new("em3d");
+    let params = Em3dParams::tiny(30.0);
+    for v in Version::all() {
+        let t = Instant::now();
+        let (result, r) = run_version_profiled(driver, 4, params, v);
+        let wall_ms = t.elapsed().as_secs_f64() * 1000.0;
+        if report {
+            println!("=== em3d.{} ===\n{}", v.label(), r.render());
+        }
+        let name = format!("em3d.{}", v.label());
+        let mut e = entry_from_report(&name, &r, wall_ms);
+        e.extras
+            .insert("us_per_edge".to_string(), result.us_per_edge);
+        doc.entries.push(e);
+    }
+    doc
+}
+
+fn write_doc(doc: &BenchDoc, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+    let path = dir.join(format!("BENCH_{}.json", doc.suite));
+    let mut text = doc.to_json().render_pretty();
+    text.push('\n');
+    std::fs::write(&path, text)?;
+    Ok(path)
+}
+
+fn check(doc: &BenchDoc, baseline_dir: &std::path::Path, tol: f64) -> Result<(), Vec<String>> {
+    let path = baseline_dir.join(format!("BENCH_{}.json", doc.suite));
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| vec![format!("cannot read baseline {}: {e}", path.display())])?;
+    let baseline = BenchDoc::from_json(&text).map_err(|e| vec![e])?;
+    let problems = compare(&baseline, doc, tol);
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(problems)
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Opts {
+        out: ".".into(),
+        compare_dir: None,
+        tol: 0.25,
+        report: false,
+    };
+    if let Some(i) = args.iter().position(|a| a == "--report") {
+        args.remove(i);
+        opts.report = true;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--tol") {
+        args.remove(i);
+        if i >= args.len() {
+            eprintln!("--tol requires a fraction (e.g. 0.25)");
+            return ExitCode::from(2);
+        }
+        match args.remove(i).parse() {
+            Ok(t) => opts.tol = t,
+            Err(e) => {
+                eprintln!("--tol: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(i) = args.iter().position(|a| a == "--out") {
+        args.remove(i);
+        if i >= args.len() {
+            eprintln!("--out requires a directory");
+            return ExitCode::from(2);
+        }
+        opts.out = args.remove(i).into();
+    }
+    if let Some(i) = args.iter().position(|a| a == "--compare") {
+        args.remove(i);
+        if i >= args.len() {
+            eprintln!("--compare requires a directory holding BENCH_*.json baselines");
+            return ExitCode::from(2);
+        }
+        opts.compare_dir = Some(args.remove(i).into());
+    }
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+
+    // Standalone two-file comparison: `t3d-perf compare OLD NEW`.
+    if cmd == "compare" {
+        if args.len() != 3 {
+            eprintln!("usage: t3d-perf compare OLD.json NEW.json [--tol F]");
+            return ExitCode::from(2);
+        }
+        let read = |p: &str| -> Result<BenchDoc, String> {
+            BenchDoc::from_json(&std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?)
+        };
+        let (old, new) = match (read(&args[1]), read(&args[2])) {
+            (Ok(o), Ok(n)) => (o, n),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        };
+        let problems = compare(&old, &new, opts.tol);
+        if problems.is_empty() {
+            println!(
+                "OK: {} entries within {:.0}% of baseline",
+                new.entries.len(),
+                opts.tol * 100.0
+            );
+            return ExitCode::SUCCESS;
+        }
+        for p in &problems {
+            eprintln!("REGRESSION: {p}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    if !matches!(cmd, "micro" | "em3d" | "all") {
+        eprintln!("unknown command {cmd:?}; expected micro, em3d, all or compare");
+        return ExitCode::from(2);
+    }
+    let driver = PhaseDriver::from_env();
+    let mut docs = Vec::new();
+    if matches!(cmd, "micro" | "all") {
+        docs.push(run_micro(driver, opts.report));
+    }
+    if matches!(cmd, "em3d" | "all") {
+        docs.push(run_em3d(driver, opts.report));
+    }
+
+    let mut failed = false;
+    for doc in &docs {
+        match write_doc(doc, &opts.out) {
+            Ok(path) => println!("wrote {} ({} entries)", path.display(), doc.entries.len()),
+            Err(e) => {
+                eprintln!("cannot write BENCH_{}.json: {e}", doc.suite);
+                return ExitCode::from(2);
+            }
+        }
+        if let Some(dir) = &opts.compare_dir {
+            match check(doc, dir, opts.tol) {
+                Ok(()) => println!("{}: within {:.0}% of baseline", doc.suite, opts.tol * 100.0),
+                Err(problems) => {
+                    for p in problems {
+                        eprintln!("REGRESSION [{}]: {p}", doc.suite);
+                    }
+                    failed = true;
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -4,7 +4,7 @@
 
 use splitc::{AnnexPolicy, DiagKind, GlobalLock, GlobalPtr, SanitizeMode, SplitC, SplitcConfig};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use t3d_machine::{Machine, MachineConfig, PhaseDriver};
+use t3d_machine::{Machine, MachineConfig, PhaseDriver, Tracer};
 use t3d_shell::{AnnexEntry, FuncCode};
 
 fn collect(nodes: u32) -> SplitC {
@@ -174,7 +174,7 @@ fn hashed_policy_never_trips_the_synonym_hazard() {
 #[test]
 fn trace_scan_flags_the_raw_machine_hazards() {
     let mut m = Machine::new(MachineConfig::t3d(2));
-    m.enable_trace(1024);
+    m.enable_trace(Tracer::env_cap(1024));
     let annex = |pe: u32| AnnexEntry {
         pe,
         func: FuncCode::Uncached,
