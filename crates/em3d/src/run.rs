@@ -106,6 +106,11 @@ pub struct Em3dResult {
     /// fingerprint: two runs agree on every node's timing iff the
     /// hashes match.
     pub clock_fnv: u64,
+    /// FNV-1a checksum over the settled working set and virtual clocks
+    /// after the post-measurement fence (via `Machine::snapshot_region`)
+    /// — the state fingerprint the throughput bench gates on, so a
+    /// fast-but-wrong engine fails the run.
+    pub mem_fnv: u64,
 }
 
 /// One source's contiguous slice of a consumer's ghost region.
@@ -696,6 +701,11 @@ fn run_version_inner(
     // barriers on its own.
     sc.barrier();
 
+    // State fingerprint over the whole working set (the send buffer is
+    // the last allocation, so the region covers every layout field).
+    let snap_end = layout.send + npp * deg * 8;
+    let mem_fnv = sc.machine_ref().snapshot_region(0, snap_end).fnv64();
+
     // Verify against the host reference (warm-up + measured steps).
     let (e_ref, h_ref) = reference(&g, params.steps + 1);
     for p in 0..nprocs as usize {
@@ -736,6 +746,7 @@ fn run_version_inner(
             cycles,
             ops,
             clock_fnv,
+            mem_fnv,
         },
         report,
     )

@@ -119,8 +119,12 @@ impl Machine {
         self.cfg.mem.l1.line as u64 - 1
     }
 
+    /// Integer round-trip latency: exactly twice the rounded one-way
+    /// latency, so `rtt_cy(a,b) == 2 * one_way_cy(a,b)` even when the
+    /// fractional one-way lands on a half cycle (2.5 rounds to 3, and
+    /// the round trip is 6, not `5.0.round()`).
     fn rtt_cy(&self, a: usize, b: usize) -> u64 {
-        self.torus.round_trip_cy(a as u32, b as u32).round() as u64
+        2 * self.one_way_cy(a, b)
     }
 
     fn one_way_cy(&self, a: usize, b: usize) -> u64 {
@@ -1128,6 +1132,25 @@ mod tests {
         let mut m = machine2();
         m.st8(0, 0x1000, 77);
         assert_eq!(m.ld8(0, 0x1000), 77);
+    }
+
+    #[test]
+    fn rtt_is_twice_rounded_one_way_for_all_pairs() {
+        // 2x2x2 torus: hop_cy = 2.5 puts odd hop counts on half cycles,
+        // exactly where rounding the doubled latency used to diverge
+        // from doubling the rounded one-way (1 hop: one-way 2.5 -> 3,
+        // rtt must be 6, not 5.0.round() = 5).
+        let m = Machine::new(MachineConfig::t3d(8));
+        assert_eq!(m.cfg.torus.dims, (2, 2, 2));
+        for a in 0..8 {
+            for b in 0..8 {
+                assert_eq!(m.rtt_cy(a, b), 2 * m.one_way_cy(a, b), "pair ({a},{b})");
+            }
+        }
+        // Pin the adjacent-pair values the rest of the calibration
+        // suite builds on.
+        assert_eq!(m.one_way_cy(0, 1), 3);
+        assert_eq!(m.rtt_cy(0, 1), 6);
     }
 
     #[test]

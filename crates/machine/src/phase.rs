@@ -231,11 +231,10 @@ impl<'a> PhasePe<'a> {
         self.sh.cfg.mem.l1.line as u64 - 1
     }
 
+    /// Mirrors `Machine::rtt_cy`: exactly twice the rounded one-way
+    /// latency (not the rounded double), keeping Seq/Par bit-identical.
     fn rtt(&self, b: usize) -> u64 {
-        self.sh
-            .torus
-            .round_trip_cy(self.pe as u32, b as u32)
-            .round() as u64
+        2 * self.one_way(b)
     }
 
     fn one_way(&self, b: usize) -> u64 {
@@ -1027,48 +1026,60 @@ impl Machine {
     }
 
     /// Applies merged shard effects to the real nodes, in the already
-    /// deterministic order.
+    /// deterministic order. Consecutive records for the same target are
+    /// applied as one run against a single node borrow, so a burst of
+    /// effects landing on one PE (the common shape after the
+    /// `(time, src, seq)` sort) resolves the node once per run instead
+    /// of once per record.
     fn apply_effects(&mut self, effects: Vec<TimedEffect>) {
         let contention = self.config().contention;
         let line = self.config().mem.l1.line as u64;
-        for e in effects {
-            let t = e.target as usize;
-            match e.eff {
-                Effect::Write {
-                    off,
-                    data,
-                    mask,
-                    arrival,
-                } => {
-                    let _ = self.node_mut(t).port.service_remote_write(off, &data, mask);
-                    if let Some((at, bytes)) = arrival {
-                        self.node_mut(t).incoming.push((at, bytes));
-                    }
-                }
-                Effect::Poke { off, data } => {
-                    let node = self.node_mut(t);
-                    node.port.poke_mem(off, &data);
-                    let mut a = off & !(line - 1);
-                    while a < off + data.len() as u64 {
-                        node.port.l1_mut().invalidate(a);
-                        a += line;
-                    }
-                }
-                Effect::DramTouch { off } => {
-                    let _ = self.node_mut(t).port.dram_mut().access(off);
-                }
-                Effect::Msg(msg) => self.node_mut(t).msgq.deliver(msg),
-                Effect::FetchInc { reg } => {
-                    let _ = self.node_mut(t).fetchinc.fetch_inc(reg);
-                }
+        let mut it = effects.into_iter().peekable();
+        while let Some(first) = it.next() {
+            let t = first.target as usize;
+            let node = self.node_mut(t);
+            apply_effect(node, first, line, contention);
+            while let Some(e) = it.next_if(|e| e.target as usize == t) {
+                apply_effect(node, e, line, contention);
             }
-            if contention {
-                if let Some((ready, occ)) = e.busy {
-                    let node = self.node_mut(t);
-                    let start = ready.max(node.shell_busy_until);
-                    node.shell_busy_until = start + occ;
-                }
+        }
+    }
+}
+
+/// Applies one merged shard effect to its target node.
+fn apply_effect(node: &mut Node, e: TimedEffect, line: u64, contention: bool) {
+    match e.eff {
+        Effect::Write {
+            off,
+            data,
+            mask,
+            arrival,
+        } => {
+            let _ = node.port.service_remote_write(off, &data, mask);
+            if let Some((at, bytes)) = arrival {
+                node.incoming.push((at, bytes));
             }
+        }
+        Effect::Poke { off, data } => {
+            node.port.poke_mem(off, &data);
+            let mut a = off & !(line - 1);
+            while a < off + data.len() as u64 {
+                node.port.l1_mut().invalidate(a);
+                a += line;
+            }
+        }
+        Effect::DramTouch { off } => {
+            let _ = node.port.dram_mut().access(off);
+        }
+        Effect::Msg(msg) => node.msgq.deliver(msg),
+        Effect::FetchInc { reg } => {
+            let _ = node.fetchinc.fetch_inc(reg);
+        }
+    }
+    if contention {
+        if let Some((ready, occ)) = e.busy {
+            let start = ready.max(node.shell_busy_until);
+            node.shell_busy_until = start + occ;
         }
     }
 }

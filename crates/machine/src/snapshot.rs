@@ -95,6 +95,42 @@ impl MemSnapshot {
         self.mem_diff(other)
     }
 
+    /// FNV-1a fingerprint of the snapshot: every node's captured bytes
+    /// in PE order, then every virtual clock. Two snapshots of the same
+    /// region hash equal iff [`MemSnapshot::diff`] finds no divergence,
+    /// so the single `u64` stands in for a full comparison when only a
+    /// determinism verdict is needed (the throughput bench records it so
+    /// a fast-but-wrong engine fails the run).
+    ///
+    /// The hash runs over little-endian 64-bit *words* of each node's
+    /// region (a zero-padded final word if the length is not a multiple
+    /// of eight), then the clocks, using the same FNV-1a parameters as
+    /// the EM3D clock fingerprint. Word granularity keeps the hash one
+    /// multiply per eight bytes — snapshots cover megabytes, and the
+    /// byte-serial variant dominated the throughput bench's host time.
+    pub fn fnv64(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut step = |word: u64| {
+            h = (h ^ word).wrapping_mul(0x100_0000_01b3);
+        };
+        for bytes in &self.mem {
+            let mut chunks = bytes.chunks_exact(8);
+            for c in &mut chunks {
+                step(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+            }
+            let rem = chunks.remainder();
+            if !rem.is_empty() {
+                let mut w = [0u8; 8];
+                w[..rem.len()].copy_from_slice(rem);
+                step(u64::from_le_bytes(w));
+            }
+        }
+        for &c in &self.clocks {
+            step(c);
+        }
+        h
+    }
+
     /// Like [`MemSnapshot::diff`] but ignoring clocks — the comparison
     /// against a reference model that has no notion of virtual time.
     pub fn mem_diff(&self, other: &MemSnapshot) -> Option<SnapshotDiff> {
@@ -205,6 +241,31 @@ mod tests {
         let mut b = [0u8; 1];
         m.peek_mem(0, 0x140, &mut b);
         assert_eq!(b[0], 0xF0);
+    }
+
+    #[test]
+    fn fnv64_tracks_diff_and_sees_every_byte() {
+        // Odd region length exercises the zero-padded tail word.
+        let m = Machine::new(MachineConfig::t3d(2));
+        let a = m.snapshot_region(0x100, 61);
+        assert_eq!(
+            a.fnv64(),
+            m.snapshot_region(0x100, 61).fnv64(),
+            "identical snapshots hash equal"
+        );
+        // Any single corrupted byte in the region changes the hash —
+        // including one in the final partial word.
+        for off in [0x100u64, 0x120, 0x100 + 60] {
+            let mut mm = Machine::new(MachineConfig::t3d(2));
+            mm.corrupt_byte(1, off);
+            let b = mm.snapshot_region(0x100, 61);
+            assert!(a.diff(&b).is_some());
+            assert_ne!(a.fnv64(), b.fnv64(), "byte at {off:#x} must change hash");
+        }
+        // Clocks feed the hash too.
+        let mut mc = Machine::new(MachineConfig::t3d(2));
+        mc.advance(0, 1);
+        assert_ne!(a.fnv64(), mc.snapshot_region(0x100, 61).fnv64());
     }
 
     #[test]

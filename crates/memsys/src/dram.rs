@@ -38,15 +38,23 @@ pub struct Dram {
     open: Vec<Option<u64>>,
     /// Bank used by the most recent access.
     last_bank: Option<u64>,
+    /// `log2(page_bytes)` when the page size is a power of two (it is in
+    /// every shipped configuration), so the per-access decode is a shift
+    /// instead of a division.
+    page_shift: Option<u32>,
+    /// `banks - 1` when the bank count is a power of two.
+    bank_mask: Option<u64>,
 }
 
 impl Dram {
     /// Creates a DRAM model with all pages closed.
     pub fn new(cfg: DramConfig) -> Self {
         Dram {
-            cfg,
             open: vec![None; cfg.banks as usize],
             last_bank: None,
+            page_shift: (cfg.page_bytes.is_power_of_two()).then(|| cfg.page_bytes.trailing_zeros()),
+            bank_mask: (cfg.banks.is_power_of_two()).then(|| cfg.banks - 1),
+            cfg,
         }
     }
 
@@ -55,21 +63,34 @@ impl Dram {
         &self.cfg
     }
 
+    /// Decodes a physical address to `(page, bank)` in one pass.
+    #[inline]
+    fn decode(&self, pa: u64) -> (u64, u64) {
+        let page = match self.page_shift {
+            Some(s) => pa >> s,
+            None => pa / self.cfg.page_bytes,
+        };
+        let bank = match self.bank_mask {
+            Some(m) => page & m,
+            None => page % self.cfg.banks,
+        };
+        (page, bank)
+    }
+
     /// Bank addressed by a physical address.
     pub fn bank_of(&self, pa: u64) -> u64 {
-        (pa / self.cfg.page_bytes) % self.cfg.banks
+        self.decode(pa).1
     }
 
     /// DRAM page id addressed by a physical address.
     pub fn page_of(&self, pa: u64) -> u64 {
-        pa / self.cfg.page_bytes
+        self.decode(pa).0
     }
 
     /// Performs one access and returns its cost in cycles, updating the
     /// open-page and last-bank state.
     pub fn access(&mut self, pa: u64) -> u64 {
-        let bank = self.bank_of(pa);
-        let page = self.page_of(pa);
+        let (page, bank) = self.decode(pa);
         let open = self.open[bank as usize];
         let cost = if open == Some(page) {
             self.cfg.page_hit_cy
@@ -85,8 +106,7 @@ impl Dram {
 
     /// Cost the next access to `pa` *would* pay, without changing state.
     pub fn peek(&self, pa: u64) -> u64 {
-        let bank = self.bank_of(pa);
-        let page = self.page_of(pa);
+        let (page, bank) = self.decode(pa);
         if self.open[bank as usize] == Some(page) {
             self.cfg.page_hit_cy
         } else if self.last_bank == Some(bank) {
@@ -194,5 +214,20 @@ mod tests {
         assert_eq!(d.bank_of(32 * 1024), 2);
         assert_eq!(d.bank_of(48 * 1024), 3);
         assert_eq!(d.bank_of(64 * 1024), 0);
+    }
+
+    #[test]
+    fn decode_falls_back_to_division_for_odd_geometries() {
+        // No shipped configuration uses these, but the fast shift/mask
+        // decode must not be load-bearing: a 3-bank, 3000-byte-page DRAM
+        // still maps addresses by plain division.
+        let mut cfg = MemConfig::t3d().dram;
+        cfg.page_bytes = 3000;
+        cfg.banks = 3;
+        let d = Dram::new(cfg);
+        for pa in [0u64, 2999, 3000, 8999, 9000, 123_456] {
+            assert_eq!(d.page_of(pa), pa / 3000, "page of {pa}");
+            assert_eq!(d.bank_of(pa), (pa / 3000) % 3, "bank of {pa}");
+        }
     }
 }

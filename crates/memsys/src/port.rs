@@ -81,6 +81,12 @@ pub struct MemPort {
     /// Remote writes that have retired from the write buffer and await
     /// delivery by the machine layer.
     outbox: Vec<Retired>,
+    /// Cached [`WriteBuffer::next_due`] (`u64::MAX` when the buffer is
+    /// empty). Every timed operation calls [`MemPort::apply_due`]; this
+    /// cache lets that call return without touching the write buffer at
+    /// all while nothing can be due — the common case between drains.
+    /// Refreshed after every operation that mutates the buffer.
+    wbuf_next_due: u64,
     stats: PortStats,
     /// Whether the attribution ledger collects (see [`MemPort::set_perf`]).
     perf_on: bool,
@@ -106,6 +112,7 @@ impl MemPort {
             dram: Dram::new(cfg.dram),
             mem: Arc::new(MemArena::new(cfg.mem_bytes)),
             outbox: Vec::new(),
+            wbuf_next_due: u64::MAX,
             stats: PortStats::default(),
             perf_on: false,
             perf: Ledger::default(),
@@ -237,6 +244,7 @@ impl MemPort {
             WriteTarget::Remote(_) => 0,
         };
         let (out, retired) = self.wbuf.push(now + cost, pa, bytes, target, dram_cy);
+        self.refresh_next_due();
         if out.merged {
             self.stats.wbuf_merges += 1;
         }
@@ -255,6 +263,7 @@ impl MemPort {
     /// cost in cycles. Retired remote entries land in the outbox.
     pub fn memory_barrier(&mut self, now: u64) -> u64 {
         let (cost, retired) = self.wbuf.drain_all(now);
+        self.wbuf_next_due = u64::MAX;
         self.apply_retired(retired);
         self.credit(CostClass::WbufDrain, cost);
         cost
@@ -263,8 +272,16 @@ impl MemPort {
     /// Applies every write whose retire time has passed; remote entries
     /// land in the outbox.
     pub fn apply_due(&mut self, now: u64) {
+        if now < self.wbuf_next_due {
+            return;
+        }
         let retired = self.wbuf.drain_due(now);
+        self.refresh_next_due();
         self.apply_retired(retired);
+    }
+
+    fn refresh_next_due(&mut self) {
+        self.wbuf_next_due = self.wbuf.next_due().unwrap_or(u64::MAX);
     }
 
     /// Takes the remote writes that have retired since the last call; the
@@ -470,6 +487,7 @@ impl MemPort {
         // Any pending writes are applied instantly; remote entries land
         // in the outbox for the machine layer to deliver.
         let (_, retired) = self.wbuf.drain_all(u64::MAX / 2);
+        self.wbuf_next_due = u64::MAX;
         self.apply_retired(retired);
         self.wbuf.reset();
     }
@@ -490,6 +508,7 @@ impl Clone for MemPort {
             mem: Arc::new(self.mem.deep_clone()),
             offset_mask: self.offset_mask,
             outbox: self.outbox.clone(),
+            wbuf_next_due: self.wbuf_next_due,
             stats: self.stats,
             perf_on: self.perf_on,
             perf: self.perf,
@@ -657,6 +676,24 @@ mod tests {
         p.peek_mem(0xB000, &mut buf);
         assert_eq!(u64::from_le_bytes(buf), 42);
         assert_eq!(p.l1().valid_lines(), 0);
+    }
+
+    #[test]
+    fn apply_due_retires_exactly_at_the_buffered_completion() {
+        // The port caches the write buffer's next-due time to skip the
+        // drain call between events; the cache must not delay retirement.
+        let mut p = port();
+        let _ = p.write(0, 0xC000, &7u64.to_le_bytes());
+        assert_eq!(p.wbuf_pending(), 1);
+        let mut t = 0;
+        while p.wbuf_pending() > 0 {
+            t += 1;
+            p.apply_due(t);
+            assert!(t < 1000, "entry never retired");
+        }
+        let mut buf = [0u8; 8];
+        p.peek_mem(0xC000, &mut buf);
+        assert_eq!(u64::from_le_bytes(buf), 7, "retired write reached memory");
     }
 
     #[test]

@@ -165,6 +165,16 @@ impl WriteBuffer {
         self.entries.back().map(|e| e.completion.ceil() as u64)
     }
 
+    /// Earliest cycle at which [`WriteBuffer::drain_due`] could retire
+    /// anything, if an entry is pending. The retire pipeline is FIFO, so
+    /// this is the head's completion; for integer `now`,
+    /// `now >= next_due()` exactly when the head is due (`⌈c⌉ <= now` iff
+    /// `c <= now`). The port caches this to skip the drain call on the
+    /// per-operation fast path.
+    pub fn next_due(&self) -> Option<u64> {
+        self.entries.front().map(|e| e.completion.ceil() as u64)
+    }
+
     fn line_base(&self, pa: u64) -> u64 {
         pa & !((self.line as u64) - 1)
     }
@@ -527,6 +537,20 @@ mod tests {
         wb.push(0, 0, &[1; 8], WriteTarget::Local, 22);
         assert!(wb.drain_due(0).is_empty(), "not yet complete");
         assert_eq!(wb.drain_due(1000).len(), 1);
+    }
+
+    #[test]
+    fn next_due_agrees_with_drain_due_at_the_boundary() {
+        let mut wb = wbuf();
+        assert_eq!(wb.next_due(), None, "empty buffer has nothing due");
+        wb.push(0, 0, &[1; 8], WriteTarget::Local, 22);
+        let due = wb.next_due().expect("one entry pending");
+        assert!(
+            wb.drain_due(due - 1).is_empty(),
+            "one cycle early nothing retires"
+        );
+        assert_eq!(wb.drain_due(due).len(), 1, "at next_due the head retires");
+        assert_eq!(wb.next_due(), None);
     }
 
     #[test]

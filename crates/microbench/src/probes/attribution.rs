@@ -12,15 +12,40 @@ use t3d_machine::{Machine, MachineConfig, PerfMode, PerfReport, PhaseDriver};
 use t3d_shell::blt::BltDirection;
 use t3d_shell::{AnnexEntry, FuncCode};
 
+/// What one scenario execution produced: the attribution report plus a
+/// determinism fingerprint of the final machine state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRun {
+    /// The profiler's cycle-attribution report.
+    pub report: PerfReport,
+    /// FNV-1a checksum over [`Machine::snapshot_region`] (memory bytes
+    /// plus the virtual clocks) at scenario end. Identical across phase
+    /// drivers and repeated runs; the throughput bench compares it so a
+    /// fast-but-wrong engine fails instead of posting a great rate.
+    pub checksum: u64,
+}
+
 /// One named attribution scenario.
 #[derive(Debug, Clone, Copy)]
 pub struct Scenario {
     /// Stable name (the key in `BENCH_micro.json`).
     pub name: &'static str,
     /// Runs the scenario under the given phase driver and returns the
-    /// attribution report. Scenarios that never enter a sharded phase
-    /// ignore the driver.
-    pub run: fn(PhaseDriver) -> PerfReport,
+    /// attribution report and checksum. Scenarios that never enter a
+    /// sharded phase ignore the driver.
+    pub run: fn(PhaseDriver) -> ScenarioRun,
+}
+
+/// Every scenario confines its traffic to the first megabyte of each
+/// node, so the checksum region covers all bytes any of them can touch.
+const SNAP_BYTES: u64 = 1 << 20;
+
+/// Captures the scenario's result: report plus state fingerprint.
+fn finish(m: &Machine) -> ScenarioRun {
+    ScenarioRun {
+        report: m.perf(),
+        checksum: m.snapshot_region(0, SNAP_BYTES).fnv64(),
+    }
 }
 
 /// Every scenario, in report order.
@@ -81,8 +106,15 @@ pub fn all() -> &'static [Scenario] {
     ]
 }
 
+/// Node memory for scenario machines. Scenarios confine their traffic
+/// to [`SNAP_BYTES`]; the T3D's full 16 MB would only add host time
+/// zero-initializing bytes no scenario can reach (memory size gates the
+/// range checks, never the timing model, so virtual cycles are
+/// unaffected — the throughput bench's cycle gate pins that).
+const NODE_MEM: usize = 2 << 20;
+
 fn machine(pes: u32) -> Machine {
-    let mut m = Machine::new(MachineConfig::t3d(pes));
+    let mut m = Machine::new(MachineConfig::t3d_with_mem(pes, NODE_MEM));
     m.set_perf_mode(PerfMode::Counters);
     m
 }
@@ -94,7 +126,7 @@ fn aim(m: &mut Machine, pe: usize, target: u32, func: FuncCode) -> u64 {
 
 /// Strided local reads: a miss pass over 16 KB, then a hit pass over the
 /// resident prefix — L1 hits, DRAM page hits and misses all appear.
-fn local_read_stream(_d: PhaseDriver) -> PerfReport {
+fn local_read_stream(_d: PhaseDriver) -> ScenarioRun {
     let mut m = machine(1);
     for i in 0..512u64 {
         let _ = m.ld8(0, i * 32);
@@ -102,12 +134,12 @@ fn local_read_stream(_d: PhaseDriver) -> PerfReport {
     for i in 0..256u64 {
         let _ = m.ld8(0, i * 8);
     }
-    m.perf()
+    finish(&m)
 }
 
 /// Local write bursts: merging stores within a line, page-hopping stores
 /// that stall the write buffer, and the drain at the barrier.
-fn local_write_burst(_d: PhaseDriver) -> PerfReport {
+fn local_write_burst(_d: PhaseDriver) -> ScenarioRun {
     let mut m = machine(1);
     for i in 0..128u64 {
         m.st8(0, i * 8, i);
@@ -116,33 +148,33 @@ fn local_write_burst(_d: PhaseDriver) -> PerfReport {
         m.st8(0, i * 16 * 1024, i);
     }
     m.memory_barrier(0);
-    m.perf()
+    finish(&m)
 }
 
 /// The Figure 4 uncached probe, attributed: shell launch, network and
 /// remote DRAM should dominate.
-fn remote_read_uncached(_d: PhaseDriver) -> PerfReport {
+fn remote_read_uncached(_d: PhaseDriver) -> ScenarioRun {
     let mut m = machine(2);
     let base = aim(&mut m, 0, 1, FuncCode::Uncached);
     for i in 0..64u64 {
         let _ = m.ld8(0, base + i * 64);
     }
-    m.perf()
+    finish(&m)
 }
 
 /// Cached remote reads at word stride: one line fill amortized over
 /// three L1 hits.
-fn remote_read_cached(_d: PhaseDriver) -> PerfReport {
+fn remote_read_cached(_d: PhaseDriver) -> ScenarioRun {
     let mut m = machine(2);
     let base = aim(&mut m, 0, 1, FuncCode::Cached);
     for i in 0..256u64 {
         let _ = m.ld8(0, base + i * 8);
     }
-    m.perf()
+    finish(&m)
 }
 
 /// Blocking remote writes: store, fence, ack wait — every iteration.
-fn remote_write_block(_d: PhaseDriver) -> PerfReport {
+fn remote_write_block(_d: PhaseDriver) -> ScenarioRun {
     let mut m = machine(2);
     let base = aim(&mut m, 0, 1, FuncCode::Uncached);
     for i in 0..32u64 {
@@ -150,12 +182,12 @@ fn remote_write_block(_d: PhaseDriver) -> PerfReport {
         m.memory_barrier(0);
         m.wait_write_acks(0);
     }
-    m.perf()
+    finish(&m)
 }
 
 /// Pipelined remote writes (Figure 7's put idiom): a burst of stores,
 /// one fence, one ack wait.
-fn remote_write_pipeline(_d: PhaseDriver) -> PerfReport {
+fn remote_write_pipeline(_d: PhaseDriver) -> ScenarioRun {
     let mut m = machine(2);
     let base = aim(&mut m, 0, 1, FuncCode::Uncached);
     for i in 0..64u64 {
@@ -163,11 +195,11 @@ fn remote_write_pipeline(_d: PhaseDriver) -> PerfReport {
     }
     m.memory_barrier(0);
     m.wait_write_acks(0);
-    m.perf()
+    finish(&m)
 }
 
 /// Prefetch groups (Figure 6's group-of-4 sweep): issue, fence, pop.
-fn prefetch_pipeline(_d: PhaseDriver) -> PerfReport {
+fn prefetch_pipeline(_d: PhaseDriver) -> ScenarioRun {
     let mut m = machine(2);
     let base = aim(&mut m, 0, 1, FuncCode::Uncached);
     for g in 0..16u64 {
@@ -182,22 +214,22 @@ fn prefetch_pipeline(_d: PhaseDriver) -> PerfReport {
             m.pop_prefetch(0).expect("fetched values must pop");
         }
     }
-    m.perf()
+    finish(&m)
 }
 
 /// One BLT block write and its completion wait.
-fn bulk_blt(_d: PhaseDriver) -> PerfReport {
+fn bulk_blt(_d: PhaseDriver) -> ScenarioRun {
     let mut m = machine(2);
     for i in 0..512u64 {
         m.poke_mem(0, 0x8000 + i * 8, &i.to_le_bytes());
     }
     let h = m.blt_start(0, BltDirection::Write, 0x8000, 1, 0x8000, 4096);
     m.blt_wait(0, h);
-    m.perf()
+    finish(&m)
 }
 
 /// Skewed barrier episodes: overhead plus wait for the laggard.
-fn sync_barrier(_d: PhaseDriver) -> PerfReport {
+fn sync_barrier(_d: PhaseDriver) -> ScenarioRun {
     let mut m = machine(4);
     for round in 0..8u64 {
         for pe in 0..4usize {
@@ -205,20 +237,20 @@ fn sync_barrier(_d: PhaseDriver) -> PerfReport {
         }
         m.barrier_all();
     }
-    m.perf()
+    finish(&m)
 }
 
 /// Fetch&increment tickets against a remote register.
-fn sync_fetchinc(_d: PhaseDriver) -> PerfReport {
+fn sync_fetchinc(_d: PhaseDriver) -> ScenarioRun {
     let mut m = machine(2);
     for _ in 0..32 {
         let _ = m.fetch_inc(0, 1, 0);
     }
-    m.perf()
+    finish(&m)
 }
 
 /// Message ping-pong: the 122-cycle PAL send and the receive dispatch.
-fn msg_pingpong(_d: PhaseDriver) -> PerfReport {
+fn msg_pingpong(_d: PhaseDriver) -> ScenarioRun {
     let mut m = machine(2);
     for round in 0..8u64 {
         m.msg_send(0, 1, [round, 0, 0, 0]);
@@ -232,12 +264,12 @@ fn msg_pingpong(_d: PhaseDriver) -> PerfReport {
         m.advance(0, target.saturating_sub(now));
         m.msg_receive(0).expect("pong arrived");
     }
-    m.perf()
+    finish(&m)
 }
 
 /// A bulk-synchronous neighbour exchange through the sharded engine —
 /// the scenario that exercises the parallel driver's attribution.
-fn phase_exchange(d: PhaseDriver) -> PerfReport {
+fn phase_exchange(d: PhaseDriver) -> ScenarioRun {
     let mut m = machine(4);
     for _ in 0..4 {
         m.sharded_phase(d, |cpu| {
@@ -258,11 +290,14 @@ fn phase_exchange(d: PhaseDriver) -> PerfReport {
         });
         m.barrier_all();
     }
-    m.perf()
+    finish(&m)
 }
 
 /// Split-C gets and puts through the parallel phase driver.
-fn splitc_getput(d: PhaseDriver) -> PerfReport {
+fn splitc_getput(d: PhaseDriver) -> ScenarioRun {
+    // Full-size nodes: the Split-C runtime anchors its active-message
+    // region at the top of memory, so shrinking node memory would move
+    // those addresses and change DRAM timing.
     let mut sc = SplitC::new(MachineConfig::t3d(4));
     let src = sc.alloc(256, 8);
     let dst = sc.alloc(256, 8);
@@ -284,7 +319,7 @@ fn splitc_getput(d: PhaseDriver) -> PerfReport {
         });
         sc.barrier();
     }
-    sc.machine_ref().perf()
+    finish(sc.machine_ref())
 }
 
 #[cfg(test)]
@@ -294,8 +329,9 @@ mod tests {
     #[test]
     fn every_scenario_attributes_something() {
         for s in all() {
-            let report = (s.run)(PhaseDriver::Seq);
-            assert!(report.total() > 0, "{} attributed no cycles", s.name);
+            let run = (s.run)(PhaseDriver::Seq);
+            assert!(run.report.total() > 0, "{} attributed no cycles", s.name);
+            assert_ne!(run.checksum, 0, "{} produced no fingerprint", s.name);
         }
     }
 
@@ -303,7 +339,7 @@ mod tests {
     fn remote_scenarios_show_remote_cycles() {
         for name in ["remote.read.uncached", "remote.write.block", "bulk.blt"] {
             let s = all().iter().find(|s| s.name == name).unwrap();
-            let report = (s.run)(PhaseDriver::Seq);
+            let report = (s.run)(PhaseDriver::Seq).report;
             assert!(
                 report.remote_share() > 0.2,
                 "{name} remote share {:.2}",

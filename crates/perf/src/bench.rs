@@ -1,31 +1,47 @@
 //! Perf-trajectory bench documents (`BENCH_*.json`) and the regression
 //! comparator.
 //!
-//! Virtual-cycle totals are deterministic, so they are compared with a
-//! tolerance only to absorb deliberate timing-model changes; host
-//! wall-clock is recorded for context but never compared.
+//! Two kinds of figures live in a document, compared with two
+//! disciplines:
+//!
+//! * **virtual** figures (cycle totals, attribution, determinism
+//!   checksums) are bit-deterministic. Checksums compare *strictly*;
+//!   cycle totals carry a tolerance only to absorb deliberate
+//!   timing-model changes;
+//! * **host** figures (the `throughput` block: sim-cycles/sec and
+//!   ops/sec) vary run to run and machine to machine, so they compare
+//!   with a separate, generous regression tolerance and never byte
+//!   equality. No raw wall-clock is written into baselines — the v1
+//!   schema's `wall_ms` field churned every regeneration and is gone.
 
 use std::collections::BTreeMap;
 
 use crate::json::{parse, Value};
+use crate::throughput::{Stat, Throughput};
 
 /// Document schema tag, bumped on incompatible layout changes.
-pub const BENCH_SCHEMA: &str = "t3d-perf-bench-v1";
+pub const BENCH_SCHEMA: &str = "t3d-perf-bench-v2";
+
+/// The previous schema tag: still parseable (entries carry no
+/// throughput block; the nondeterministic `wall_ms` field is dropped on
+/// read), so trajectory tooling can compare across the migration.
+pub const BENCH_SCHEMA_V1: &str = "t3d-perf-bench-v1";
 
 /// One benchmark's record.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchEntry {
     /// Stable benchmark name (the compare key).
     pub name: String,
-    /// Total virtual cycles — the compared figure of merit.
+    /// Total virtual cycles — the strictly compared figure of merit.
     pub cycles: u64,
     /// Cycle attribution by cost-class label (non-zero classes only).
     pub attribution: BTreeMap<String, u64>,
     /// Extra derived metrics (e.g. `us_per_edge`), informational.
     pub extras: BTreeMap<String, f64>,
-    /// Host wall-clock for the run, milliseconds. Informational only:
-    /// never compared, varies run to run.
-    pub wall_ms: f64,
+    /// Host-throughput measurement, when the run recorded one. The
+    /// checksum inside compares strictly; the rates compare with the
+    /// host tolerance.
+    pub throughput: Option<Throughput>,
 }
 
 /// A suite of benchmark records.
@@ -35,6 +51,57 @@ pub struct BenchDoc {
     pub suite: String,
     /// The entries, in run order.
     pub entries: Vec<BenchEntry>,
+}
+
+fn stat_json(s: &Stat) -> Value {
+    Value::obj(vec![
+        ("mean", Value::Float(s.mean)),
+        ("stddev", Value::Float(s.stddev)),
+    ])
+}
+
+fn stat_from(v: Option<&Value>) -> Stat {
+    let Some(v) = v else {
+        return Stat::default();
+    };
+    Stat {
+        mean: v.get("mean").and_then(|x| x.as_f64()).unwrap_or(0.0),
+        stddev: v.get("stddev").and_then(|x| x.as_f64()).unwrap_or(0.0),
+    }
+}
+
+fn throughput_json(t: &Throughput) -> Value {
+    Value::obj(vec![
+        ("cycles_per_sec", stat_json(&t.cycles_per_sec)),
+        ("ops_per_sec", stat_json(&t.ops_per_sec)),
+        ("sim_cycles", Value::Int(t.sim_cycles as i64)),
+        ("sim_ops", Value::Int(t.sim_ops as i64)),
+        // Hex string: FNV checksums use the full u64 range, which a
+        // JSON i64 cannot carry.
+        ("checksum", Value::Str(format!("{:#018x}", t.checksum))),
+        ("runs", Value::Int(t.runs as i64)),
+        ("warmup", Value::Int(t.warmup as i64)),
+    ])
+}
+
+fn throughput_from(v: &Value) -> Result<Throughput, String> {
+    let checksum_text = v
+        .get("checksum")
+        .and_then(|c| c.as_str())
+        .ok_or("throughput block missing checksum")?;
+    let digits = checksum_text.strip_prefix("0x").unwrap_or(checksum_text);
+    let checksum = u64::from_str_radix(digits, 16)
+        .map_err(|e| format!("bad throughput checksum {checksum_text:?}: {e}"))?;
+    let int = |key: &str| v.get(key).and_then(|x| x.as_i64()).unwrap_or(0);
+    Ok(Throughput {
+        cycles_per_sec: stat_from(v.get("cycles_per_sec")),
+        ops_per_sec: stat_from(v.get("ops_per_sec")),
+        sim_cycles: int("sim_cycles") as u64,
+        sim_ops: int("sim_ops") as u64,
+        checksum,
+        runs: int("runs") as u32,
+        warmup: int("warmup") as u32,
+    })
 }
 
 impl BenchDoc {
@@ -51,13 +118,13 @@ impl BenchDoc {
         self.entries.iter().find(|e| e.name == name)
     }
 
-    /// Exports the document as JSON.
+    /// Exports the document as JSON (always the current schema).
     pub fn to_json(&self) -> Value {
         let entries = self
             .entries
             .iter()
             .map(|e| {
-                Value::obj(vec![
+                let mut fields = vec![
                     ("name", Value::Str(e.name.clone())),
                     ("cycles", Value::Int(e.cycles as i64)),
                     (
@@ -78,8 +145,11 @@ impl BenchDoc {
                                 .collect(),
                         ),
                     ),
-                    ("wall_ms", Value::Float(e.wall_ms)),
-                ])
+                ];
+                if let Some(t) = &e.throughput {
+                    fields.push(("throughput", throughput_json(t)));
+                }
+                Value::obj(fields)
             })
             .collect();
         Value::obj(vec![
@@ -90,15 +160,18 @@ impl BenchDoc {
     }
 
     /// Parses a document previously produced by [`BenchDoc::to_json`].
+    /// Accepts the current schema and, for migration, v1 (whose
+    /// `wall_ms` host timings are dropped and whose entries carry no
+    /// throughput block).
     pub fn from_json(text: &str) -> Result<BenchDoc, String> {
         let v = parse(text)?;
         let schema = v
             .get("schema")
             .and_then(|s| s.as_str())
             .ok_or("missing schema")?;
-        if schema != BENCH_SCHEMA {
+        if schema != BENCH_SCHEMA && schema != BENCH_SCHEMA_V1 {
             return Err(format!(
-                "schema mismatch: found {schema:?}, expected {BENCH_SCHEMA:?}"
+                "schema mismatch: found {schema:?}, expected {BENCH_SCHEMA:?} (or {BENCH_SCHEMA_V1:?})"
             ));
         }
         let suite = v
@@ -133,13 +206,16 @@ impl BenchDoc {
                     extras.insert(k.clone(), v.as_f64().unwrap_or(0.0));
                 }
             }
-            let wall_ms = e.get("wall_ms").and_then(|w| w.as_f64()).unwrap_or(0.0);
+            let throughput = match e.get("throughput") {
+                Some(t) => Some(throughput_from(t)?),
+                None => None,
+            };
             entries.push(BenchEntry {
                 name,
                 cycles,
                 attribution,
                 extras,
-                wall_ms,
+                throughput,
             });
         }
         Ok(BenchDoc { suite, entries })
@@ -147,11 +223,24 @@ impl BenchDoc {
 }
 
 /// Compares a fresh run against a baseline. Returns one message per
-/// problem: an entry whose cycle count grew by more than `tol`
-/// (fractional, e.g. `0.25` = +25%), or an entry present in the baseline
-/// but missing from the new run. Faster entries and brand-new entries
-/// never fail. Empty result = pass.
-pub fn compare(baseline: &BenchDoc, fresh: &BenchDoc, tol: f64) -> Vec<String> {
+/// problem; empty result = pass.
+///
+/// Three gates, in decreasing strictness:
+///
+/// * an entry present in the baseline but missing from the new run
+///   always fails;
+/// * **checksums** (when both entries carry a throughput block) must
+///   match exactly — they are virtual-state fingerprints, so any
+///   difference means the engine computed something else;
+/// * **cycles** may grow by at most `tol` (fractional, e.g. `0.25` =
+///   +25%) — virtual cycles are deterministic, the tolerance only
+///   absorbs deliberate timing-model changes;
+/// * **host rates** (`cycles_per_sec` mean) may drop to no less than
+///   `1 - host_tol` of the baseline mean — host timing is noisy and
+///   machine-dependent, so `host_tol` should be generous (e.g. `0.5`).
+///
+/// Faster entries and brand-new entries never fail.
+pub fn compare(baseline: &BenchDoc, fresh: &BenchDoc, tol: f64, host_tol: f64) -> Vec<String> {
     let mut problems = Vec::new();
     for old in &baseline.entries {
         let Some(new) = fresh.entry(&old.name) else {
@@ -177,6 +266,26 @@ pub fn compare(baseline: &BenchDoc, fresh: &BenchDoc, tol: f64) -> Vec<String> {
                 tol * 100.0
             ));
         }
+        if let (Some(ot), Some(nt)) = (&old.throughput, &new.throughput) {
+            if ot.checksum != nt.checksum {
+                problems.push(format!(
+                    "{}: determinism checksum {:#018x} -> {:#018x} (strict; the \
+                     engine's virtual state diverged from the baseline)",
+                    old.name, ot.checksum, nt.checksum
+                ));
+            }
+            let floor = ot.cycles_per_sec.mean * (1.0 - host_tol);
+            if nt.cycles_per_sec.mean < floor {
+                problems.push(format!(
+                    "{}: host throughput {:.3e} -> {:.3e} sim-cycles/sec \
+                     (below {:.0}% of baseline)",
+                    old.name,
+                    ot.cycles_per_sec.mean,
+                    nt.cycles_per_sec.mean,
+                    (1.0 - host_tol) * 100.0
+                ));
+            }
+        }
     }
     problems
 }
@@ -185,13 +294,31 @@ pub fn compare(baseline: &BenchDoc, fresh: &BenchDoc, tol: f64) -> Vec<String> {
 mod tests {
     use super::*;
 
+    fn throughput(cy_rate: f64, checksum: u64) -> Throughput {
+        Throughput {
+            cycles_per_sec: Stat {
+                mean: cy_rate,
+                stddev: cy_rate * 0.01,
+            },
+            ops_per_sec: Stat {
+                mean: cy_rate / 10.0,
+                stddev: 0.0,
+            },
+            sim_cycles: 1000,
+            sim_ops: 100,
+            checksum,
+            runs: 3,
+            warmup: 1,
+        }
+    }
+
     fn entry(name: &str, cycles: u64) -> BenchEntry {
         BenchEntry {
             name: name.to_string(),
             cycles,
             attribution: [("compute".to_string(), cycles)].into_iter().collect(),
             extras: [("us_per_edge".to_string(), 1.5)].into_iter().collect(),
-            wall_ms: 12.5,
+            throughput: Some(throughput(1.0e8, 0xFEED_FACE_CAFE_BEEF)),
         }
     }
 
@@ -200,9 +327,58 @@ mod tests {
         let mut doc = BenchDoc::new("micro");
         doc.entries.push(entry("remote.read.uncached", 912));
         doc.entries.push(entry("sync.barrier", 400));
+        // Entries without a throughput block round-trip too.
+        let mut bare = entry("no.throughput", 7);
+        bare.throughput = None;
+        doc.entries.push(bare);
         let text = doc.to_json().render_pretty();
         let back = BenchDoc::from_json(&text).unwrap();
         assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn checksum_survives_full_u64_range() {
+        let mut doc = BenchDoc::new("micro");
+        let mut e = entry("a", 1);
+        e.throughput.as_mut().unwrap().checksum = u64::MAX;
+        doc.entries.push(e);
+        let back = BenchDoc::from_json(&doc.to_json().render_pretty()).unwrap();
+        assert_eq!(
+            back.entries[0].throughput.as_ref().unwrap().checksum,
+            u64::MAX
+        );
+    }
+
+    #[test]
+    fn v1_documents_still_parse() {
+        // A v1 document as `t3d-perf` used to write it: wall_ms present,
+        // no throughput block.
+        let text = "{\"schema\":\"t3d-perf-bench-v1\",\"suite\":\"micro\",\"entries\":[\
+                    {\"name\":\"a\",\"cycles\":912,\
+                    \"attribution\":{\"compute\":912},\
+                    \"extras\":{\"remote_share\":0.5},\"wall_ms\":12.5}]}";
+        let doc = BenchDoc::from_json(text).unwrap();
+        assert_eq!(doc.suite, "micro");
+        assert_eq!(doc.entries[0].cycles, 912);
+        assert_eq!(doc.entries[0].throughput, None);
+        // Re-serializing writes the current schema without wall_ms.
+        let rendered = doc.to_json().render_pretty();
+        assert!(rendered.contains(BENCH_SCHEMA));
+        assert!(!rendered.contains("wall_ms"));
+    }
+
+    #[test]
+    fn the_committed_v1_fixture_parses_and_compares() {
+        // The last v1 document `t3d-perf` ever wrote, checked in
+        // verbatim as the schema-migration fixture: it must keep
+        // parsing, and a v1 baseline must gate cycles without
+        // tripping the (absent) throughput gates.
+        let doc = BenchDoc::from_json(include_str!("../fixtures/BENCH_micro_v1.json"))
+            .expect("v1 fixture parses");
+        assert_eq!(doc.suite, "micro");
+        assert_eq!(doc.entries.len(), 13);
+        assert!(doc.entries.iter().all(|e| e.throughput.is_none()));
+        assert!(compare(&doc, &doc, 0.25, 0.5).is_empty());
     }
 
     #[test]
@@ -222,7 +398,7 @@ mod tests {
         fresh.entries.push(entry("a", 1200)); // within +25%
         fresh.entries.push(entry("b", 1300)); // over +25%
         fresh.entries.push(entry("brand-new", 1)); // never a failure
-        let problems = compare(&base, &fresh, 0.25);
+        let problems = compare(&base, &fresh, 0.25, 0.5);
         assert_eq!(problems.len(), 2);
         assert!(problems.iter().any(|p| p.starts_with("b:")));
         assert!(problems.iter().any(|p| p.starts_with("gone:")));
@@ -230,6 +406,53 @@ mod tests {
         let mut faster = fresh.clone();
         faster.entries[1].cycles = 10;
         faster.entries.push(entry("gone", 10));
-        assert!(compare(&base, &faster, 0.25).is_empty());
+        assert!(compare(&base, &faster, 0.25, 0.5).is_empty());
+    }
+
+    #[test]
+    fn compare_gates_checksums_strictly() {
+        let mut base = BenchDoc::new("micro");
+        base.entries.push(entry("a", 1000));
+        let mut fresh = base.clone();
+        fresh.entries[0].throughput.as_mut().unwrap().checksum ^= 1;
+        let problems = compare(&base, &fresh, 0.25, 0.5);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("determinism checksum"));
+    }
+
+    #[test]
+    fn compare_tolerates_host_noise_but_not_collapse() {
+        let mut base = BenchDoc::new("micro");
+        base.entries.push(entry("a", 1000));
+        // 40% slower: inside a 50% host tolerance.
+        let mut noisy = base.clone();
+        noisy.entries[0]
+            .throughput
+            .as_mut()
+            .unwrap()
+            .cycles_per_sec
+            .mean = 0.6e8;
+        assert!(compare(&base, &noisy, 0.25, 0.5).is_empty());
+        // 60% slower: outside it.
+        let mut slow = base.clone();
+        slow.entries[0]
+            .throughput
+            .as_mut()
+            .unwrap()
+            .cycles_per_sec
+            .mean = 0.4e8;
+        let problems = compare(&base, &slow, 0.25, 0.5);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("host throughput"));
+    }
+
+    #[test]
+    fn compare_skips_host_gates_when_a_side_has_no_throughput() {
+        let mut base = BenchDoc::new("micro");
+        base.entries.push(entry("a", 1000));
+        let mut fresh = base.clone();
+        fresh.entries[0].throughput = None;
+        assert!(compare(&base, &fresh, 0.25, 0.5).is_empty());
+        assert!(compare(&fresh, &base, 0.25, 0.5).is_empty());
     }
 }

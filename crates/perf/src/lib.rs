@@ -41,6 +41,7 @@ pub mod json;
 pub mod ledger;
 pub mod registry;
 pub mod report;
+pub mod throughput;
 
 pub use bench::{compare, BenchDoc, BenchEntry};
 pub use chrome::{chrome_trace, Span};
@@ -48,6 +49,7 @@ pub use hist::Hist;
 pub use ledger::{CostClass, Ledger, OpHists, OpKind, PerfAccum, COST_CLASSES, OP_KINDS};
 pub use registry::Registry;
 pub use report::{PePerf, PerfReport, PhaseLog, PhaseRecord};
+pub use throughput::{measure, RunSample, Stat, Throughput, ThroughputSpec};
 
 /// How much observability a run collects. Mirrors the `T3D_SAN`
 /// precedent: an environment knob (`T3D_PERF`) fills in the default,

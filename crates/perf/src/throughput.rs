@@ -1,0 +1,213 @@
+//! Host-throughput measurement: sim-cycles and Split-C ops per host
+//! second, with a determinism guard.
+//!
+//! The BENCH documents record *virtual* cycles, which are deterministic
+//! and compared strictly — but nothing there says how fast the engine
+//! itself runs. This module times repeated executions of a benchmark on
+//! the host clock and reports rates, so host-speed regressions become
+//! visible and optimization wins provable.
+//!
+//! Method (the PF-008 guest-CPU suite shape): `warmup` discarded runs
+//! bring caches and allocators to steady state, then `runs` measured
+//! runs each produce a rate sample; the document records mean and
+//! population standard deviation. Every run — warmup included — must
+//! report the same virtual-cycle total, op count and FNV checksum as
+//! the first, so a fast-but-wrong engine fails the measurement instead
+//! of posting a great number.
+
+use std::time::Instant;
+
+/// How a throughput measurement is shaped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThroughputSpec {
+    /// Discarded warm-up runs before timing starts.
+    pub warmup: u32,
+    /// Measured runs (each contributes one rate sample).
+    pub runs: u32,
+}
+
+impl Default for ThroughputSpec {
+    fn default() -> Self {
+        ThroughputSpec { warmup: 1, runs: 3 }
+    }
+}
+
+/// What one benchmark execution reports back to [`measure`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSample {
+    /// Total virtual cycles the run executed (deterministic).
+    pub sim_cycles: u64,
+    /// Total simulated operations (loads, stores, syncs…; deterministic).
+    pub sim_ops: u64,
+    /// FNV determinism checksum over the run's final machine state.
+    pub checksum: u64,
+}
+
+/// A mean and population standard deviation over the measured runs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Stat {
+    /// Arithmetic mean of the samples.
+    pub mean: f64,
+    /// Population standard deviation of the samples.
+    pub stddev: f64,
+}
+
+impl Stat {
+    /// Computes mean and population stddev of `samples`.
+    pub fn of(samples: &[f64]) -> Stat {
+        if samples.is_empty() {
+            return Stat::default();
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
+        Stat {
+            mean,
+            stddev: var.sqrt(),
+        }
+    }
+}
+
+/// A completed throughput measurement (the `throughput` block of a
+/// `t3d-perf-bench-v2` entry).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Throughput {
+    /// Simulated cycles per host second across the measured runs.
+    pub cycles_per_sec: Stat,
+    /// Simulated operations per host second across the measured runs.
+    pub ops_per_sec: Stat,
+    /// Virtual cycles per run (identical across runs by construction).
+    pub sim_cycles: u64,
+    /// Simulated operations per run (identical across runs).
+    pub sim_ops: u64,
+    /// The FNV determinism checksum every run reproduced.
+    pub checksum: u64,
+    /// Number of measured runs.
+    pub runs: u32,
+    /// Number of discarded warm-up runs.
+    pub warmup: u32,
+}
+
+/// Runs `run` `spec.warmup + spec.runs` times, timing the measured runs
+/// on the host clock. Errors when any run's cycles, op count or
+/// checksum diverges from the first run's — the determinism guard that
+/// makes the rates trustworthy.
+pub fn measure(
+    spec: ThroughputSpec,
+    mut run: impl FnMut() -> RunSample,
+) -> Result<Throughput, String> {
+    assert!(spec.runs > 0, "at least one measured run");
+    let mut reference: Option<RunSample> = None;
+    let mut cy_rates = Vec::with_capacity(spec.runs as usize);
+    let mut op_rates = Vec::with_capacity(spec.runs as usize);
+    for i in 0..spec.warmup + spec.runs {
+        let t = Instant::now();
+        let sample = run();
+        let secs = t.elapsed().as_secs_f64().max(1e-9);
+        let reference = reference.get_or_insert(sample);
+        if sample != *reference {
+            return Err(format!(
+                "nondeterministic benchmark: run {i} produced cycles={} ops={} \
+                 checksum={:#018x}, expected cycles={} ops={} checksum={:#018x}",
+                sample.sim_cycles,
+                sample.sim_ops,
+                sample.checksum,
+                reference.sim_cycles,
+                reference.sim_ops,
+                reference.checksum,
+            ));
+        }
+        if i >= spec.warmup {
+            cy_rates.push(sample.sim_cycles as f64 / secs);
+            op_rates.push(sample.sim_ops as f64 / secs);
+        }
+    }
+    let reference = reference.expect("at least one run executed");
+    Ok(Throughput {
+        cycles_per_sec: Stat::of(&cy_rates),
+        ops_per_sec: Stat::of(&op_rates),
+        sim_cycles: reference.sim_cycles,
+        sim_ops: reference.sim_ops,
+        checksum: reference.checksum,
+        runs: spec.runs,
+        warmup: spec.warmup,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stat_of_constant_samples_has_zero_stddev() {
+        let s = Stat::of(&[5.0, 5.0, 5.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(Stat::of(&[]), Stat::default());
+    }
+
+    #[test]
+    fn stat_of_computes_population_stddev() {
+        let s = Stat::of(&[1.0, 3.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.stddev, 1.0);
+    }
+
+    #[test]
+    fn measure_reports_identical_deterministic_runs() {
+        let spec = ThroughputSpec { warmup: 2, runs: 3 };
+        let mut calls = 0u32;
+        let t = measure(spec, || {
+            calls += 1;
+            RunSample {
+                sim_cycles: 1000,
+                sim_ops: 10,
+                checksum: 0xDEAD,
+            }
+        })
+        .unwrap();
+        assert_eq!(calls, 5, "warmup + measured runs all execute");
+        assert_eq!(t.sim_cycles, 1000);
+        assert_eq!(t.sim_ops, 10);
+        assert_eq!(t.checksum, 0xDEAD);
+        assert_eq!(t.runs, 3);
+        assert_eq!(t.warmup, 2);
+        assert!(t.cycles_per_sec.mean > 0.0);
+        assert!(t.ops_per_sec.mean > 0.0);
+    }
+
+    #[test]
+    fn measure_rejects_checksum_divergence() {
+        let spec = ThroughputSpec { warmup: 0, runs: 3 };
+        let mut calls = 0u64;
+        let err = measure(spec, || {
+            calls += 1;
+            RunSample {
+                sim_cycles: 1000,
+                sim_ops: 10,
+                checksum: calls, // diverges on run 1
+            }
+        })
+        .unwrap_err();
+        assert!(
+            err.contains("nondeterministic benchmark"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn measure_rejects_cycle_divergence_in_warmup() {
+        let spec = ThroughputSpec { warmup: 1, runs: 1 };
+        let mut calls = 0u64;
+        let err = measure(spec, || {
+            calls += 1;
+            RunSample {
+                sim_cycles: calls,
+                sim_ops: 10,
+                checksum: 7,
+            }
+        })
+        .unwrap_err();
+        assert!(err.contains("run 1"), "unexpected error: {err}");
+    }
+}

@@ -2,43 +2,65 @@
 //!
 //! Runs the microbench attribution scenarios and all seven EM3D
 //! versions under the cycle-attribution profiler and writes
-//! `BENCH_micro.json` / `BENCH_em3d.json` (virtual-cycle totals,
-//! attribution vectors and host wall-clock). A checked-in pair of those
-//! documents is the repository's performance trajectory: the `compare`
-//! mode flags any benchmark whose virtual-cycle total grew past a
-//! tolerance.
+//! `BENCH_micro.json` / `BENCH_em3d.json` (schema `t3d-perf-bench-v2`:
+//! virtual-cycle totals, attribution vectors, and a host-throughput
+//! block per entry). A checked-in pair of those documents is the
+//! repository's performance trajectory: the `compare` mode flags any
+//! benchmark whose virtual-cycle total grew past a tolerance, whose
+//! determinism checksum changed at all, or whose host throughput
+//! collapsed below the host tolerance.
 //!
 //! Usage:
 //!
 //! ```text
-//! t3d-perf [micro|em3d|all] [--out DIR] [--compare DIR] [--tol F] [--report]
-//! t3d-perf compare OLD.json NEW.json [--tol F]
+//! t3d-perf [micro|em3d|all] [--out DIR] [--compare DIR] [--tol F]
+//!          [--host-tol F] [--runs N] [--warmup N] [--report]
+//! t3d-perf compare OLD.json NEW.json [--tol F] [--host-tol F]
 //! ```
 //!
 //! `--out DIR` writes the fresh documents (default: current directory);
 //! `--compare DIR` additionally checks them against `DIR/BENCH_*.json`
 //! and exits non-zero on regression; `--tol` sets the fractional cycle
-//! tolerance (default 0.25); `--report` prints each run's rendered
-//! attribution report. Virtual cycles are deterministic, so the
-//! tolerance exists only to absorb deliberate timing-model changes.
+//! tolerance (default 0.25) — virtual cycles are deterministic, so it
+//! exists only to absorb deliberate timing-model changes; `--host-tol`
+//! sets the host-throughput regression tolerance (default 0.5: a run
+//! must achieve at least half the baseline's sim-cycles/host-sec);
+//! `--runs`/`--warmup` shape the throughput measurement (defaults 3/1);
+//! `--report` prints each run's rendered attribution report.
+//!
+//! Every measured run must reproduce the first run's cycles, op count
+//! and FNV state checksum — a nondeterministic benchmark aborts the
+//! harness instead of writing a document.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
-use std::time::Instant;
 
 use em3d::{run_version_profiled, Em3dParams, Version};
 use t3d_machine::{PerfReport, PhaseDriver};
 use t3d_microbench::probes::attribution;
-use t3d_perf::{compare, BenchDoc, BenchEntry};
+use t3d_perf::{compare, measure, BenchDoc, BenchEntry, RunSample, Throughput, ThroughputSpec};
 
 struct Opts {
     out: std::path::PathBuf,
     compare_dir: Option<std::path::PathBuf>,
     tol: f64,
+    host_tol: f64,
+    spec: ThroughputSpec,
     report: bool,
 }
 
-fn entry_from_report(name: &str, report: &PerfReport, wall_ms: f64) -> BenchEntry {
+/// Total simulated operations a report counted (the `ops.*` registry
+/// counters the machine layer maintains under `PerfMode::Counters`).
+fn sim_ops(report: &PerfReport) -> u64 {
+    report
+        .registry
+        .counters()
+        .filter(|(name, _)| name.starts_with("ops."))
+        .map(|(_, v)| v)
+        .sum()
+}
+
+fn entry_from_report(name: &str, report: &PerfReport, throughput: Throughput) -> BenchEntry {
     let merged = report.merged();
     let attribution: BTreeMap<String, u64> = merged
         .entries()
@@ -51,41 +73,61 @@ fn entry_from_report(name: &str, report: &PerfReport, wall_ms: f64) -> BenchEntr
         cycles: report.total(),
         attribution,
         extras,
-        wall_ms,
+        throughput: Some(throughput),
     }
 }
 
-fn run_micro(driver: PhaseDriver, report: bool) -> BenchDoc {
+fn run_micro(driver: PhaseDriver, opts: &Opts) -> Result<BenchDoc, String> {
     let mut doc = BenchDoc::new("micro");
     for s in attribution::all() {
-        let t = Instant::now();
-        let r = (s.run)(driver);
-        let wall_ms = t.elapsed().as_secs_f64() * 1000.0;
-        if report {
-            println!("=== {} ===\n{}", s.name, r.render());
+        let mut first: Option<PerfReport> = None;
+        let throughput = measure(opts.spec, || {
+            let run = (s.run)(driver);
+            let sample = RunSample {
+                sim_cycles: run.report.total(),
+                sim_ops: sim_ops(&run.report),
+                checksum: run.checksum,
+            };
+            first.get_or_insert(run.report);
+            sample
+        })
+        .map_err(|e| format!("{}: {e}", s.name))?;
+        let report = first.expect("measure ran the scenario at least once");
+        if opts.report {
+            println!("=== {} ===\n{}", s.name, report.render());
         }
-        doc.entries.push(entry_from_report(s.name, &r, wall_ms));
+        doc.entries
+            .push(entry_from_report(s.name, &report, throughput));
     }
-    doc
+    Ok(doc)
 }
 
-fn run_em3d(driver: PhaseDriver, report: bool) -> BenchDoc {
+fn run_em3d(driver: PhaseDriver, opts: &Opts) -> Result<BenchDoc, String> {
     let mut doc = BenchDoc::new("em3d");
     let params = Em3dParams::tiny(30.0);
     for v in Version::all() {
-        let t = Instant::now();
-        let (result, r) = run_version_profiled(driver, 4, params, v);
-        let wall_ms = t.elapsed().as_secs_f64() * 1000.0;
-        if report {
-            println!("=== em3d.{} ===\n{}", v.label(), r.render());
-        }
         let name = format!("em3d.{}", v.label());
-        let mut e = entry_from_report(&name, &r, wall_ms);
-        e.extras
-            .insert("us_per_edge".to_string(), result.us_per_edge);
+        let mut first: Option<(f64, PerfReport)> = None;
+        let throughput = measure(opts.spec, || {
+            let (result, report) = run_version_profiled(driver, 4, params, v);
+            let sample = RunSample {
+                sim_cycles: report.total(),
+                sim_ops: sim_ops(&report),
+                checksum: result.mem_fnv,
+            };
+            first.get_or_insert((result.us_per_edge, report));
+            sample
+        })
+        .map_err(|e| format!("{name}: {e}"))?;
+        let (us_per_edge, report) = first.expect("measure ran the version at least once");
+        if opts.report {
+            println!("=== {name} ===\n{}", report.render());
+        }
+        let mut e = entry_from_report(&name, &report, throughput);
+        e.extras.insert("us_per_edge".to_string(), us_per_edge);
         doc.entries.push(e);
     }
-    doc
+    Ok(doc)
 }
 
 fn write_doc(doc: &BenchDoc, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
@@ -96,17 +138,28 @@ fn write_doc(doc: &BenchDoc, dir: &std::path::Path) -> std::io::Result<std::path
     Ok(path)
 }
 
-fn check(doc: &BenchDoc, baseline_dir: &std::path::Path, tol: f64) -> Result<(), Vec<String>> {
+fn check(doc: &BenchDoc, baseline_dir: &std::path::Path, opts: &Opts) -> Result<(), Vec<String>> {
     let path = baseline_dir.join(format!("BENCH_{}.json", doc.suite));
     let text = std::fs::read_to_string(&path)
         .map_err(|e| vec![format!("cannot read baseline {}: {e}", path.display())])?;
     let baseline = BenchDoc::from_json(&text).map_err(|e| vec![e])?;
-    let problems = compare(&baseline, doc, tol);
+    let problems = compare(&baseline, doc, opts.tol, opts.host_tol);
     if problems.is_empty() {
         Ok(())
     } else {
         Err(problems)
     }
+}
+
+fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    args.remove(i);
+    if i >= args.len() {
+        return Err(format!("{flag} requires a value"));
+    }
+    Ok(Some(args.remove(i)))
 }
 
 fn main() -> ExitCode {
@@ -115,48 +168,62 @@ fn main() -> ExitCode {
         out: ".".into(),
         compare_dir: None,
         tol: 0.25,
+        host_tol: 0.5,
+        spec: ThroughputSpec::default(),
         report: false,
     };
     if let Some(i) = args.iter().position(|a| a == "--report") {
         args.remove(i);
         opts.report = true;
     }
-    if let Some(i) = args.iter().position(|a| a == "--tol") {
-        args.remove(i);
-        if i >= args.len() {
-            eprintln!("--tol requires a fraction (e.g. 0.25)");
-            return ExitCode::from(2);
-        }
-        match args.remove(i).parse() {
-            Ok(t) => opts.tol = t,
-            Err(e) => {
-                eprintln!("--tol: {e}");
-                return ExitCode::from(2);
+    macro_rules! parse_flag {
+        ($flag:expr, $slot:expr) => {
+            match take_value_flag(&mut args, $flag) {
+                Ok(None) => {}
+                Ok(Some(v)) => match v.parse() {
+                    Ok(x) => $slot = x,
+                    Err(e) => {
+                        eprintln!("{}: {e}", $flag);
+                        return ExitCode::from(2);
+                    }
+                },
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
             }
-        }
+        };
     }
-    if let Some(i) = args.iter().position(|a| a == "--out") {
-        args.remove(i);
-        if i >= args.len() {
-            eprintln!("--out requires a directory");
+    parse_flag!("--tol", opts.tol);
+    parse_flag!("--host-tol", opts.host_tol);
+    parse_flag!("--runs", opts.spec.runs);
+    parse_flag!("--warmup", opts.spec.warmup);
+    if opts.spec.runs == 0 {
+        eprintln!("--runs must be at least 1");
+        return ExitCode::from(2);
+    }
+    match take_value_flag(&mut args, "--out") {
+        Ok(None) => {}
+        Ok(Some(v)) => opts.out = v.into(),
+        Err(e) => {
+            eprintln!("{e}");
             return ExitCode::from(2);
         }
-        opts.out = args.remove(i).into();
     }
-    if let Some(i) = args.iter().position(|a| a == "--compare") {
-        args.remove(i);
-        if i >= args.len() {
-            eprintln!("--compare requires a directory holding BENCH_*.json baselines");
+    match take_value_flag(&mut args, "--compare") {
+        Ok(None) => {}
+        Ok(Some(v)) => opts.compare_dir = Some(v.into()),
+        Err(e) => {
+            eprintln!("{e}");
             return ExitCode::from(2);
         }
-        opts.compare_dir = Some(args.remove(i).into());
     }
     let cmd = args.first().map(String::as_str).unwrap_or("all");
 
     // Standalone two-file comparison: `t3d-perf compare OLD NEW`.
     if cmd == "compare" {
         if args.len() != 3 {
-            eprintln!("usage: t3d-perf compare OLD.json NEW.json [--tol F]");
+            eprintln!("usage: t3d-perf compare OLD.json NEW.json [--tol F] [--host-tol F]");
             return ExitCode::from(2);
         }
         let read = |p: &str| -> Result<BenchDoc, String> {
@@ -169,7 +236,7 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let problems = compare(&old, &new, opts.tol);
+        let problems = compare(&old, &new, opts.tol, opts.host_tol);
         if problems.is_empty() {
             println!(
                 "OK: {} entries within {:.0}% of baseline",
@@ -191,23 +258,53 @@ fn main() -> ExitCode {
     let driver = PhaseDriver::from_env();
     let mut docs = Vec::new();
     if matches!(cmd, "micro" | "all") {
-        docs.push(run_micro(driver, opts.report));
+        match run_micro(driver, &opts) {
+            Ok(doc) => docs.push(doc),
+            Err(e) => {
+                eprintln!("DETERMINISM FAILURE [micro]: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     if matches!(cmd, "em3d" | "all") {
-        docs.push(run_em3d(driver, opts.report));
+        match run_em3d(driver, &opts) {
+            Ok(doc) => docs.push(doc),
+            Err(e) => {
+                eprintln!("DETERMINISM FAILURE [em3d]: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
 
     let mut failed = false;
     for doc in &docs {
         match write_doc(doc, &opts.out) {
-            Ok(path) => println!("wrote {} ({} entries)", path.display(), doc.entries.len()),
+            Ok(path) => {
+                println!("wrote {} ({} entries)", path.display(), doc.entries.len());
+                for e in &doc.entries {
+                    if let Some(t) = &e.throughput {
+                        println!(
+                            "  {:<24} {:>11.3e} cy/s (±{:.1}%), {:>10.3e} ops/s, checksum {:#018x}",
+                            e.name,
+                            t.cycles_per_sec.mean,
+                            if t.cycles_per_sec.mean > 0.0 {
+                                t.cycles_per_sec.stddev / t.cycles_per_sec.mean * 100.0
+                            } else {
+                                0.0
+                            },
+                            t.ops_per_sec.mean,
+                            t.checksum
+                        );
+                    }
+                }
+            }
             Err(e) => {
                 eprintln!("cannot write BENCH_{}.json: {e}", doc.suite);
                 return ExitCode::from(2);
             }
         }
         if let Some(dir) = &opts.compare_dir {
-            match check(doc, dir, opts.tol) {
+            match check(doc, dir, &opts) {
                 Ok(()) => println!("{}: within {:.0}% of baseline", doc.suite, opts.tol * 100.0),
                 Err(problems) => {
                     for p in problems {

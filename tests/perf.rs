@@ -25,14 +25,14 @@ fn assert_conserves(name: &str, report: &PerfReport) {
 #[test]
 fn every_scenario_conserves_cycles_under_seq() {
     for s in attribution::all() {
-        assert_conserves(s.name, &(s.run)(PhaseDriver::Seq));
+        assert_conserves(s.name, &(s.run)(PhaseDriver::Seq).report);
     }
 }
 
 #[test]
 fn every_scenario_conserves_cycles_under_par() {
     for s in attribution::all() {
-        assert_conserves(s.name, &(s.run)(PhaseDriver::Par(4)));
+        assert_conserves(s.name, &(s.run)(PhaseDriver::Par(4)).report);
     }
 }
 
@@ -41,10 +41,11 @@ fn scenario_reports_are_bit_identical_across_drivers() {
     for s in attribution::all() {
         let seq = (s.run)(PhaseDriver::Seq);
         let par = (s.run)(PhaseDriver::Par(4));
-        assert_eq!(seq, par, "{}: Seq and Par(4) reports differ", s.name);
+        // ScenarioRun equality covers the report AND the state checksum.
+        assert_eq!(seq, par, "{}: Seq and Par(4) runs differ", s.name);
         assert_eq!(
-            seq.to_json().render_pretty(),
-            par.to_json().render_pretty(),
+            seq.report.to_json().render_pretty(),
+            par.report.to_json().render_pretty(),
             "{}: rendered JSON differs across drivers",
             s.name
         );
