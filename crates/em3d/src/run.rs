@@ -5,7 +5,7 @@
 //! reach the consumer, which is the whole point of the study.
 
 use crate::graph::{Em3dGraph, Em3dParams, Endpoint};
-use splitc::{GlobalPtr, SplitC};
+use splitc::{GlobalPtr, RecEvent, SplitC};
 use std::collections::HashMap;
 use t3d_machine::{MachineConfig, OpStats, PerfMode, PerfReport, PhaseDriver};
 
@@ -179,7 +179,7 @@ impl HalfPlan {
         }
         // Send-buffer offsets at each source: consumers in PE order.
         let mut send_cursor = vec![0u64; n];
-        for consumer_regions in regions.iter_mut() {
+        for consumer_regions in &mut regions {
             for r in consumer_regions.iter_mut() {
                 r.src_off = send_cursor[r.src as usize];
                 send_cursor[r.src as usize] += r.indices.len() as u64 * 8;
@@ -431,7 +431,22 @@ pub fn run_version_with(
     params: Em3dParams,
     version: Version,
 ) -> Em3dResult {
-    run_version_inner(driver, nprocs, params, version, false).0
+    run_version_inner(driver, nprocs, params, version, false, false).0
+}
+
+/// [`run_version_with`], with op recording: every runtime primitive the
+/// version issues (plus phase and barrier markers) is captured as
+/// per-PE [`RecEvent`] streams, the input `t3d-lint` analyzes. The
+/// result is bit-identical to an unrecorded run — recording is pure
+/// observation.
+pub fn run_version_recorded(
+    driver: PhaseDriver,
+    nprocs: u32,
+    params: Em3dParams,
+    version: Version,
+) -> (Em3dResult, Vec<Vec<RecEvent>>) {
+    let (r, _, log) = run_version_inner(driver, nprocs, params, version, false, true);
+    (r, log)
 }
 
 /// [`run_version_with`], with cycle attribution: the measured steps run
@@ -445,7 +460,7 @@ pub fn run_version_profiled(
     params: Em3dParams,
     version: Version,
 ) -> (Em3dResult, PerfReport) {
-    let (r, p) = run_version_inner(driver, nprocs, params, version, true);
+    let (r, p, _) = run_version_inner(driver, nprocs, params, version, true, false);
     (r, p.expect("profiling was requested"))
 }
 
@@ -455,9 +470,13 @@ fn run_version_inner(
     params: Em3dParams,
     version: Version,
     profile: bool,
-) -> (Em3dResult, Option<PerfReport>) {
+    record: bool,
+) -> (Em3dResult, Option<PerfReport>, Vec<Vec<RecEvent>>) {
     let g = Em3dGraph::generate(params, nprocs);
     let mut sc = SplitC::new(MachineConfig::t3d_with_mem(nprocs, 4 * 1024 * 1024));
+    if record {
+        sc.record_ops(true);
+    }
     let npp = params.nodes_per_pe as u64;
     let deg = params.degree as u64;
     let layout = Layout {
@@ -739,6 +758,7 @@ fn run_version_inner(
     }
 
     let edges = params.edges_per_step_per_pe() * params.steps as u64;
+    let op_log = if record { sc.take_op_log() } else { Vec::new() };
     (
         Em3dResult {
             us_per_edge: cycles as f64 * 6.666_666_666_666_667e-3 / edges as f64,
@@ -749,6 +769,7 @@ fn run_version_inner(
             mem_fnv,
         },
         report,
+        op_log,
     )
 }
 

@@ -46,6 +46,9 @@ pub struct RunRecord {
     pub results: Vec<Vec<u64>>,
     /// Sanitizer findings (rendered kinds; empty = clean).
     pub san: Vec<String>,
+    /// Region base the program was lowered at (deterministic; the
+    /// static analyzer lints the same lowering).
+    pub base: u64,
 }
 
 /// Runs `prog` under `driver`, optionally injecting `fault` (the
@@ -129,6 +132,7 @@ fn run_program_inner(prog: &Program, driver: PhaseDriver, fault: Option<Fault>) 
             .map(|m| m.into_inner().unwrap())
             .collect(),
         san,
+        base,
     }
 }
 
@@ -196,6 +200,16 @@ pub fn check_case(prog: &Program, threads: usize, fault: Option<Fault>) -> Optio
             } else {
                 &seq.san
             }
+        ));
+    }
+    // (d) The static analyzer agrees the program is hazard-free
+    // (advisories are fine — the generator trips BLT crossovers on
+    // purpose).
+    let report = crate::lintbridge::lint_case(prog, seq.base);
+    if !report.is_hazard_free() {
+        return Some(format!(
+            "static hazards on a clean-by-construction program:\n{}",
+            report.render_table()
         ));
     }
     None

@@ -32,12 +32,16 @@
 
 pub mod genprog;
 pub mod harness;
+pub mod lintbridge;
+pub mod mutate;
 pub mod program;
 pub mod refmodel;
 pub mod shrink;
 
 pub use genprog::gen_program;
 pub use harness::{check_case, run_program, Fault, RunRecord};
+pub use lintbridge::{lint_case, lint_program};
+pub use mutate::{inject, Mutation};
 pub use program::{
     Action, ActionKind, Cell, LoweredPhase, Phase, PhaseKind, Program, Terminator, WORD,
 };

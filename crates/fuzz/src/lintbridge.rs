@@ -1,0 +1,140 @@
+//! Lowers a generated [`Program`] into the static analyzer's input.
+//!
+//! The bridge reproduces exactly the event streams the runtime's op
+//! recorder would capture for the harness's execution strategy, without
+//! executing anything:
+//!
+//! * a **sharded** phase contributes each PE's op list followed by one
+//!   [`RecEvent::PhaseEnd`] (the `par_phase_with` boundary);
+//! * a **direct** phase runs its ops one `SplitC::on` call at a time,
+//!   and the sanitizer ingests each call's effects before the next
+//!   starts — so the bridge places a [`RecEvent::PhaseEnd`] after
+//!   *every* direct op, giving the analyzer the same
+//!   sequenced-but-not-synchronizing order;
+//! * a [`Terminator::Barrier`] contributes a [`RecEvent::Barrier`], and
+//!   a [`Terminator::AllStoreSync`] contributes
+//!   [`RecEvent::AllStoreSync`] then [`RecEvent::Barrier`] (the runtime
+//!   collective ends in a barrier), matching recorded-run streams.
+//!
+//! This is layer 4 of the lint design: every generated program is
+//! linted as well as executed, and the differential soundness test in
+//! `tests/lint_soundness.rs` checks that dynamic sanitizer findings are
+//! always covered by static rules.
+
+use crate::program::{LoweredPhase, Program, Terminator};
+use splitc::{RecEvent, SplitcConfig};
+use t3d_lint::{lint, LintProgram, LintReport};
+use t3d_machine::MachineConfig;
+
+/// The static-analyzer view of `prog`, lowered at region base `base`.
+pub fn lint_program(prog: &Program, base: u64) -> LintProgram {
+    let mut lp = LintProgram::new(prog.nodes);
+    for phase in prog.lower(base) {
+        let terminator = match phase {
+            LoweredPhase::Sharded { ops, terminator } => {
+                for (pe, list) in ops.into_iter().enumerate() {
+                    for op in list {
+                        lp.push(pe as u32, op);
+                    }
+                }
+                lp.push_all(RecEvent::PhaseEnd);
+                terminator
+            }
+            LoweredPhase::Direct { ops, terminator } => {
+                for (pe, op) in ops {
+                    lp.push(pe, op);
+                    lp.push_all(RecEvent::PhaseEnd);
+                }
+                terminator
+            }
+        };
+        match terminator {
+            Terminator::Barrier => lp.push_all(RecEvent::Barrier),
+            Terminator::AllStoreSync => {
+                lp.push_all(RecEvent::AllStoreSync);
+                lp.push_all(RecEvent::Barrier);
+            }
+        }
+    }
+    lp
+}
+
+/// Lints `prog` under the same machine/runtime configuration the
+/// harness executes it with.
+pub fn lint_case(prog: &Program, base: u64) -> LintReport {
+    let mcfg = MachineConfig::t3d(prog.nodes);
+    let scfg = SplitcConfig::t3d();
+    lint(&lint_program(prog, base), &mcfg, &scfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Action, ActionKind, Cell, Phase, PhaseKind};
+
+    #[test]
+    fn bridge_emits_the_recorded_stream_shape() {
+        let p = Program {
+            nodes: 2,
+            slots: 8,
+            locks: 1,
+            phases: vec![
+                Phase {
+                    kind: PhaseKind::Sharded,
+                    terminator: Terminator::AllStoreSync,
+                    await_stores: false,
+                    actions: vec![Action {
+                        pe: 0,
+                        kind: ActionKind::Put {
+                            dst: Cell { pe: 1, slot: 0 },
+                            value: 1,
+                        },
+                    }],
+                },
+                Phase {
+                    kind: PhaseKind::Direct,
+                    terminator: Terminator::Barrier,
+                    await_stores: false,
+                    actions: vec![
+                        Action {
+                            pe: 1,
+                            kind: ActionKind::Read {
+                                src: Cell { pe: 1, slot: 0 },
+                            },
+                        },
+                        Action {
+                            pe: 0,
+                            kind: ActionKind::Advance { cycles: 5 },
+                        },
+                    ],
+                },
+            ],
+        };
+        let lp = lint_program(&p, 0x100);
+        // PE0: Put, Sync, PhaseEnd, AllStoreSync, Barrier,
+        //      PhaseEnd (after PE1's read), Advance, PhaseEnd, Barrier.
+        let markers = |pe: usize| {
+            lp.streams[pe]
+                .iter()
+                .filter(|e| !matches!(e, RecEvent::Op(_)))
+                .count()
+        };
+        assert_eq!(markers(0), markers(1), "markers are collective");
+        assert_eq!(markers(0), 6);
+        assert!(lp.streams[0].len() >= 8);
+    }
+
+    #[test]
+    fn generated_programs_lint_hazard_free() {
+        use t3d_prng::Rng;
+        Rng::cases(0x11D7, 40, |_, rng| {
+            let p = crate::gen_program(rng);
+            let r = lint_case(&p, 0x100);
+            assert!(
+                r.is_hazard_free(),
+                "clean-by-construction program has static hazards:\n{}",
+                r.render_table()
+            );
+        });
+    }
+}

@@ -1,0 +1,142 @@
+//! Hazard injection: turns a clean generated program into one with a
+//! single, known defect.
+//!
+//! The differential soundness test uses these to prove the static
+//! analyzer *bites*: each mutation breaks the zone discipline in one
+//! specific way, and `t3d-lint` must flag the matching rule on the
+//! mutated program. Injection is deterministic (first suitable anchor)
+//! so a failing seed replays exactly.
+
+use crate::program::{Action, ActionKind, PhaseKind, Program};
+use t3d_lint::Rule;
+
+/// One way of breaking a clean program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// The get issuer reads its own landing slot before the sync.
+    ReadLanding,
+    /// A second PE puts to a cell another PE already puts to in the
+    /// same sharded phase.
+    ConflictPut,
+    /// Another PE reads a signaling store's target cell in the same
+    /// sharded phase, before anything settles it.
+    StaleRead,
+    /// Another PE writes a bound get's source cell in the same phase.
+    WriteGetSource,
+}
+
+impl Mutation {
+    /// All mutations.
+    pub const ALL: [Mutation; 4] = [
+        Mutation::ReadLanding,
+        Mutation::ConflictPut,
+        Mutation::StaleRead,
+        Mutation::WriteGetSource,
+    ];
+
+    /// The static rule the mutation must trip.
+    pub fn expected_rule(self) -> Rule {
+        match self {
+            Mutation::ReadLanding => Rule::H001ReadBeforeGetSync,
+            Mutation::ConflictPut => Rule::H004ConflictingPuts,
+            Mutation::StaleRead => Rule::H005StaleStoreRead,
+            Mutation::WriteGetSource => Rule::H006PrefetchOrderMisuse,
+        }
+    }
+}
+
+/// Applies `m` to the first suitable anchor in `prog`. Returns `None`
+/// when the program has no action the mutation can attach to.
+pub fn inject(prog: &Program, m: Mutation) -> Option<Program> {
+    let mut out = prog.clone();
+    for phase in out
+        .phases
+        .iter_mut()
+        .filter(|p| p.kind == PhaseKind::Sharded)
+    {
+        for i in 0..phase.actions.len() {
+            let a = phase.actions[i];
+            let other = (a.pe + 1) % prog.nodes;
+            let injected = match (m, a.kind) {
+                (Mutation::ReadLanding, ActionKind::Get { land, .. }) => Some(Action {
+                    pe: a.pe,
+                    kind: ActionKind::Read {
+                        src: crate::program::Cell {
+                            pe: a.pe,
+                            slot: land,
+                        },
+                    },
+                }),
+                (Mutation::ConflictPut, ActionKind::Put { dst, .. }) => Some(Action {
+                    pe: other,
+                    kind: ActionKind::Put { dst, value: 0x5A },
+                }),
+                (Mutation::StaleRead, ActionKind::Store { dst, .. }) => Some(Action {
+                    pe: other,
+                    kind: ActionKind::Read { src: dst },
+                }),
+                (Mutation::WriteGetSource, ActionKind::Get { src, .. }) => Some(Action {
+                    pe: if src.pe == a.pe {
+                        other
+                    } else {
+                        (src.pe + 1) % prog.nodes
+                    },
+                    kind: ActionKind::Write {
+                        dst: src,
+                        value: 0xA5,
+                    },
+                }),
+                _ => None,
+            };
+            if let Some(act) = injected {
+                // The issuer must differ from the anchor for the
+                // cross-PE hazards.
+                if matches!(
+                    m,
+                    Mutation::ConflictPut | Mutation::StaleRead | Mutation::WriteGetSource
+                ) && act.pe == a.pe
+                {
+                    continue;
+                }
+                phase.actions.insert(i + 1, act);
+                return Some(out);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lintbridge::lint_case;
+    use t3d_prng::Rng;
+
+    /// Every mutation, applied wherever an anchor exists, trips exactly
+    /// its expected rule in the static analyzer.
+    #[test]
+    fn mutations_trip_their_rule() {
+        let mut tripped = [0u32; Mutation::ALL.len()];
+        Rng::cases(0x05EE_DBAD, 60, |_, rng| {
+            let p = crate::gen_program(rng);
+            for (mi, &m) in Mutation::ALL.iter().enumerate() {
+                let Some(bad) = inject(&p, m) else { continue };
+                let report = lint_case(&bad, 0x100);
+                assert!(
+                    report.rules().contains(&m.expected_rule()),
+                    "{m:?} did not trip {}:\n{}",
+                    m.expected_rule(),
+                    report.render_table()
+                );
+                tripped[mi] += 1;
+            }
+        });
+        for (mi, &n) in tripped.iter().enumerate() {
+            assert!(
+                n > 0,
+                "{:?} never found an anchor in 60 programs",
+                Mutation::ALL[mi]
+            );
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Differential validation of the static analyzer against the dynamic
+//! sanitizer (layer 4 of the lint design).
+//!
+//! Soundness direction: on straight-line-with-barriers programs, every
+//! hazard `t3dsan` reports on a *run* must be reported by `t3d-lint` on
+//! the *program*, with a rule from the [`Rule::covers`] map. The
+//! converse is not required — the static analyzer over-approximates
+//! interleavings — but clean-by-construction programs must lint free of
+//! hazard rules (that direction is also enforced per-case inside
+//! `check_case`).
+//!
+//! The sweep: 300 seeded generator programs. Each is linted statically
+//! (hazard-free or the test fails with the table), then mutated with
+//! every applicable hazard injection; each mutant is executed under the
+//! sanitizer and linted, and every dynamic finding must be covered.
+
+use t3d_fuzz::{case_seed, inject, lint_case, program_for_seed, run_program, Mutation};
+use t3d_lint::Rule;
+use t3d_machine::PhaseDriver;
+use t3dsan::DiagKind;
+
+const CASES: usize = 300;
+const MASTER: u64 = 0x11D7_50D1;
+
+fn kind_of(name: &str) -> DiagKind {
+    DiagKind::ALL
+        .into_iter()
+        .find(|k| format!("{k:?}") == name)
+        .unwrap_or_else(|| panic!("unknown dynamic kind {name:?}"))
+}
+
+#[test]
+fn dynamic_hazards_are_statically_covered() {
+    let mut mutants = 0usize;
+    let mut dynamic_findings = 0usize;
+    for case in 0..CASES {
+        let seed = case_seed(MASTER, case);
+        let prog = program_for_seed(seed);
+        // Clean direction: the generator's zone discipline lints clean.
+        let clean = lint_case(&prog, 0x100);
+        assert!(
+            clean.is_hazard_free(),
+            "seed {seed:#x}: clean program has static hazards:\n{}",
+            clean.render_table()
+        );
+        for m in Mutation::ALL {
+            let Some(bad) = inject(&prog, m) else {
+                continue;
+            };
+            mutants += 1;
+            // A mutation may make the runtime reject the program
+            // outright (also a detection, just not san's).
+            let Ok(run) = run_program(&bad, PhaseDriver::Seq, None) else {
+                continue;
+            };
+            let report = lint_case(&bad, run.base);
+            let static_rules = report.rules();
+            // The injected defect itself must be seen statically.
+            assert!(
+                static_rules.contains(&m.expected_rule()),
+                "seed {seed:#x} {m:?}: lint missed {}:\n{}",
+                m.expected_rule(),
+                report.render_table()
+            );
+            // Soundness: every dynamic finding is covered statically.
+            for name in &run.san {
+                dynamic_findings += 1;
+                let covering = Rule::covers(kind_of(name));
+                assert!(
+                    !covering.is_empty(),
+                    "seed {seed:#x} {m:?}: dynamic {name} has no static cover (by design \
+                     only AnnexSynonymHazard may be uncoverable, and these programs \
+                     cannot trip it)"
+                );
+                assert!(
+                    covering.iter().any(|r| static_rules.contains(r)),
+                    "seed {seed:#x} {m:?}: dynamic {name} not covered — static rules \
+                     {static_rules:?}, expected one of {covering:?}:\n{}",
+                    report.render_table()
+                );
+            }
+        }
+    }
+    // The sweep must actually exercise the contract.
+    assert!(
+        mutants >= CASES,
+        "only {mutants} mutants over {CASES} cases"
+    );
+    assert!(
+        dynamic_findings >= 50,
+        "only {dynamic_findings} dynamic findings — mutations are not biting"
+    );
+}

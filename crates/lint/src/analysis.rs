@@ -1,0 +1,1532 @@
+//! The dataflow pass: per-PE abstract walk plus cross-PE epoch checks.
+//!
+//! # Abstract domain
+//!
+//! Each PE's stream is walked once, tracking: outstanding gets (landing
+//! and source spans, prefetch-queue depth), outstanding split-phase op
+//! count, held locks, signaling-store byte balance, and the advisory
+//! run trackers. Positions are `(round, pos)`: `round` is a global
+//! counter bumped at every collective marker ([`RecEvent::Barrier`],
+//! [`RecEvent::AllStoreSync`], [`RecEvent::PhaseEnd`]), `pos` the index
+//! in the PE's own stream. Two events are *definitely ordered* iff
+//! their rounds differ or they share a PE — exactly the order the
+//! sharded engine's effect-log merge guarantees, which is the order the
+//! dynamic sanitizer analyzes in. Anything not definitely ordered may
+//! interleave either way, so the hazard checks treat it as concurrent.
+//!
+//! Barriers additionally bump the *epoch*: the dynamic analyzer joins
+//! all clocks and marks every write synced at a barrier, so cross-PE
+//! conflict/staleness checks never span an epoch boundary. Outstanding
+//! gets survive barriers (the queue drains only at the issuer's own
+//! `sync`), so the prefetch-order check does span epochs.
+//!
+//! # Mirroring `t3dsan`
+//!
+//! Writes carry the completion class the runtime reports dynamically:
+//! blocking writes (`write_u64`, `bulk_write*`) are born synced and can
+//! never be stale; split-phase puts settle at the issuer's `sync` (or
+//! any AM deposit, which fences); signaling stores settle when the
+//! *target* issues `store_sync`; AM-routed ops (`am_add`, remote
+//! byte/u32 writes) are handler effects the sanitizer never sees, so
+//! they are excluded from the hazard sets but still count toward the
+//! `store_sync` byte watermark (every deposit moves
+//! [`splitc::runtime::AM_SLOT_BYTES`] of remote-write traffic).
+
+use crate::program::LintProgram;
+use crate::report::{LintDiagnostic, LintReport};
+use crate::rules::Rule;
+use splitc::runtime::AM_SLOT_BYTES;
+use splitc::{AddrSpan, RecEvent, ScOp, SplitcConfig};
+use std::collections::HashMap;
+use t3d_machine::MachineConfig;
+
+/// A stream position: global round plus index in the PE's own stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Loc {
+    pe: u32,
+    epoch: u32,
+    round: u32,
+    pos: u32,
+}
+
+/// Whether `a` is definitely analyzed before `b` under every
+/// interleaving the engine can produce.
+fn def_before(a: Loc, b: Loc) -> bool {
+    a.round < b.round || (a.round == b.round && a.pe == b.pe && a.pos < b.pos)
+}
+
+/// Completion discipline of a write, as the sanitizer models it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WClass {
+    /// Signaling store: settles at the *target*'s `store_sync`.
+    Store,
+    /// Split-phase put: settles at the *issuer*'s `sync` / AM deposit.
+    Put,
+    /// Acknowledged blocking write: born settled.
+    Blocking,
+    /// AM-routed sub-word write: invisible to the sanitizer, but two of
+    /// them from different senders still race at the handler.
+    SubWord,
+}
+
+#[derive(Debug, Clone)]
+struct WRec {
+    loc: Loc,
+    span: AddrSpan,
+    class: WClass,
+    /// The lock word guarding this write, when it sits inside an
+    /// atomic guarded composite. Bare `LockTryAcquire` confers nothing:
+    /// the ops after it execute whether or not the acquire won, so only
+    /// the composite — whose write happens iff its acquire succeeded —
+    /// provides real mutual exclusion.
+    guard: Option<(u32, u64)>,
+    what: &'static str,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RRec {
+    loc: Loc,
+    span: AddrSpan,
+}
+
+#[derive(Debug, Clone)]
+struct GRec {
+    issue: Loc,
+    complete: Option<Loc>,
+    src: AddrSpan,
+    land: AddrSpan,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SettleKind {
+    /// The writer fenced its own split-phase traffic (`sync` or any AM
+    /// deposit): its puts and stores are settled past this point.
+    WriterSync,
+    /// This PE consumed inbound signaling stores (`store_sync`): every
+    /// store targeting it that is ordered before is settled.
+    TargetStoreSync,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SettleRec {
+    loc: Loc,
+    kind: SettleKind,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SyncRec {
+    loc: Loc,
+    bytes: u64,
+}
+
+/// Diagnostic accumulator with site folding (same key → count bump).
+#[derive(Default)]
+struct Sink {
+    index: HashMap<(Rule, u32, u32, u64), usize>,
+    diags: Vec<LintDiagnostic>,
+}
+
+impl Sink {
+    fn emit(
+        &mut self,
+        rule: Rule,
+        pe: u32,
+        target: u32,
+        addr: u64,
+        op_idx: usize,
+        detail: impl FnOnce() -> String,
+    ) {
+        let key = (rule, pe, target, addr);
+        if let Some(&i) = self.index.get(&key) {
+            self.diags[i].count += 1;
+            return;
+        }
+        self.index.insert(key, self.diags.len());
+        self.diags.push(LintDiagnostic {
+            rule,
+            pe,
+            target,
+            addr,
+            op_idx,
+            count: 1,
+            detail: detail(),
+        });
+    }
+}
+
+/// Statically analyzes `prog` against the machine and runtime
+/// configuration the program would run under.
+pub fn lint(prog: &LintProgram, mcfg: &MachineConfig, scfg: &SplitcConfig) -> LintReport {
+    let nodes = prog.nodes();
+    let mut sink = Sink::default();
+    let events: u64 = prog.len() as u64;
+
+    // ---- Collective alignment (H003) --------------------------------
+    // Every marker is a collective: all PEs must execute the same
+    // sequence or some PE waits forever. Analysis proceeds over the
+    // longest aligned prefix.
+    let marker_seq = |s: &[RecEvent]| -> Vec<RecEvent> {
+        s.iter()
+            .filter(|e| !matches!(e, RecEvent::Op(_)))
+            .copied()
+            .collect()
+    };
+    let seqs: Vec<Vec<RecEvent>> = prog.streams.iter().map(|s| marker_seq(s)).collect();
+    let mut aligned_markers = seqs.first().map_or(0, Vec::len);
+    let mut diverged = false;
+    if let Some(first) = seqs.first() {
+        for (pe, seq) in seqs.iter().enumerate().skip(1) {
+            let common = first
+                .iter()
+                .zip(seq.iter())
+                .take_while(|(a, b)| a == b)
+                .count();
+            if common < first.len().max(seq.len()) {
+                diverged = true;
+                aligned_markers = aligned_markers.min(common);
+                sink.emit(Rule::H003BarrierDivergence, pe as u32, 0, 0, common, || {
+                    format!(
+                        "PE{pe} collective sequence diverges from PE0 at collective {common} \
+                             (PE0: {:?} vs PE{pe}: {:?})",
+                        first.get(common),
+                        seq.get(common),
+                    )
+                });
+            }
+        }
+    }
+
+    // ---- Per-PE abstract walk ---------------------------------------
+    let mut writes: Vec<WRec> = Vec::new();
+    let mut reads: Vec<RRec> = Vec::new();
+    let mut gets: Vec<GRec> = Vec::new();
+    let mut settles: Vec<SettleRec> = Vec::new();
+    let mut store_syncs: Vec<Vec<SyncRec>> = vec![Vec::new(); nodes as usize];
+    // avail[epoch][pe]: remote write-buffer bytes destined to `pe`
+    // issued during `epoch` — what the storeSync watermark can consume.
+    let mut avail: Vec<Vec<u64>> = Vec::new();
+
+    let prefetch_depth = mcfg.shell.prefetch_depth;
+    let line_bytes = mcfg.mem.l1.line as u64;
+    let wbuf_entries = mcfg.mem.wbuf.entries as u64;
+    let page = mcfg.mem.dram.page_bytes;
+    let banks = mcfg.mem.dram.banks;
+
+    for (pe_us, stream) in prog.streams.iter().enumerate() {
+        let pe = pe_us as u32;
+        let mut epoch: u32 = 0;
+        let mut round: u32 = 0;
+        let mut markers_seen = 0usize;
+        // Outstanding split-phase state.
+        let mut open_gets: Vec<GRec> = Vec::new();
+        let mut queue_depth: usize = 0;
+        let mut open_puts: usize = 0;
+        // Advisory run trackers.
+        let mut read_run: u64 = 0;
+        let mut read_run_start: Option<(usize, AddrSpan)> = None;
+        let mut get_run_bytes: u64 = 0;
+        let mut get_run_start: Option<(usize, AddrSpan)> = None;
+        let mut subword_run: u64 = 0;
+        let mut subword_last_line: Option<(u32, u64)> = None;
+        let mut subword_start: Option<(usize, AddrSpan)> = None;
+        let mut prev_was_get_issue = false;
+
+        for (idx, ev) in stream.iter().enumerate() {
+            if diverged && markers_seen >= aligned_markers {
+                break;
+            }
+            let op = match ev {
+                RecEvent::Op(op) => op,
+                RecEvent::Barrier | RecEvent::AllStoreSync | RecEvent::PhaseEnd => {
+                    markers_seen += 1;
+                    round += 1;
+                    if !matches!(ev, RecEvent::PhaseEnd) {
+                        epoch += 1;
+                        // The global barrier fences write buffers but
+                        // leaves the prefetch queue bound.
+                    }
+                    read_run = 0;
+                    read_run_start = None;
+                    get_run_bytes = 0;
+                    get_run_start = None;
+                    subword_run = 0;
+                    subword_last_line = None;
+                    prev_was_get_issue = false;
+                    continue;
+                }
+            };
+            let here = Loc {
+                pe,
+                epoch,
+                round,
+                pos: idx as u32,
+            };
+            while avail.len() <= epoch as usize {
+                avail.push(vec![0; nodes as usize]);
+            }
+            let fp = op.touched_addrs(pe, mcfg);
+            if fp.oob {
+                let s = fp.reads.iter().chain(fp.writes.iter()).find(|s| {
+                    s.pe >= nodes
+                        || s.addr
+                            .checked_add(s.bytes)
+                            .is_none_or(|e| e > mcfg.mem.mem_bytes as u64)
+                });
+                let (t, a) = s.map_or((pe, 0), |s| (s.pe, s.addr));
+                sink.emit(Rule::H007OutOfBounds, pe, t, a, idx, || {
+                    format!(
+                        "footprint outside the machine ({} PEs x {} B local memory)",
+                        nodes, mcfg.mem.mem_bytes
+                    )
+                });
+            }
+
+            // Advisory run bookkeeping defaults: most ops break runs.
+            let mut keep_read_run = false;
+            let mut keep_get_run = false;
+            let mut keep_subword_run = false;
+            let mut record_read = |span: AddrSpan, reads: &mut Vec<RRec>| {
+                // H001: reading a landing word before the issuer's sync.
+                for g in &open_gets {
+                    if span.overlaps(&g.land) {
+                        sink.emit(
+                            Rule::H001ReadBeforeGetSync,
+                            pe,
+                            span.pe,
+                            span.addr,
+                            idx,
+                            || {
+                                format!(
+                                "reads the landing span of the get bound at op {} before sync()",
+                                g.issue.pos
+                            )
+                            },
+                        );
+                    }
+                }
+                reads.push(RRec { loc: here, span });
+            };
+
+            // Exhaustive over `ScOp` on purpose: a new variant must be
+            // classified here before the crate compiles again.
+            match *op {
+                ScOp::Advance { .. } | ScOp::AmPoll | ScOp::LockIsHeld { .. } => {
+                    keep_read_run = true;
+                    keep_get_run = true;
+                }
+                ScOp::ReadU64 { .. } | ScOp::ReadU32 { .. } | ScOp::ByteRead { .. } => {
+                    let span = fp.reads[0];
+                    record_read(span, &mut reads);
+                    keep_get_run = true;
+                    if span.pe != pe {
+                        keep_read_run = true;
+                        if read_run == 0 {
+                            read_run_start = Some((idx, span));
+                        }
+                        read_run += 1;
+                        if read_run == prefetch_depth as u64 {
+                            let (sidx, sspan) = read_run_start.unwrap_or((idx, span));
+                            sink.emit(
+                                Rule::P001ElementLoopTransfer,
+                                pe,
+                                sspan.pe,
+                                sspan.addr,
+                                sidx,
+                                || {
+                                    format!(
+                                        "{read_run}+ consecutive blocking remote reads: pipeline \
+                                         with gets (queue depth {prefetch_depth}) or use bulk_read \
+                                         (BLT past {} B)",
+                                        scfg.bulk_blt_read_min
+                                    )
+                                },
+                            );
+                        }
+                    } else {
+                        keep_read_run = true;
+                    }
+                }
+                ScOp::WriteU64 { .. } => {
+                    let span = fp.writes[0];
+                    push_write(
+                        &mut writes,
+                        &mut avail,
+                        here,
+                        span,
+                        WClass::Blocking,
+                        "write_u64",
+                    );
+                    keep_read_run = true;
+                    keep_get_run = true;
+                }
+                ScOp::StoreU64 { .. } => {
+                    let span = fp.writes[0];
+                    push_write(
+                        &mut writes,
+                        &mut avail,
+                        here,
+                        span,
+                        WClass::Store,
+                        "store_u64",
+                    );
+                    keep_read_run = true;
+                    keep_get_run = true;
+                }
+                ScOp::Put { .. } => {
+                    let span = fp.writes[0];
+                    push_write(&mut writes, &mut avail, here, span, WClass::Put, "put");
+                    open_puts += 1;
+                    keep_read_run = true;
+                    keep_get_run = true;
+                }
+                ScOp::Get { .. } => {
+                    let src = fp.reads[0];
+                    let land = fp.writes[0];
+                    record_read(src, &mut reads);
+                    if queue_depth == prefetch_depth {
+                        // Hardware auto-drain: the queue empties (gets
+                        // complete) before this issue fits.
+                        sink.emit(
+                            Rule::P005PrefetchQueueOverflow,
+                            pe,
+                            src.pe,
+                            src.addr,
+                            idx,
+                            || {
+                                format!(
+                                "more than {prefetch_depth} gets outstanding: the binding queue \
+                                 drains mid-stream, serializing the pipeline — batch at most \
+                                 {prefetch_depth} before sync()"
+                            )
+                            },
+                        );
+                        for mut g in open_gets.drain(..) {
+                            g.complete = Some(here);
+                            gets.push(g);
+                        }
+                        queue_depth = 0;
+                    }
+                    open_gets.push(GRec {
+                        issue: here,
+                        complete: None,
+                        src,
+                        land,
+                    });
+                    queue_depth += 1;
+                    keep_read_run = true;
+                    keep_get_run = true;
+                    if get_run_bytes == 0 {
+                        get_run_start = Some((idx, src));
+                    }
+                    let before = get_run_bytes;
+                    get_run_bytes += src.bytes;
+                    if before < scfg.bulk_get_blt_min && get_run_bytes >= scfg.bulk_get_blt_min {
+                        let (sidx, sspan) = get_run_start.unwrap_or((idx, src));
+                        sink.emit(
+                            Rule::P001ElementLoopTransfer,
+                            pe,
+                            sspan.pe,
+                            sspan.addr,
+                            sidx,
+                            || {
+                                format!(
+                                    "element-get loop moved {get_run_bytes} B, past the {} B \
+                                 get/BLT crossover: one bulk_get is faster",
+                                    scfg.bulk_get_blt_min
+                                )
+                            },
+                        );
+                    }
+                }
+                ScOp::Sync => {
+                    // An element-get loop drains its queue periodically;
+                    // the P001 byte run deliberately survives the sync.
+                    keep_read_run = true;
+                    keep_get_run = true;
+                    if open_puts == 0 && queue_depth == 1 && prev_was_get_issue {
+                        let g = &open_gets[open_gets.len() - 1];
+                        sink.emit(Rule::P004EagerSync, pe, g.src.pe, g.src.addr, idx, || {
+                            "sync() immediately after a lone get: no overlap — batch more \
+                             split-phase traffic before syncing"
+                                .to_string()
+                        });
+                    }
+                    for mut g in open_gets.drain(..) {
+                        g.complete = Some(here);
+                        gets.push(g);
+                    }
+                    queue_depth = 0;
+                    open_puts = 0;
+                    settles.push(SettleRec {
+                        loc: here,
+                        kind: SettleKind::WriterSync,
+                    });
+                }
+                ScOp::StoreSync { bytes } => {
+                    store_syncs[pe_us].push(SyncRec { loc: here, bytes });
+                    settles.push(SettleRec {
+                        loc: here,
+                        kind: SettleKind::TargetStoreSync,
+                    });
+                }
+                ScOp::BulkRead { .. } | ScOp::BulkReadStrided { .. } => {
+                    let src = fp.reads[0];
+                    record_read(src, &mut reads);
+                    if let ScOp::BulkReadStrided {
+                        count,
+                        stride_bytes,
+                        ..
+                    } = *op
+                    {
+                        check_stride(&mut sink, pe, src, idx, count, stride_bytes, page, banks);
+                    }
+                }
+                ScOp::BulkGet { .. } => {
+                    let src = fp.reads[0];
+                    let land = fp.writes[0];
+                    record_read(src, &mut reads);
+                    // Bulk gets manage the queue internally (prefetch
+                    // loop or BLT) — they occupy one logical slot and
+                    // complete at sync() like element gets.
+                    open_gets.push(GRec {
+                        issue: here,
+                        complete: None,
+                        src,
+                        land,
+                    });
+                    open_puts += 1; // counts as batched split-phase traffic
+                }
+                ScOp::BulkWrite { .. } | ScOp::BulkWriteStrided { .. } => {
+                    let dst = fp.writes[0];
+                    push_write(
+                        &mut writes,
+                        &mut avail,
+                        here,
+                        dst,
+                        WClass::Blocking,
+                        "bulk_write",
+                    );
+                    if let ScOp::BulkWriteStrided {
+                        count,
+                        stride_bytes,
+                        ..
+                    } = *op
+                    {
+                        check_stride(&mut sink, pe, dst, idx, count, stride_bytes, page, banks);
+                    }
+                }
+                ScOp::BulkPut { .. } => {
+                    let dst = fp.writes[0];
+                    push_write(&mut writes, &mut avail, here, dst, WClass::Put, "bulk_put");
+                    open_puts += 1;
+                }
+                ScOp::ByteWrite { .. } | ScOp::WriteU32 { .. } => {
+                    let span = fp.writes[0];
+                    if span.pe != pe {
+                        // Travels the AM queue: the deposit fences the
+                        // issuer's earlier split-phase writes.
+                        settles.push(SettleRec {
+                            loc: here,
+                            kind: SettleKind::WriterSync,
+                        });
+                        avail[epoch as usize][span.pe as usize] += AM_SLOT_BYTES;
+                        writes.push(WRec {
+                            loc: here,
+                            span,
+                            class: WClass::SubWord,
+                            guard: None,
+                            what: "byte/u32 write",
+                        });
+                    } else {
+                        push_write(
+                            &mut writes,
+                            &mut avail,
+                            here,
+                            span,
+                            WClass::Blocking,
+                            "byte/u32 write",
+                        );
+                    }
+                    keep_read_run = true;
+                    keep_get_run = true;
+                    keep_subword_run = true;
+                    let key = (span.pe, span.addr / line_bytes);
+                    if subword_last_line == Some(key) {
+                        // Same line: the write buffer merges these.
+                        subword_run = 1;
+                        subword_start = Some((idx, span));
+                    } else {
+                        if subword_run == 0 {
+                            subword_start = Some((idx, span));
+                        }
+                        subword_run += 1;
+                        if subword_run == wbuf_entries {
+                            let (sidx, sspan) = subword_start.unwrap_or((idx, span));
+                            sink.emit(
+                                Rule::P003NonMergingByteWrites,
+                                pe,
+                                sspan.pe,
+                                sspan.addr,
+                                sidx,
+                                || {
+                                    format!(
+                                        "{subword_run}+ consecutive sub-word writes to distinct \
+                                     {line_bytes} B lines: nothing merges in the \
+                                     {wbuf_entries}-entry write buffer — group writes by line"
+                                    )
+                                },
+                            );
+                        }
+                    }
+                    subword_last_line = Some(key);
+                }
+                ScOp::AmAdd { target_pe, .. } => {
+                    // Handler-side effect: invisible to the sanitizer
+                    // (commutes, lands by the next barrier), but the
+                    // deposit itself fences and moves slot bytes.
+                    settles.push(SettleRec {
+                        loc: here,
+                        kind: SettleKind::WriterSync,
+                    });
+                    if target_pe != pe && (target_pe as usize) < avail[epoch as usize].len() {
+                        avail[epoch as usize][target_pe as usize] += AM_SLOT_BYTES;
+                    }
+                    keep_read_run = true;
+                    keep_get_run = true;
+                }
+                ScOp::LockTryAcquire { .. }
+                | ScOp::LockRelease { .. }
+                | ScOp::LockFreeIfHeld { .. } => {}
+                ScOp::LockGuardedWrite { word, .. } => {
+                    let span = fp.writes[0];
+                    writes.push(WRec {
+                        loc: here,
+                        span,
+                        class: WClass::Blocking,
+                        guard: Some((word.pe(), word.addr())),
+                        what: "lock-guarded write",
+                    });
+                    if span.pe != pe {
+                        avail[epoch as usize][span.pe as usize] += 8;
+                    }
+                }
+            }
+
+            prev_was_get_issue = matches!(op, ScOp::Get { .. });
+            if !keep_read_run {
+                read_run = 0;
+                read_run_start = None;
+            }
+            if !keep_get_run {
+                get_run_bytes = 0;
+                get_run_start = None;
+            }
+            if !keep_subword_run {
+                subword_run = 0;
+                subword_last_line = None;
+                subword_start = None;
+            }
+        }
+        // Gets never completed still participate in ordering checks.
+        gets.extend(open_gets);
+    }
+
+    // ---- H002: storeSync byte balance -------------------------------
+    // A store_sync waits until the cumulative arrival watermark reaches
+    // the consumed total. Writes from epochs after the sync's cannot
+    // arrive (their issuers are blocked behind the deadlocked barrier),
+    // so consuming more than all epochs up to the sync's can ever
+    // deliver is a definite deadlock.
+    for (pe_us, syncs) in store_syncs.iter().enumerate() {
+        let mut consumed: u64 = 0;
+        for s in syncs {
+            consumed += s.bytes;
+            let available: u64 = avail
+                .iter()
+                .take(s.loc.epoch as usize + 1)
+                .map(|per_pe| per_pe[pe_us])
+                .sum();
+            if consumed > available {
+                sink.emit(
+                    Rule::H002UnbalancedStoreSync,
+                    pe_us as u32,
+                    pe_us as u32,
+                    0,
+                    s.loc.pos as usize,
+                    || {
+                        format!(
+                            "store_sync waits for {consumed} cumulative bytes but at most \
+                             {available} can ever arrive: storeSync deadlock"
+                        )
+                    },
+                );
+            }
+        }
+    }
+
+    // ---- Cross-PE epoch checks --------------------------------------
+    // Bucket by (epoch, target PE) so the pairwise scans stay local.
+    let mut w_by_bucket: HashMap<(u32, u32), Vec<usize>> = HashMap::new();
+    for (i, w) in writes.iter().enumerate() {
+        w_by_bucket
+            .entry((w.loc.epoch, w.span.pe))
+            .or_default()
+            .push(i);
+    }
+
+    // H004: unordered overlapping writes from different PEs.
+    for idxs in w_by_bucket.values() {
+        for (a, &i) in idxs.iter().enumerate() {
+            for &j in &idxs[a + 1..] {
+                let (w1, w2) = (&writes[i], &writes[j]);
+                if w1.loc.pe == w2.loc.pe || !w1.span.overlaps(&w2.span) {
+                    continue;
+                }
+                // Sub-word AM writes race only against each other (the
+                // word-grain classes are invisible to their handler).
+                let visible =
+                    |c: WClass| matches!(c, WClass::Store | WClass::Put | WClass::Blocking);
+                let eligible = (visible(w1.class) && visible(w2.class))
+                    || (w1.class == WClass::SubWord && w2.class == WClass::SubWord);
+                if !eligible {
+                    continue;
+                }
+                // The same guarding lock orders the pair: both critical
+                // sections are atomic and hand the clock over.
+                if w1.guard.is_some() && w1.guard == w2.guard {
+                    continue;
+                }
+                let (first, second) = if def_before(w2.loc, w1.loc) {
+                    (w2, w1)
+                } else {
+                    (w1, w2)
+                };
+                let (fw, fpe, what) = (first.loc.pos, first.loc.pe, first.what);
+                sink.emit(
+                    Rule::H004ConflictingPuts,
+                    second.loc.pe,
+                    second.span.pe,
+                    second.span.addr.max(first.span.addr),
+                    second.loc.pos as usize,
+                    || {
+                        format!(
+                            "unordered against {what} by PE{fpe} at op {fw}: final bytes depend \
+                             on arrival order"
+                        )
+                    },
+                );
+            }
+        }
+    }
+
+    // H005: a read that can observe an unsettled put or store.
+    for r in &reads {
+        let Some(idxs) = w_by_bucket.get(&(r.loc.epoch, r.span.pe)) else {
+            continue;
+        };
+        for &i in idxs {
+            let w = &writes[i];
+            if w.loc.pe == r.loc.pe
+                || !matches!(w.class, WClass::Store | WClass::Put)
+                || !w.span.overlaps(&r.span)
+                || def_before(r.loc, w.loc)
+            {
+                continue;
+            }
+            let settled = settles.iter().any(|s| {
+                let applies = match s.kind {
+                    SettleKind::WriterSync => s.loc.pe == w.loc.pe,
+                    SettleKind::TargetStoreSync => {
+                        w.class == WClass::Store && s.loc.pe == w.span.pe
+                    }
+                };
+                applies && def_before(w.loc, s.loc) && def_before(s.loc, r.loc)
+            });
+            if settled {
+                continue;
+            }
+            let (wpe, wpos, what, class) = (w.loc.pe, w.loc.pos, w.what, w.class);
+            sink.emit(
+                Rule::H005StaleStoreRead,
+                r.loc.pe,
+                r.span.pe,
+                r.span.addr.max(w.span.addr),
+                r.loc.pos as usize,
+                || {
+                    let fix = match class {
+                        WClass::Put => "writer has not sync()ed first",
+                        _ => "target has not store_sync()ed first",
+                    };
+                    format!("may observe un-synced {what} by PE{wpe} at op {wpos} ({fix})")
+                },
+            );
+        }
+    }
+
+    // H006: a write that can land on a bound get's source.
+    for g in &gets {
+        for w in &writes {
+            if !matches!(w.class, WClass::Store | WClass::Put | WClass::Blocking)
+                || w.span.pe != g.src.pe
+                || !w.span.overlaps(&g.src)
+                || def_before(w.loc, g.issue)
+            {
+                continue;
+            }
+            if let Some(c) = g.complete {
+                if def_before(c, w.loc) {
+                    continue;
+                }
+            }
+            let (wpe, wpos, what) = (w.loc.pe, w.loc.pos, w.what);
+            sink.emit(
+                Rule::H006PrefetchOrderMisuse,
+                g.issue.pe,
+                g.src.pe,
+                g.src.addr,
+                g.issue.pos as usize,
+                || {
+                    format!(
+                        "{what} by PE{wpe} at op {wpos} can land on the source while the get \
+                         is bound: the popped value would predate it"
+                    )
+                },
+            );
+        }
+    }
+
+    let mut diags = sink.diags;
+    diags.sort_by_key(|d| (!d.rule.is_hazard(), d.rule, d.pe, d.op_idx));
+    LintReport {
+        diagnostics: diags,
+        events_processed: events,
+    }
+}
+
+fn push_write(
+    writes: &mut Vec<WRec>,
+    avail: &mut [Vec<u64>],
+    loc: Loc,
+    span: AddrSpan,
+    class: WClass,
+    what: &'static str,
+) {
+    if span.pe != loc.pe && (span.pe as usize) < avail[loc.epoch as usize].len() {
+        avail[loc.epoch as usize][span.pe as usize] += span.bytes;
+    }
+    writes.push(WRec {
+        loc,
+        span,
+        class,
+        guard: None,
+        what,
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_stride(
+    sink: &mut Sink,
+    pe: u32,
+    span: AddrSpan,
+    idx: usize,
+    count: u64,
+    stride_bytes: u64,
+    page: u64,
+    banks: u64,
+) {
+    if count >= 2
+        && page > 0
+        && banks > 0
+        && stride_bytes >= page
+        && stride_bytes.is_multiple_of(page)
+        && (stride_bytes / page).is_multiple_of(banks)
+    {
+        sink.emit(
+            Rule::P002SameBankStride,
+            pe,
+            span.pe,
+            span.addr,
+            idx,
+            || {
+                format!(
+                    "stride {stride_bytes} B lands every element on the same DRAM bank with an \
+                 off-page access each time ({page} B pages, {banks} banks): pad the stride"
+                )
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splitc::GlobalPtr;
+
+    fn cfgs() -> (MachineConfig, SplitcConfig) {
+        (MachineConfig::t3d(4), SplitcConfig::default())
+    }
+
+    fn run(prog: &LintProgram) -> LintReport {
+        let (m, s) = cfgs();
+        lint(prog, &m, &s)
+    }
+
+    fn rules_of(r: &LintReport) -> Vec<Rule> {
+        r.rules()
+    }
+
+    #[test]
+    fn empty_program_is_clean() {
+        let r = run(&LintProgram::new(4));
+        assert!(r.is_empty(), "{}", r.render_table());
+    }
+
+    #[test]
+    fn h001_read_of_landing_before_sync() {
+        let mut p = LintProgram::new(4);
+        p.push(
+            0,
+            ScOp::Get {
+                local_off: 64,
+                src: GlobalPtr::new(1, 128),
+            },
+        );
+        p.push(
+            0,
+            ScOp::ReadU64 {
+                src: GlobalPtr::new(0, 64),
+            },
+        );
+        p.push(0, ScOp::Sync);
+        let r = run(&p);
+        assert_eq!(rules_of(&r), vec![Rule::H001ReadBeforeGetSync]);
+    }
+
+    #[test]
+    fn h001_clean_after_sync() {
+        let mut p = LintProgram::new(4);
+        p.push(
+            0,
+            ScOp::Get {
+                local_off: 64,
+                src: GlobalPtr::new(1, 128),
+            },
+        );
+        p.push(0, ScOp::Sync);
+        p.push(
+            0,
+            ScOp::ReadU64 {
+                src: GlobalPtr::new(0, 64),
+            },
+        );
+        let r = run(&p);
+        assert!(r.is_hazard_free(), "{}", r.render_table());
+    }
+
+    #[test]
+    fn h002_store_sync_with_no_matching_stores() {
+        let mut p = LintProgram::new(4);
+        p.push(0, ScOp::StoreSync { bytes: 8 });
+        let r = run(&p);
+        assert_eq!(rules_of(&r), vec![Rule::H002UnbalancedStoreSync]);
+    }
+
+    #[test]
+    fn h002_balanced_stores_are_clean() {
+        let mut p = LintProgram::new(4);
+        p.push(
+            1,
+            ScOp::StoreU64 {
+                dst: GlobalPtr::new(0, 64),
+                value: 7,
+            },
+        );
+        p.push(0, ScOp::StoreSync { bytes: 8 });
+        let r = run(&p);
+        assert!(r.is_hazard_free(), "{}", r.render_table());
+    }
+
+    #[test]
+    fn h002_catches_cross_epoch_shortfall_but_not_later_arrivals() {
+        // Stores sent in a *later* epoch cannot satisfy an earlier
+        // store_sync: the storer is blocked at the barrier behind it.
+        let mut p = LintProgram::new(4);
+        p.push(0, ScOp::StoreSync { bytes: 8 });
+        p.push_all(RecEvent::Barrier);
+        p.push(
+            1,
+            ScOp::StoreU64 {
+                dst: GlobalPtr::new(0, 64),
+                value: 7,
+            },
+        );
+        let r = run(&p);
+        assert_eq!(rules_of(&r), vec![Rule::H002UnbalancedStoreSync]);
+    }
+
+    #[test]
+    fn h003_divergent_collectives() {
+        let mut p = LintProgram::new(2);
+        p.streams[0].push(RecEvent::Barrier);
+        p.streams[1].push(RecEvent::PhaseEnd);
+        let r = run(&p);
+        assert_eq!(rules_of(&r), vec![Rule::H003BarrierDivergence]);
+    }
+
+    #[test]
+    fn h003_extra_barrier_on_one_pe() {
+        let mut p = LintProgram::new(2);
+        p.streams[0].push(RecEvent::Barrier);
+        p.streams[1].push(RecEvent::Barrier);
+        p.streams[1].push(RecEvent::Barrier);
+        let r = run(&p);
+        assert_eq!(rules_of(&r), vec![Rule::H003BarrierDivergence]);
+    }
+
+    #[test]
+    fn h004_unordered_overlapping_puts() {
+        let mut p = LintProgram::new(4);
+        p.push(
+            0,
+            ScOp::Put {
+                dst: GlobalPtr::new(2, 64),
+                value: 1,
+            },
+        );
+        p.push(0, ScOp::Sync);
+        p.push(
+            1,
+            ScOp::Put {
+                dst: GlobalPtr::new(2, 64),
+                value: 2,
+            },
+        );
+        p.push(1, ScOp::Sync);
+        let r = run(&p);
+        assert!(
+            rules_of(&r).contains(&Rule::H004ConflictingPuts),
+            "{}",
+            r.render_table()
+        );
+    }
+
+    #[test]
+    fn h004_barrier_separates_writers() {
+        let mut p = LintProgram::new(4);
+        p.push(
+            0,
+            ScOp::Put {
+                dst: GlobalPtr::new(2, 64),
+                value: 1,
+            },
+        );
+        p.push(0, ScOp::Sync);
+        p.push_all(RecEvent::Barrier);
+        p.push(
+            1,
+            ScOp::Put {
+                dst: GlobalPtr::new(2, 64),
+                value: 2,
+            },
+        );
+        p.push(1, ScOp::Sync);
+        let r = run(&p);
+        assert!(r.is_hazard_free(), "{}", r.render_table());
+    }
+
+    #[test]
+    fn h004_common_lock_orders_the_writers() {
+        let lock = GlobalPtr::new(3, 8);
+        let dst = GlobalPtr::new(2, 64);
+        let mut p = LintProgram::new(4);
+        p.push(
+            0,
+            ScOp::LockGuardedWrite {
+                word: lock,
+                dst,
+                value: 1,
+            },
+        );
+        p.push(
+            1,
+            ScOp::LockGuardedWrite {
+                word: lock,
+                dst,
+                value: 2,
+            },
+        );
+        let r = run(&p);
+        assert!(r.is_hazard_free(), "{}", r.render_table());
+        // Different locks do not order them.
+        let mut p2 = LintProgram::new(4);
+        p2.push(
+            0,
+            ScOp::LockGuardedWrite {
+                word: lock,
+                dst,
+                value: 1,
+            },
+        );
+        p2.push(
+            1,
+            ScOp::LockGuardedWrite {
+                word: GlobalPtr::new(3, 16),
+                dst,
+                value: 2,
+            },
+        );
+        let r2 = run(&p2);
+        assert!(rules_of(&r2).contains(&Rule::H004ConflictingPuts));
+    }
+
+    #[test]
+    fn h005_read_of_unsynced_put() {
+        let mut p = LintProgram::new(4);
+        p.push(
+            0,
+            ScOp::Put {
+                dst: GlobalPtr::new(2, 64),
+                value: 1,
+            },
+        );
+        p.push(
+            1,
+            ScOp::ReadU64 {
+                src: GlobalPtr::new(2, 64),
+            },
+        );
+        let r = run(&p);
+        assert!(
+            rules_of(&r).contains(&Rule::H005StaleStoreRead),
+            "{}",
+            r.render_table()
+        );
+    }
+
+    #[test]
+    fn h005_settled_by_writer_sync_across_rounds() {
+        // Writer puts and syncs in round 0; reader reads in round 1
+        // (after a phase boundary): the sync is definitely between.
+        let mut p = LintProgram::new(4);
+        p.push(
+            0,
+            ScOp::Put {
+                dst: GlobalPtr::new(2, 64),
+                value: 1,
+            },
+        );
+        p.push(0, ScOp::Sync);
+        p.push_all(RecEvent::PhaseEnd);
+        p.push(
+            1,
+            ScOp::ReadU64 {
+                src: GlobalPtr::new(2, 64),
+            },
+        );
+        let r = run(&p);
+        assert!(r.is_hazard_free(), "{}", r.render_table());
+    }
+
+    #[test]
+    fn h005_writer_sync_in_same_round_is_not_enough() {
+        // Same round, different PEs: the reader can run before the sync.
+        let mut p = LintProgram::new(4);
+        p.push(
+            0,
+            ScOp::Put {
+                dst: GlobalPtr::new(2, 64),
+                value: 1,
+            },
+        );
+        p.push(0, ScOp::Sync);
+        p.push(
+            1,
+            ScOp::ReadU64 {
+                src: GlobalPtr::new(2, 64),
+            },
+        );
+        let r = run(&p);
+        assert!(
+            rules_of(&r).contains(&Rule::H005StaleStoreRead),
+            "{}",
+            r.render_table()
+        );
+    }
+
+    #[test]
+    fn h005_store_settled_by_readers_store_sync() {
+        // PE1 stores to PE2 (round 0); PE2 store_syncs then reads
+        // (round 1): the target's own store_sync settles the store.
+        let mut p = LintProgram::new(4);
+        p.push(
+            1,
+            ScOp::StoreU64 {
+                dst: GlobalPtr::new(2, 64),
+                value: 1,
+            },
+        );
+        p.push_all(RecEvent::PhaseEnd);
+        p.push(2, ScOp::StoreSync { bytes: 8 });
+        p.push(
+            2,
+            ScOp::ReadU64 {
+                src: GlobalPtr::new(2, 64),
+            },
+        );
+        let r = run(&p);
+        assert!(r.is_hazard_free(), "{}", r.render_table());
+        // Without the store_sync the read is stale.
+        let mut p2 = LintProgram::new(4);
+        p2.push(
+            1,
+            ScOp::StoreU64 {
+                dst: GlobalPtr::new(2, 64),
+                value: 1,
+            },
+        );
+        p2.push_all(RecEvent::PhaseEnd);
+        p2.push(
+            2,
+            ScOp::ReadU64 {
+                src: GlobalPtr::new(2, 64),
+            },
+        );
+        let r2 = run(&p2);
+        assert!(rules_of(&r2).contains(&Rule::H005StaleStoreRead));
+    }
+
+    #[test]
+    fn h005_blocking_writes_are_born_settled() {
+        let mut p = LintProgram::new(4);
+        p.push(
+            0,
+            ScOp::WriteU64 {
+                dst: GlobalPtr::new(2, 64),
+                value: 1,
+            },
+        );
+        p.push_all(RecEvent::PhaseEnd);
+        p.push(
+            1,
+            ScOp::ReadU64 {
+                src: GlobalPtr::new(2, 64),
+            },
+        );
+        let r = run(&p);
+        assert!(r.is_hazard_free(), "{}", r.render_table());
+    }
+
+    #[test]
+    fn h006_put_lands_on_a_bound_get_source() {
+        let mut p = LintProgram::new(4);
+        p.push(
+            0,
+            ScOp::Get {
+                local_off: 64,
+                src: GlobalPtr::new(2, 128),
+            },
+        );
+        p.push(0, ScOp::Sync);
+        p.push(
+            1,
+            ScOp::WriteU64 {
+                dst: GlobalPtr::new(2, 128),
+                value: 9,
+            },
+        );
+        let r = run(&p);
+        assert!(
+            rules_of(&r).contains(&Rule::H006PrefetchOrderMisuse),
+            "{}",
+            r.render_table()
+        );
+    }
+
+    #[test]
+    fn h006_spans_barriers_because_gets_survive_them() {
+        let mut p = LintProgram::new(4);
+        p.push(
+            0,
+            ScOp::Get {
+                local_off: 64,
+                src: GlobalPtr::new(2, 128),
+            },
+        );
+        p.push_all(RecEvent::Barrier);
+        p.push(
+            1,
+            ScOp::WriteU64 {
+                dst: GlobalPtr::new(2, 128),
+                value: 9,
+            },
+        );
+        p.push_all(RecEvent::Barrier);
+        p.push(0, ScOp::Sync);
+        let r = run(&p);
+        assert!(
+            rules_of(&r).contains(&Rule::H006PrefetchOrderMisuse),
+            "{}",
+            r.render_table()
+        );
+    }
+
+    #[test]
+    fn h006_clean_when_write_precedes_issue_or_follows_sync() {
+        let mut p = LintProgram::new(4);
+        p.push(
+            1,
+            ScOp::WriteU64 {
+                dst: GlobalPtr::new(2, 128),
+                value: 9,
+            },
+        );
+        p.push_all(RecEvent::Barrier);
+        p.push(
+            0,
+            ScOp::Get {
+                local_off: 64,
+                src: GlobalPtr::new(2, 128),
+            },
+        );
+        p.push(0, ScOp::Sync);
+        p.push_all(RecEvent::Barrier);
+        p.push(
+            1,
+            ScOp::WriteU64 {
+                dst: GlobalPtr::new(2, 128),
+                value: 10,
+            },
+        );
+        let r = run(&p);
+        assert!(r.is_hazard_free(), "{}", r.render_table());
+    }
+
+    #[test]
+    fn h007_out_of_machine_footprint() {
+        let (m, s) = cfgs();
+        let mut p = LintProgram::new(4);
+        p.push(
+            0,
+            ScOp::ReadU64 {
+                src: GlobalPtr::new(9, 64),
+            },
+        );
+        p.push(
+            0,
+            ScOp::ReadU64 {
+                src: GlobalPtr::new(1, m.mem.mem_bytes as u64),
+            },
+        );
+        let r = lint(&p, &m, &s);
+        assert_eq!(rules_of(&r), vec![Rule::H007OutOfBounds]);
+        assert_eq!(r.diagnostics.len(), 2);
+    }
+
+    #[test]
+    fn p001_element_read_loop_past_queue_depth() {
+        let (m, s) = cfgs();
+        let mut p = LintProgram::new(4);
+        for i in 0..m.shell.prefetch_depth as u64 {
+            p.push(
+                0,
+                ScOp::ReadU64 {
+                    src: GlobalPtr::new(1, 64 + 8 * i),
+                },
+            );
+        }
+        let r = lint(&p, &m, &s);
+        assert_eq!(rules_of(&r), vec![Rule::P001ElementLoopTransfer]);
+        assert!(r.is_hazard_free());
+        // One fewer read stays quiet.
+        let mut p2 = LintProgram::new(4);
+        for i in 0..m.shell.prefetch_depth as u64 - 1 {
+            p2.push(
+                0,
+                ScOp::ReadU64 {
+                    src: GlobalPtr::new(1, 64 + 8 * i),
+                },
+            );
+        }
+        assert!(lint(&p2, &m, &s).is_empty());
+    }
+
+    #[test]
+    fn p001_element_get_loop_past_blt_crossover() {
+        let (m, s) = cfgs();
+        let mut p = LintProgram::new(4);
+        let gets = s.bulk_get_blt_min / 8 + 1;
+        for i in 0..gets {
+            if i % 8 == 7 {
+                p.push(0, ScOp::Sync); // drain so P005 stays quiet
+            }
+            p.push(
+                0,
+                ScOp::Get {
+                    local_off: 8 * i,
+                    src: GlobalPtr::new(1, 8 * i),
+                },
+            );
+        }
+        p.push(0, ScOp::Sync);
+        let r = lint(&p, &m, &s);
+        assert!(
+            rules_of(&r).contains(&Rule::P001ElementLoopTransfer),
+            "{}",
+            r.render_table()
+        );
+    }
+
+    #[test]
+    fn p002_page_times_bank_stride() {
+        let (m, s) = cfgs();
+        let stride = m.mem.dram.page_bytes * m.mem.dram.banks;
+        let mut p = LintProgram::new(4);
+        p.push(
+            0,
+            ScOp::BulkReadStrided {
+                local_off: 0,
+                src: GlobalPtr::new(1, 64),
+                count: 8,
+                elem_bytes: 8,
+                stride_bytes: stride,
+            },
+        );
+        let r = lint(&p, &m, &s);
+        assert_eq!(rules_of(&r), vec![Rule::P002SameBankStride]);
+        // A one-page stride rotates banks: clean.
+        let mut p2 = LintProgram::new(4);
+        p2.push(
+            0,
+            ScOp::BulkReadStrided {
+                local_off: 0,
+                src: GlobalPtr::new(1, 64),
+                count: 8,
+                elem_bytes: 8,
+                stride_bytes: m.mem.dram.page_bytes,
+            },
+        );
+        assert!(lint(&p2, &m, &s).is_empty());
+    }
+
+    #[test]
+    fn p003_byte_writes_to_distinct_lines() {
+        let (m, s) = cfgs();
+        let line = m.mem.l1.line as u64;
+        let mut p = LintProgram::new(4);
+        for i in 0..m.mem.wbuf.entries as u64 {
+            p.push(
+                0,
+                ScOp::ByteWrite {
+                    dst: GlobalPtr::new(0, 64 + i * line),
+                    value: 1,
+                },
+            );
+        }
+        let r = lint(&p, &m, &s);
+        assert_eq!(rules_of(&r), vec![Rule::P003NonMergingByteWrites]);
+        // Same-line writes merge: clean.
+        let mut p2 = LintProgram::new(4);
+        for i in 0..m.mem.wbuf.entries as u64 {
+            p2.push(
+                0,
+                ScOp::ByteWrite {
+                    dst: GlobalPtr::new(0, 64 + i),
+                    value: 1,
+                },
+            );
+        }
+        assert!(lint(&p2, &m, &s).is_empty());
+    }
+
+    #[test]
+    fn p004_sync_after_lone_get() {
+        let mut p = LintProgram::new(4);
+        p.push(
+            0,
+            ScOp::Get {
+                local_off: 64,
+                src: GlobalPtr::new(1, 128),
+            },
+        );
+        p.push(0, ScOp::Sync);
+        let r = run(&p);
+        assert_eq!(rules_of(&r), vec![Rule::P004EagerSync]);
+        // Two batched gets overlap: clean.
+        let mut p2 = LintProgram::new(4);
+        p2.push(
+            0,
+            ScOp::Get {
+                local_off: 64,
+                src: GlobalPtr::new(1, 128),
+            },
+        );
+        p2.push(
+            0,
+            ScOp::Get {
+                local_off: 72,
+                src: GlobalPtr::new(1, 136),
+            },
+        );
+        p2.push(0, ScOp::Sync);
+        assert!(run(&p2).is_empty());
+    }
+
+    #[test]
+    fn p005_queue_overflow_auto_drains() {
+        let (m, s) = cfgs();
+        let mut p = LintProgram::new(4);
+        for i in 0..=m.shell.prefetch_depth as u64 + 1 {
+            p.push(
+                0,
+                ScOp::Get {
+                    local_off: 8 * i,
+                    src: GlobalPtr::new(1, 512 + 8 * i),
+                },
+            );
+        }
+        p.push(0, ScOp::Sync);
+        let r = lint(&p, &m, &s);
+        assert_eq!(rules_of(&r), vec![Rule::P005PrefetchQueueOverflow]);
+        assert!(r.is_hazard_free());
+    }
+
+    #[test]
+    fn sites_fold_and_sort_hazards_first() {
+        let mut p = LintProgram::new(4);
+        p.push(
+            0,
+            ScOp::Get {
+                local_off: 64,
+                src: GlobalPtr::new(1, 128),
+            },
+        );
+        p.push(
+            0,
+            ScOp::ReadU64 {
+                src: GlobalPtr::new(0, 64),
+            },
+        );
+        p.push(
+            0,
+            ScOp::ReadU64 {
+                src: GlobalPtr::new(0, 64),
+            },
+        );
+        p.push(0, ScOp::Sync);
+        p.push(
+            0,
+            ScOp::Get {
+                local_off: 200,
+                src: GlobalPtr::new(1, 300),
+            },
+        );
+        p.push(0, ScOp::Sync);
+        let r = run(&p);
+        assert_eq!(r.diagnostics.len(), 2); // folded H001 site + P004
+        assert_eq!(r.diagnostics[0].rule, Rule::H001ReadBeforeGetSync);
+        assert_eq!(r.diagnostics[0].count, 2);
+        assert_eq!(r.diagnostics[1].rule, Rule::P004EagerSync);
+        assert!(!r.render_table().is_empty());
+        assert!(r.to_json().render().contains("T3D-H001"));
+    }
+}

@@ -1,0 +1,37 @@
+//! # t3d-lint: static analysis for simulated CRAY-T3D Split-C programs
+//!
+//! The dynamic sanitizer (`t3dsan`) reports hazards the program *did*
+//! hit on one run. This crate reports, before running anything, the
+//! hazards a straight-line-with-barriers per-PE op program *can* hit —
+//! plus the performance advisories the paper's measurements motivate
+//! (bulk-transfer crossovers, DRAM bank strides, write-buffer merging,
+//! prefetch-queue depth), parameterized from the live
+//! [`t3d_machine::MachineConfig`] rather than hard-coded constants.
+//!
+//! The pipeline:
+//!
+//! 1. Capture a program: either record a real run with
+//!    [`splitc::SplitC::record_ops`] and wrap the log in a
+//!    [`LintProgram`], or assemble one directly (the fuzzer lowers its
+//!    generated programs without executing them).
+//! 2. [`lint`] it against a machine + runtime configuration.
+//! 3. Inspect the [`LintReport`]: stable rule IDs (`T3D-H001`…,
+//!    `T3D-P001`…), an aligned table, or JSON.
+//!
+//! Soundness contract (checked by the differential fuzzer): on
+//! straight-line programs, every hazard `t3dsan` reports dynamically is
+//! covered statically by a rule from [`Rule::covers`], and programs the
+//! generator proves hazard-free lint clean of `H` rules.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod program;
+pub mod report;
+pub mod rules;
+
+pub use analysis::lint;
+pub use program::LintProgram;
+pub use report::{LintDiagnostic, LintReport};
+pub use rules::Rule;

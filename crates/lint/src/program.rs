@@ -1,0 +1,60 @@
+//! The analyzer's input: per-PE straight-line-with-barriers programs.
+//!
+//! A [`LintProgram`] is exactly the shape the runtime's op recorder
+//! produces ([`splitc::SplitC::record_ops`]): one [`RecEvent`] stream
+//! per PE, where [`RecEvent::Barrier`] / [`RecEvent::AllStoreSync`]
+//! mark global collectives and [`RecEvent::PhaseEnd`] marks SPMD phase
+//! boundaries (sequenced, but not synchronizing). Programs can also be
+//! assembled directly — the fuzzer lowers its generated programs into
+//! this form without executing them.
+
+use splitc::{RecEvent, ScOp};
+
+/// A whole-machine program: `streams[pe]` is PE `pe`'s event stream.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LintProgram {
+    /// Per-PE event streams; the machine size is `streams.len()`.
+    pub streams: Vec<Vec<RecEvent>>,
+}
+
+impl LintProgram {
+    /// An empty program for `nodes` PEs.
+    pub fn new(nodes: u32) -> Self {
+        LintProgram {
+            streams: vec![Vec::new(); nodes as usize],
+        }
+    }
+
+    /// Wraps a recorded run ([`splitc::SplitC::take_op_log`]).
+    pub fn from_recorded(streams: Vec<Vec<RecEvent>>) -> Self {
+        LintProgram { streams }
+    }
+
+    /// Number of PEs.
+    pub fn nodes(&self) -> u32 {
+        self.streams.len() as u32
+    }
+
+    /// Appends an op to one PE's stream.
+    pub fn push(&mut self, pe: u32, op: ScOp) {
+        self.streams[pe as usize].push(RecEvent::Op(op));
+    }
+
+    /// Appends a marker to every PE's stream (a global collective or a
+    /// phase boundary).
+    pub fn push_all(&mut self, marker: RecEvent) {
+        for s in &mut self.streams {
+            s.push(marker);
+        }
+    }
+
+    /// Total events across all PEs.
+    pub fn len(&self) -> usize {
+        self.streams.iter().map(Vec::len).sum()
+    }
+
+    /// Whether every stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.streams.iter().all(Vec::is_empty)
+    }
+}

@@ -1,0 +1,146 @@
+//! Lint findings: typed diagnostics, the aligned table, and JSON.
+
+use crate::rules::Rule;
+use std::collections::BTreeMap;
+use t3d_perf::json::Value;
+
+/// One finding (duplicates at the same site fold into `count`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintDiagnostic {
+    /// The rule that fired.
+    pub rule: Rule,
+    /// PE whose op tripped the rule.
+    pub pe: u32,
+    /// PE whose memory is involved.
+    pub target: u32,
+    /// Offset in the target's memory.
+    pub addr: u64,
+    /// Index of the tripping event in `pe`'s stream.
+    pub op_idx: usize,
+    /// Occurrences folded into this row.
+    pub count: u64,
+    /// Human-oriented explanation.
+    pub detail: String,
+}
+
+impl std::fmt::Display for LintDiagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: PE{} -> PE{} addr {:#x} at op {} ({})",
+            self.rule, self.pe, self.target, self.addr, self.op_idx, self.detail
+        )
+    }
+}
+
+/// The analyzer's findings over one program.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LintReport {
+    /// All diagnostics, hazards first, in (rule, pe, op) order.
+    pub diagnostics: Vec<LintDiagnostic>,
+    /// Events the analyzer processed.
+    pub events_processed: u64,
+}
+
+impl LintReport {
+    /// Whether the program is clean (no hazards *and* no advisories).
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Number of distinct diagnostic sites.
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    /// The hazard-rule findings only.
+    pub fn hazards(&self) -> Vec<&LintDiagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.rule.is_hazard())
+            .collect()
+    }
+
+    /// Whether no correctness hazard fired (advisories may have).
+    pub fn is_hazard_free(&self) -> bool {
+        self.hazards().is_empty()
+    }
+
+    /// The distinct rules that fired, in ID order.
+    pub fn rules(&self) -> Vec<Rule> {
+        let mut out: Vec<Rule> = self.diagnostics.iter().map(|d| d.rule).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Total occurrence count per rule ID, for pinning in tests.
+    pub fn counts_by_rule(&self) -> BTreeMap<&'static str, u64> {
+        let mut out = BTreeMap::new();
+        for d in &self.diagnostics {
+            *out.entry(d.rule.id()).or_insert(0) += d.count;
+        }
+        out
+    }
+
+    /// Renders the findings as an aligned text table (the same shape as
+    /// `t3dsan`'s report).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "t3d-lint: {} diagnostic site(s), {} event(s) analyzed\n",
+            self.diagnostics.len(),
+            self.events_processed
+        ));
+        if self.diagnostics.is_empty() {
+            out.push_str("clean: no hazards, no advisories\n");
+            return out;
+        }
+        out.push_str(&format!(
+            "{:<9} {:<22} {:>3} {:>6} {:>12} {:>6} {:>5}  {}\n",
+            "RULE", "NAME", "PE", "TARGET", "ADDR", "OP", "N", "DETAIL"
+        ));
+        for d in &self.diagnostics {
+            out.push_str(&format!(
+                "{:<9} {:<22} {:>3} {:>6} {:>#12x} {:>6} {:>5}  {}\n",
+                d.rule.id(),
+                d.rule.name(),
+                d.pe,
+                d.target,
+                d.addr,
+                d.op_idx,
+                d.count,
+                d.detail
+            ));
+        }
+        out
+    }
+
+    /// Serializes the report as JSON (stable field order).
+    pub fn to_json(&self) -> Value {
+        let diags: Vec<Value> = self
+            .diagnostics
+            .iter()
+            .map(|d| {
+                Value::obj(vec![
+                    ("rule", Value::Str(d.rule.id().to_string())),
+                    ("name", Value::Str(d.rule.name().to_string())),
+                    ("hazard", Value::Bool(d.rule.is_hazard())),
+                    ("pe", Value::Int(d.pe as i64)),
+                    ("target", Value::Int(d.target as i64)),
+                    ("addr", Value::Int(d.addr as i64)),
+                    ("op_idx", Value::Int(d.op_idx as i64)),
+                    ("count", Value::Int(d.count as i64)),
+                    ("detail", Value::Str(d.detail.clone())),
+                ])
+            })
+            .collect();
+        Value::obj(vec![
+            ("tool", Value::Str("t3d-lint".to_string())),
+            ("events_processed", Value::Int(self.events_processed as i64)),
+            ("sites", Value::Int(self.diagnostics.len() as i64)),
+            ("hazard_free", Value::Bool(self.is_hazard_free())),
+            ("diagnostics", Value::Arr(diags)),
+        ])
+    }
+}

@@ -223,6 +223,17 @@ mod tests {
     }
 
     #[test]
+    fn fresh_machine_snapshot_fnv_is_pinned() {
+        // Guards the arena's zeroed-allocation fast path: a fresh
+        // machine's entire memory (and clocks) must hash exactly as it
+        // did under element-wise zero initialization.
+        let cfg = MachineConfig::t3d(2);
+        let bytes = cfg.mem.mem_bytes as u64;
+        let m = Machine::new(cfg);
+        assert_eq!(m.snapshot_region(0, bytes).fnv64(), 0xbf38_e16e_e1eb_6fed);
+    }
+
+    #[test]
     fn clock_divergence_is_reported_before_memory() {
         let mut m = Machine::new(MachineConfig::t3d(2));
         let a = m.snapshot_region(0x100, 8);

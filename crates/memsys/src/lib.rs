@@ -35,7 +35,11 @@
 //! assert_eq!(cost, port.config().l1.hit_cy);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: `MemArena::new` carries the crate's one
+// audited `#[allow(unsafe_code)]` block (an in-place `Box<[u8]>` →
+// `Box<[AtomicU8]>` reinterpretation that keeps the zeroed allocation
+// on the calloc fast path). Everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arena;

@@ -28,6 +28,17 @@ pub enum DiagKind {
 }
 
 impl DiagKind {
+    /// Every hazard class, for exhaustive consumers (the static
+    /// analyzer's rule-coverage map enumerates this so a new class
+    /// breaks its compilation rather than passing silently).
+    pub const ALL: [DiagKind; 5] = [
+        DiagKind::ReadBeforeGetSync,
+        DiagKind::StaleStoreRead,
+        DiagKind::AnnexSynonymHazard,
+        DiagKind::ConflictingPuts,
+        DiagKind::PrefetchOrderMisuse,
+    ];
+
     /// Stable display name.
     pub fn name(self) -> &'static str {
         match self {

@@ -15,7 +15,8 @@
 //! across queue wrap-arounds, so a slot is readable exactly when its
 //! sequence matches.
 
-use crate::runtime::{ScCtx, AM_SLOT_BYTES};
+use crate::op::ScOp;
+use crate::runtime::{ScCtx, AM_ADD_U64, AM_SLOT_BYTES};
 use t3d_shell::FuncCode;
 use t3dsan::SanOp;
 
@@ -29,6 +30,15 @@ impl ScCtx<'_> {
     ///
     /// Panics if `target_pe` does not exist.
     pub fn am_deposit(&mut self, target_pe: usize, id: u64, args: [u64; 4]) {
+        // Only the plain-data add is recorded as itself; the byte/u32
+        // repair deposits are recorded by their issuing wrappers.
+        if id == AM_ADD_U64 {
+            self.rec(ScOp::AmAdd {
+                target_pe: target_pe as u32,
+                off: args[0],
+                delta: args[1],
+            });
+        }
         assert!(target_pe < self.m.nodes(), "PE {target_pe} out of range");
         self.rt.stats.am_deposits += 1;
         // Allocate a slot with the target's fetch&increment register 0.

@@ -16,6 +16,7 @@
 //! remain public because the Figure 8 comparison needs them.
 
 use crate::gptr::GlobalPtr;
+use crate::op::ScOp;
 use crate::runtime::ScCtx;
 use t3d_shell::blt::BltDirection;
 use t3d_shell::FuncCode;
@@ -50,6 +51,11 @@ impl ScCtx<'_> {
     ///
     /// Panics if `bytes` is zero or not a multiple of 8.
     pub fn bulk_read(&mut self, local_off: u64, src: GlobalPtr, bytes: u64) {
+        self.rec(ScOp::BulkRead {
+            local_off,
+            src,
+            bytes,
+        });
         assert!(
             bytes > 0 && bytes.is_multiple_of(8),
             "bulk transfers move whole words"
@@ -85,6 +91,11 @@ impl ScCtx<'_> {
     ///
     /// Panics if `bytes` is zero or not a multiple of 8.
     pub fn bulk_write(&mut self, dst: GlobalPtr, local_off: u64, bytes: u64) {
+        self.rec(ScOp::BulkWrite {
+            dst,
+            local_off,
+            bytes,
+        });
         assert!(
             bytes > 0 && bytes.is_multiple_of(8),
             "bulk transfers move whole words"
@@ -116,6 +127,11 @@ impl ScCtx<'_> {
     ///
     /// Panics if `bytes` is zero or not a multiple of 8.
     pub fn bulk_get(&mut self, local_off: u64, src: GlobalPtr, bytes: u64) {
+        self.rec(ScOp::BulkGet {
+            local_off,
+            src,
+            bytes,
+        });
         assert!(
             bytes > 0 && bytes.is_multiple_of(8),
             "bulk transfers move whole words"
@@ -156,6 +172,11 @@ impl ScCtx<'_> {
     ///
     /// Panics if `bytes` is zero or not a multiple of 8.
     pub fn bulk_put(&mut self, dst: GlobalPtr, local_off: u64, bytes: u64) {
+        self.rec(ScOp::BulkPut {
+            dst,
+            local_off,
+            bytes,
+        });
         assert!(
             bytes > 0 && bytes.is_multiple_of(8),
             "bulk transfers move whole words"
@@ -195,6 +216,13 @@ impl ScCtx<'_> {
         elem_bytes: u64,
         stride_bytes: u64,
     ) -> u64 {
+        self.rec(ScOp::BulkReadStrided {
+            local_off,
+            src,
+            count,
+            elem_bytes,
+            stride_bytes,
+        });
         assert!(
             elem_bytes > 0 && elem_bytes.is_multiple_of(8),
             "elements are whole words"
@@ -265,6 +293,13 @@ impl ScCtx<'_> {
         elem_bytes: u64,
         stride_bytes: u64,
     ) -> u64 {
+        self.rec(ScOp::BulkWriteStrided {
+            dst,
+            local_off,
+            count,
+            elem_bytes,
+            stride_bytes,
+        });
         assert!(
             elem_bytes > 0 && elem_bytes.is_multiple_of(8),
             "elements are whole words"

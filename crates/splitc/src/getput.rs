@@ -14,6 +14,7 @@
 //!   a pipelined loop: ~45 cycles (300 ns), Figure 7.
 
 use crate::gptr::GlobalPtr;
+use crate::op::ScOp;
 use crate::runtime::ScCtx;
 use t3d_shell::FuncCode;
 use t3dsan::{SanOp, WriteKind, NO_REG};
@@ -39,6 +40,7 @@ impl ScCtx<'_> {
     /// });
     /// ```
     pub fn get(&mut self, local_off: u64, gp: GlobalPtr) {
+        self.rec(ScOp::Get { local_off, src: gp });
         self.rt.stats.gets += 1;
         if gp.pe() as usize == self.pe {
             // Local get degenerates to a copy.
@@ -104,6 +106,7 @@ impl ScCtx<'_> {
     /// assert_eq!(sc.machine().peek8(1, cell + 40), 5);
     /// ```
     pub fn put(&mut self, gp: GlobalPtr, value: u64) {
+        self.rec(ScOp::Put { dst: gp, value });
         self.rt.stats.puts += 1;
         if gp.pe() as usize == self.pe {
             self.m.st8(self.pe, gp.addr(), value);
@@ -147,6 +150,7 @@ impl ScCtx<'_> {
     /// Waits for every outstanding `get`, `put` and non-blocking bulk
     /// operation issued by this node.
     pub fn sync(&mut self) {
+        self.rec(ScOp::Sync);
         self.drain_gets(false);
         // The fence performed in drain (or here, if no gets) pushes puts
         // out of the write buffer; then the status bit covers them.

@@ -67,6 +67,7 @@ pub mod getput;
 pub mod gptr;
 pub mod lock;
 pub mod op;
+pub mod record;
 pub mod runtime;
 pub mod rw;
 pub mod spread;
@@ -76,7 +77,8 @@ pub use annex::AnnexPolicy;
 pub use config::SplitcConfig;
 pub use gptr::GlobalPtr;
 pub use lock::GlobalLock;
-pub use op::ScOp;
+pub use op::{AddrSpan, OpFootprint, ScOp, ScOpKind};
+pub use record::RecEvent;
 pub use runtime::{NodeRt, ScCtx, SplitC};
 pub use spread::SpreadArray;
 

@@ -11,6 +11,7 @@
 //! reports it busy, and programs structure retries across phases.
 
 use crate::gptr::GlobalPtr;
+use crate::op::ScOp;
 use crate::runtime::ScCtx;
 use t3d_shell::FuncCode;
 use t3dsan::SanOp;
@@ -52,6 +53,7 @@ impl ScCtx<'_> {
     /// Attempts to take `lock` with one atomic swap. Returns `true` on
     /// acquisition.
     pub fn lock_try_acquire(&mut self, lock: GlobalLock) -> bool {
+        self.rec(ScOp::LockTryAcquire { word: lock.word() });
         self.rt.stats.lock_ops += 1;
         let gp = lock.word();
         let va = if gp.pe() as usize == self.pe {
@@ -84,6 +86,7 @@ impl ScCtx<'_> {
     /// Panics if the lock was not held (releasing a free lock is a
     /// program bug this simulator surfaces immediately).
     pub fn lock_release(&mut self, lock: GlobalLock) {
+        self.rec(ScOp::LockRelease { word: lock.word() });
         self.rt.stats.lock_ops += 1;
         let gp = lock.word();
         let va = if gp.pe() as usize == self.pe {

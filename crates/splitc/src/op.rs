@@ -20,6 +20,7 @@
 use crate::gptr::GlobalPtr;
 use crate::lock::GlobalLock;
 use crate::runtime::{ScCtx, AM_ADD_U64};
+use t3d_machine::MachineConfig;
 
 /// One Split-C primitive invocation, as plain data.
 ///
@@ -203,6 +204,281 @@ pub enum ScOp {
         /// The lock word.
         word: GlobalPtr,
     },
+}
+
+/// The discriminant of an [`ScOp`], for static consumers (the `t3d-lint`
+/// analyzer, op-kind histograms, shrinker heuristics) that classify ops
+/// without destructuring them.
+///
+/// [`ScOp::kind`] maps every variant exhaustively, so adding an `ScOp`
+/// variant without extending this enum (and [`ScOpKind::ALL`]) is a
+/// compile error rather than a silently unanalyzed op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)] // mirrors ScOp variant-for-variant
+pub enum ScOpKind {
+    Advance,
+    ReadU64,
+    WriteU64,
+    ReadU32,
+    WriteU32,
+    ByteRead,
+    ByteWrite,
+    Get,
+    Put,
+    Sync,
+    StoreU64,
+    StoreSync,
+    BulkRead,
+    BulkWrite,
+    BulkGet,
+    BulkPut,
+    BulkReadStrided,
+    BulkWriteStrided,
+    AmAdd,
+    AmPoll,
+    LockTryAcquire,
+    LockRelease,
+    LockIsHeld,
+    LockGuardedWrite,
+    LockFreeIfHeld,
+}
+
+impl ScOpKind {
+    /// Every kind, in [`ScOp`] declaration order.
+    pub const ALL: [ScOpKind; 25] = [
+        ScOpKind::Advance,
+        ScOpKind::ReadU64,
+        ScOpKind::WriteU64,
+        ScOpKind::ReadU32,
+        ScOpKind::WriteU32,
+        ScOpKind::ByteRead,
+        ScOpKind::ByteWrite,
+        ScOpKind::Get,
+        ScOpKind::Put,
+        ScOpKind::Sync,
+        ScOpKind::StoreU64,
+        ScOpKind::StoreSync,
+        ScOpKind::BulkRead,
+        ScOpKind::BulkWrite,
+        ScOpKind::BulkGet,
+        ScOpKind::BulkPut,
+        ScOpKind::BulkReadStrided,
+        ScOpKind::BulkWriteStrided,
+        ScOpKind::AmAdd,
+        ScOpKind::AmPoll,
+        ScOpKind::LockTryAcquire,
+        ScOpKind::LockRelease,
+        ScOpKind::LockIsHeld,
+        ScOpKind::LockGuardedWrite,
+        ScOpKind::LockFreeIfHeld,
+    ];
+
+    /// The variant name (stable, used in histograms and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScOpKind::Advance => "Advance",
+            ScOpKind::ReadU64 => "ReadU64",
+            ScOpKind::WriteU64 => "WriteU64",
+            ScOpKind::ReadU32 => "ReadU32",
+            ScOpKind::WriteU32 => "WriteU32",
+            ScOpKind::ByteRead => "ByteRead",
+            ScOpKind::ByteWrite => "ByteWrite",
+            ScOpKind::Get => "Get",
+            ScOpKind::Put => "Put",
+            ScOpKind::Sync => "Sync",
+            ScOpKind::StoreU64 => "StoreU64",
+            ScOpKind::StoreSync => "StoreSync",
+            ScOpKind::BulkRead => "BulkRead",
+            ScOpKind::BulkWrite => "BulkWrite",
+            ScOpKind::BulkGet => "BulkGet",
+            ScOpKind::BulkPut => "BulkPut",
+            ScOpKind::BulkReadStrided => "BulkReadStrided",
+            ScOpKind::BulkWriteStrided => "BulkWriteStrided",
+            ScOpKind::AmAdd => "AmAdd",
+            ScOpKind::AmPoll => "AmPoll",
+            ScOpKind::LockTryAcquire => "LockTryAcquire",
+            ScOpKind::LockRelease => "LockRelease",
+            ScOpKind::LockIsHeld => "LockIsHeld",
+            ScOpKind::LockGuardedWrite => "LockGuardedWrite",
+            ScOpKind::LockFreeIfHeld => "LockFreeIfHeld",
+        }
+    }
+}
+
+/// A contiguous byte range on one PE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddrSpan {
+    /// Owning PE.
+    pub pe: u32,
+    /// First byte (local address).
+    pub addr: u64,
+    /// Length in bytes.
+    pub bytes: u64,
+}
+
+impl AddrSpan {
+    /// Whether two spans share at least one byte on the same PE.
+    pub fn overlaps(&self, other: &AddrSpan) -> bool {
+        self.pe == other.pe
+            && self.addr < other.addr + other.bytes
+            && other.addr < self.addr + self.bytes
+    }
+}
+
+/// The memory footprint of one [`ScOp`]: what it reads and what it
+/// writes (may-write for conditional composites), plus whether any span
+/// falls outside the machine.
+///
+/// Strided transfers report their whole remote span, gaps included —
+/// the same conservative treatment the sanitizer's span events use.
+/// Lock-word traffic contributes no spans: lock words are
+/// synchronization state, and counting them as data would make every
+/// contended critical section look like a data race.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpFootprint {
+    /// Byte ranges the op reads.
+    pub reads: Vec<AddrSpan>,
+    /// Byte ranges the op writes (or may write).
+    pub writes: Vec<AddrSpan>,
+    /// Whether any span references a PE outside the machine or bytes
+    /// past the end of a node's memory.
+    pub oob: bool,
+}
+
+impl ScOp {
+    /// The discriminant of this op (exhaustive; see [`ScOpKind`]).
+    pub fn kind(&self) -> ScOpKind {
+        match self {
+            ScOp::Advance { .. } => ScOpKind::Advance,
+            ScOp::ReadU64 { .. } => ScOpKind::ReadU64,
+            ScOp::WriteU64 { .. } => ScOpKind::WriteU64,
+            ScOp::ReadU32 { .. } => ScOpKind::ReadU32,
+            ScOp::WriteU32 { .. } => ScOpKind::WriteU32,
+            ScOp::ByteRead { .. } => ScOpKind::ByteRead,
+            ScOp::ByteWrite { .. } => ScOpKind::ByteWrite,
+            ScOp::Get { .. } => ScOpKind::Get,
+            ScOp::Put { .. } => ScOpKind::Put,
+            ScOp::Sync => ScOpKind::Sync,
+            ScOp::StoreU64 { .. } => ScOpKind::StoreU64,
+            ScOp::StoreSync { .. } => ScOpKind::StoreSync,
+            ScOp::BulkRead { .. } => ScOpKind::BulkRead,
+            ScOp::BulkWrite { .. } => ScOpKind::BulkWrite,
+            ScOp::BulkGet { .. } => ScOpKind::BulkGet,
+            ScOp::BulkPut { .. } => ScOpKind::BulkPut,
+            ScOp::BulkReadStrided { .. } => ScOpKind::BulkReadStrided,
+            ScOp::BulkWriteStrided { .. } => ScOpKind::BulkWriteStrided,
+            ScOp::AmAdd { .. } => ScOpKind::AmAdd,
+            ScOp::AmPoll => ScOpKind::AmPoll,
+            ScOp::LockTryAcquire { .. } => ScOpKind::LockTryAcquire,
+            ScOp::LockRelease { .. } => ScOpKind::LockRelease,
+            ScOp::LockIsHeld { .. } => ScOpKind::LockIsHeld,
+            ScOp::LockGuardedWrite { .. } => ScOpKind::LockGuardedWrite,
+            ScOp::LockFreeIfHeld { .. } => ScOpKind::LockFreeIfHeld,
+        }
+    }
+
+    /// The byte ranges this op touches when issued by `pe` on a machine
+    /// shaped like `cfg` (exhaustive; see [`OpFootprint`]).
+    pub fn touched_addrs(&self, pe: u32, cfg: &MachineConfig) -> OpFootprint {
+        let mut fp = OpFootprint::default();
+        let strided_span = |count: u64, elem: u64, stride: u64| -> Option<u64> {
+            count
+                .checked_sub(1)
+                .and_then(|c| c.checked_mul(stride))
+                .and_then(|s| s.checked_add(elem))
+        };
+        {
+            let mut read =
+                |p: u32, addr: u64, bytes: u64| fp.reads.push(AddrSpan { pe: p, addr, bytes });
+            let mut write =
+                |p: u32, addr: u64, bytes: u64| fp.writes.push(AddrSpan { pe: p, addr, bytes });
+            match *self {
+                ScOp::Advance { .. }
+                | ScOp::Sync
+                | ScOp::StoreSync { .. }
+                | ScOp::AmPoll
+                // Lock words are synchronization, not data (see above).
+                | ScOp::LockTryAcquire { .. }
+                | ScOp::LockRelease { .. }
+                | ScOp::LockIsHeld { .. }
+                | ScOp::LockFreeIfHeld { .. } => {}
+                ScOp::ReadU64 { src } => read(src.pe(), src.addr(), 8),
+                ScOp::ReadU32 { src } => read(src.pe(), src.addr(), 4),
+                ScOp::ByteRead { src } => read(src.pe(), src.addr(), 1),
+                ScOp::WriteU64 { dst, .. } | ScOp::Put { dst, .. } | ScOp::StoreU64 { dst, .. } => {
+                    write(dst.pe(), dst.addr(), 8);
+                }
+                ScOp::WriteU32 { dst, .. } => write(dst.pe(), dst.addr(), 4),
+                ScOp::ByteWrite { dst, .. } => write(dst.pe(), dst.addr(), 1),
+                ScOp::Get { local_off, src } => {
+                    read(src.pe(), src.addr(), 8);
+                    write(pe, local_off, 8);
+                }
+                ScOp::BulkRead {
+                    local_off,
+                    src,
+                    bytes,
+                }
+                | ScOp::BulkGet {
+                    local_off,
+                    src,
+                    bytes,
+                } => {
+                    read(src.pe(), src.addr(), bytes);
+                    write(pe, local_off, bytes);
+                }
+                ScOp::BulkWrite {
+                    dst,
+                    local_off,
+                    bytes,
+                }
+                | ScOp::BulkPut {
+                    dst,
+                    local_off,
+                    bytes,
+                } => {
+                    read(pe, local_off, bytes);
+                    write(dst.pe(), dst.addr(), bytes);
+                }
+                ScOp::BulkReadStrided {
+                    local_off,
+                    src,
+                    count,
+                    elem_bytes,
+                    stride_bytes,
+                } => {
+                    let span = strided_span(count, elem_bytes, stride_bytes);
+                    read(src.pe(), src.addr(), span.unwrap_or(u64::MAX));
+                    write(pe, local_off, count.saturating_mul(elem_bytes));
+                }
+                ScOp::BulkWriteStrided {
+                    dst,
+                    local_off,
+                    count,
+                    elem_bytes,
+                    stride_bytes,
+                } => {
+                    let span = strided_span(count, elem_bytes, stride_bytes);
+                    read(pe, local_off, count.saturating_mul(elem_bytes));
+                    write(dst.pe(), dst.addr(), span.unwrap_or(u64::MAX));
+                }
+                ScOp::AmAdd { target_pe, off, .. } => {
+                    // Fetched, added to, and rewritten when the target polls.
+                    read(target_pe, off, 8);
+                    write(target_pe, off, 8);
+                }
+                ScOp::LockGuardedWrite { dst, .. } => write(dst.pe(), dst.addr(), 8),
+            }
+        }
+        let nodes = cfg.nodes();
+        let mem = cfg.mem.mem_bytes as u64;
+        fp.oob = fp
+            .reads
+            .iter()
+            .chain(&fp.writes)
+            .any(|s| s.pe >= nodes || s.addr.checked_add(s.bytes).is_none_or(|end| end > mem));
+        fp
+    }
 }
 
 impl ScCtx<'_> {
@@ -544,6 +820,207 @@ mod tests {
             s.on(0, |ctx| ctx.exec_op(&ScOp::LockFreeIfHeld { word })),
             Some(0)
         );
+    }
+
+    /// One op per variant, covering the whole surface (the fixture for
+    /// the kind()/touched_addrs() exhaustiveness tests below).
+    fn one_of_each() -> Vec<ScOp> {
+        let gp = GlobalPtr::new(1, 0x100);
+        vec![
+            ScOp::Advance { cycles: 5 },
+            ScOp::ReadU64 { src: gp },
+            ScOp::WriteU64 { dst: gp, value: 1 },
+            ScOp::ReadU32 { src: gp },
+            ScOp::WriteU32 { dst: gp, value: 2 },
+            ScOp::ByteRead { src: gp },
+            ScOp::ByteWrite { dst: gp, value: 3 },
+            ScOp::Get {
+                local_off: 0x40,
+                src: gp,
+            },
+            ScOp::Put { dst: gp, value: 4 },
+            ScOp::Sync,
+            ScOp::StoreU64 { dst: gp, value: 5 },
+            ScOp::StoreSync { bytes: 8 },
+            ScOp::BulkRead {
+                local_off: 0x40,
+                src: gp,
+                bytes: 32,
+            },
+            ScOp::BulkWrite {
+                dst: gp,
+                local_off: 0x40,
+                bytes: 32,
+            },
+            ScOp::BulkGet {
+                local_off: 0x40,
+                src: gp,
+                bytes: 32,
+            },
+            ScOp::BulkPut {
+                dst: gp,
+                local_off: 0x40,
+                bytes: 32,
+            },
+            ScOp::BulkReadStrided {
+                local_off: 0x40,
+                src: gp,
+                count: 4,
+                elem_bytes: 8,
+                stride_bytes: 24,
+            },
+            ScOp::BulkWriteStrided {
+                dst: gp,
+                local_off: 0x40,
+                count: 4,
+                elem_bytes: 8,
+                stride_bytes: 24,
+            },
+            ScOp::AmAdd {
+                target_pe: 1,
+                off: 0x100,
+                delta: 6,
+            },
+            ScOp::AmPoll,
+            ScOp::LockTryAcquire { word: gp },
+            ScOp::LockRelease { word: gp },
+            ScOp::LockIsHeld { word: gp },
+            ScOp::LockGuardedWrite {
+                word: gp,
+                dst: GlobalPtr::new(2, 0x200),
+                value: 7,
+            },
+            ScOp::LockFreeIfHeld { word: gp },
+        ]
+    }
+
+    #[test]
+    fn every_variant_has_a_distinct_kind_in_declaration_order() {
+        let ops = one_of_each();
+        assert_eq!(
+            ops.len(),
+            ScOpKind::ALL.len(),
+            "fixture covers every variant"
+        );
+        for (op, &kind) in ops.iter().zip(ScOpKind::ALL.iter()) {
+            assert_eq!(op.kind(), kind, "{op:?}");
+        }
+        let names: std::collections::HashSet<&str> =
+            ScOpKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), ScOpKind::ALL.len(), "names are unique");
+        for (op, &kind) in ops.iter().zip(ScOpKind::ALL.iter()) {
+            assert!(
+                format!("{op:?}").starts_with(kind.name()),
+                "name {:?} matches the Debug form of {op:?}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn every_variant_has_a_footprint() {
+        let cfg = MachineConfig::t3d(4);
+        for op in one_of_each() {
+            let fp = op.touched_addrs(0, &cfg);
+            assert!(!fp.oob, "in-bounds fixture op flagged oob: {op:?}");
+            match op.kind() {
+                // Pure control / synchronization: no data spans.
+                ScOpKind::Advance
+                | ScOpKind::Sync
+                | ScOpKind::StoreSync
+                | ScOpKind::AmPoll
+                | ScOpKind::LockTryAcquire
+                | ScOpKind::LockRelease
+                | ScOpKind::LockIsHeld
+                | ScOpKind::LockFreeIfHeld => {
+                    assert!(fp.reads.is_empty() && fp.writes.is_empty(), "{op:?}");
+                }
+                ScOpKind::ReadU64 | ScOpKind::ReadU32 | ScOpKind::ByteRead => {
+                    assert!(!fp.reads.is_empty() && fp.writes.is_empty(), "{op:?}");
+                }
+                ScOpKind::WriteU64
+                | ScOpKind::WriteU32
+                | ScOpKind::ByteWrite
+                | ScOpKind::Put
+                | ScOpKind::StoreU64
+                | ScOpKind::LockGuardedWrite => {
+                    assert!(fp.reads.is_empty() && !fp.writes.is_empty(), "{op:?}");
+                }
+                // Transfers and the AM add read one side, write the other.
+                _ => {
+                    assert!(!fp.reads.is_empty() && !fp.writes.is_empty(), "{op:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn footprints_are_byte_accurate() {
+        let cfg = MachineConfig::t3d(4);
+        let gp = GlobalPtr::new(1, 0x100);
+        let get = ScOp::Get {
+            local_off: 0x40,
+            src: gp,
+        };
+        let fp = get.touched_addrs(3, &cfg);
+        assert_eq!(
+            fp.reads,
+            vec![AddrSpan {
+                pe: 1,
+                addr: 0x100,
+                bytes: 8
+            }]
+        );
+        assert_eq!(
+            fp.writes,
+            vec![AddrSpan {
+                pe: 3,
+                addr: 0x40,
+                bytes: 8
+            }],
+            "landing is a write on the issuer"
+        );
+        // Strided spans cover the gaps (4 elems, stride 24, elem 8 → 80 B).
+        let strided = ScOp::BulkReadStrided {
+            local_off: 0x40,
+            src: gp,
+            count: 4,
+            elem_bytes: 8,
+            stride_bytes: 24,
+        };
+        let fp = strided.touched_addrs(0, &cfg);
+        assert_eq!(fp.reads[0].bytes, 3 * 24 + 8);
+        assert_eq!(fp.writes[0].bytes, 32, "landing is dense");
+    }
+
+    #[test]
+    fn out_of_bounds_spans_are_flagged() {
+        let cfg = MachineConfig::t3d(2);
+        let mem = cfg.mem.mem_bytes as u64;
+        let past_end = ScOp::ReadU64 {
+            src: GlobalPtr::new(1, mem - 4),
+        };
+        assert!(
+            past_end.touched_addrs(0, &cfg).oob,
+            "read straddles the end"
+        );
+        let bad_pe = ScOp::WriteU64 {
+            dst: GlobalPtr::new(7, 0x100),
+            value: 0,
+        };
+        assert!(bad_pe.touched_addrs(0, &cfg).oob, "PE 7 of 2");
+        let wrap = ScOp::BulkReadStrided {
+            local_off: 0x40,
+            src: GlobalPtr::new(1, 0x100),
+            count: u64::MAX,
+            elem_bytes: 8,
+            stride_bytes: 8,
+        };
+        assert!(wrap.touched_addrs(0, &cfg).oob, "overflowing span is oob");
+        let in_bounds = ScOp::ByteRead {
+            src: GlobalPtr::new(1, mem - 1),
+        };
+        assert!(!in_bounds.touched_addrs(0, &cfg).oob, "last byte is fine");
     }
 
     #[test]

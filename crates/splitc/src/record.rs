@@ -1,0 +1,67 @@
+//! Operation recording: turning executions back into [`ScOp`] streams.
+//!
+//! With recording enabled ([`crate::SplitC::record_ops`]), every leaf
+//! runtime primitive a program issues is appended to its node's log as
+//! the [`ScOp`] that would reproduce it, and the global collectives
+//! ([`crate::SplitC::barrier`] / [`crate::SplitC::all_store_sync`])
+//! append markers to *every* node's log. The result
+//! ([`crate::SplitC::take_op_log`]) is a per-PE
+//! straight-line-with-barriers program — exactly the shape the
+//! `t3d-lint` static analyzer consumes — so any runnable workload
+//! (the EM3D versions, examples, user kernels) can be linted without a
+//! separate IR front-end.
+//!
+//! Two properties of the log:
+//!
+//! * **Leaf ops only.** Composites record their constituents: a
+//!   [`ScOp::LockGuardedWrite`] executes as try-acquire / write /
+//!   release and is recorded as those three leaves. Convenience
+//!   wrappers that delegate (`byte_read` → `read_u64`, small
+//!   `bulk_read` → `read_u64`) record both the wrapper and the
+//!   delegate, so the log is a *superset* of the issued surface ops
+//!   with identical memory footprints.
+//! * **No poll pollution.** `am_poll` is not recorded: the global
+//!   barrier polls every queue on every node, and logging that would
+//!   bury programs under collective bookkeeping. AM traffic is
+//!   captured at the deposit side instead ([`ScOp::AmAdd`]).
+//!
+//! Direct machine access (`ctx.machine()` / `ctx.ops()` peeks and
+//! pokes) is below the runtime surface and is not recorded.
+
+use crate::op::ScOp;
+
+/// One entry of a node's recorded stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecEvent {
+    /// A runtime primitive, as the op that reproduces it.
+    Op(ScOp),
+    /// The node participated in a global [`crate::SplitC::barrier`].
+    Barrier,
+    /// The node participated in a global
+    /// [`crate::SplitC::all_store_sync`] (followed by its barrier).
+    AllStoreSync,
+    /// An SPMD phase ([`crate::SplitC::run_phase`] /
+    /// [`crate::SplitC::par_phase`]) ended here. Phases are *sequenced*
+    /// against each other — effects of an earlier phase are analyzed
+    /// before any effect of a later one — without creating the
+    /// happens-before edges a barrier does, which is exactly the
+    /// distinction the static analyzer needs for barrier-free
+    /// message-driven programs (the EM3D `storeSync` version).
+    PhaseEnd,
+}
+
+/// A node's recording state: off by default, free when disabled.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RecLog {
+    pub(crate) enabled: bool,
+    pub(crate) events: Vec<RecEvent>,
+}
+
+impl RecLog {
+    #[inline]
+    pub(crate) fn push(&mut self, ev: RecEvent) {
+        if self.enabled {
+            self.events.push(ev);
+        }
+    }
+}

@@ -5,6 +5,8 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 use crate::annex::AnnexState;
 use crate::config::SplitcConfig;
+use crate::op::ScOp;
+use crate::record::{RecEvent, RecLog};
 use t3d_machine::{Machine, MachineConfig, MachineOps, PhaseDriver};
 use t3dsan::{Report, SanEvent, SanLog, SanOp, SanitizeMode, Sanitizer};
 
@@ -26,8 +28,10 @@ pub const AM_WRITE_U32: u64 = 2;
 /// First handler id available to applications.
 pub const AM_USER_BASE: u64 = 8;
 
-/// Bytes per AM-equivalent queue slot (seq, handler, four args).
-pub(crate) const AM_SLOT_BYTES: u64 = 48;
+/// Bytes per AM-equivalent queue slot (seq, handler, four args). Every
+/// deposit moves this many bytes of remote-write traffic to the target,
+/// which the static analyzer counts toward the `storeSync` watermark.
+pub const AM_SLOT_BYTES: u64 = 48;
 
 /// Per-node runtime state.
 #[derive(Debug, Clone)]
@@ -47,6 +51,8 @@ pub struct NodeRt {
     pub stats: RtStats,
     /// Sanitizer event log (empty and free when the sanitizer is off).
     pub(crate) san: SanLog,
+    /// Recorded op stream (empty and free when recording is off).
+    pub(crate) rec: RecLog,
 }
 
 /// Operation counters for one node.
@@ -96,6 +102,7 @@ impl NodeRt {
             am_consumed: 0,
             stats: RtStats::default(),
             san: SanLog::new(cfg.sanitize.is_on()),
+            rec: RecLog::default(),
         }
     }
 }
@@ -234,6 +241,9 @@ impl SplitC {
         for pe in 0..self.m.nodes() {
             self.on(pe, |ctx| f(ctx));
         }
+        for rt in &mut self.rts {
+            rt.rec.push(RecEvent::PhaseEnd);
+        }
     }
 
     /// Runs one SPMD phase through the sharded engine, with the driver
@@ -277,6 +287,9 @@ impl SplitC {
             }))
         };
         self.rts = rts;
+        for rt in &mut self.rts {
+            rt.rec.push(RecEvent::PhaseEnd);
+        }
         self.drain_san_logs();
         match result {
             Ok(()) => self.san_check(),
@@ -317,9 +330,29 @@ impl SplitC {
         }
     }
 
+    /// Enables or disables op recording on every node (see the
+    /// [`crate::record`] module docs). Enabling does not clear an
+    /// existing log; use [`SplitC::take_op_log`] to drain it.
+    pub fn record_ops(&mut self, on: bool) {
+        for rt in &mut self.rts {
+            rt.rec.enabled = on;
+        }
+    }
+
+    /// Drains and returns every node's recorded stream (index = PE).
+    pub fn take_op_log(&mut self) -> Vec<Vec<RecEvent>> {
+        self.rts
+            .iter_mut()
+            .map(|rt| std::mem::take(&mut rt.rec.events))
+            .collect()
+    }
+
     /// Global barrier: drains every node's AM-equivalent queue (so
     /// deposited handlers run), fences all writes and aligns all clocks.
     pub fn barrier(&mut self) {
+        for rt in &mut self.rts {
+            rt.rec.push(RecEvent::Barrier);
+        }
         for pe in 0..self.m.nodes() {
             self.on(pe, |ctx| ctx.am_poll());
         }
@@ -334,6 +367,9 @@ impl SplitC {
     /// completed, machine-wide (Section 7.1) — a fence plus
     /// acknowledgement wait on every node, then the hardware barrier.
     pub fn all_store_sync(&mut self) {
+        for rt in &mut self.rts {
+            rt.rec.push(RecEvent::AllStoreSync);
+        }
         for pe in 0..self.m.nodes() {
             self.m.memory_barrier(pe);
             self.m.wait_write_acks(pe);
@@ -454,6 +490,13 @@ impl ScCtx<'_> {
             let t = self.m.clock(self.pe);
             self.rt.san.push(self.pe as u32, t, op, source);
         }
+    }
+
+    /// Records one op on this node's stream (free when recording is
+    /// off). Called at the entry of every leaf runtime primitive.
+    #[inline]
+    pub(crate) fn rec(&mut self, op: ScOp) {
+        self.rt.rec.push(RecEvent::Op(op));
     }
 }
 

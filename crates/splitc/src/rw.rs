@@ -12,6 +12,7 @@
 //! remote access plus annex set-up.
 
 use crate::gptr::GlobalPtr;
+use crate::op::ScOp;
 use crate::runtime::ScCtx;
 use t3d_shell::FuncCode;
 use t3dsan::{SanOp, WriteKind, NO_REG};
@@ -19,6 +20,7 @@ use t3dsan::{SanOp, WriteKind, NO_REG};
 impl ScCtx<'_> {
     /// Blocking read of a 64-bit word through a global pointer.
     pub fn read_u64(&mut self, gp: GlobalPtr) -> u64 {
+        self.rec(ScOp::ReadU64 { src: gp });
         self.rt.stats.reads += 1;
         if gp.pe() as usize == self.pe {
             // Local region of the global space: an ordinary load.
@@ -123,6 +125,7 @@ impl ScCtx<'_> {
     /// the language's sequential-consistency story (Section 4.5 explains
     /// why the *local* wait matters too).
     pub fn write_u64(&mut self, gp: GlobalPtr, value: u64) {
+        self.rec(ScOp::WriteU64 { dst: gp, value });
         self.rt.stats.writes += 1;
         if gp.pe() as usize == self.pe {
             self.m.st8(self.pe, gp.addr(), value);

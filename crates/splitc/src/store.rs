@@ -15,6 +15,7 @@
 //! keeps for incoming remote writes.
 
 use crate::gptr::GlobalPtr;
+use crate::op::ScOp;
 use crate::runtime::ScCtx;
 use t3d_shell::FuncCode;
 use t3dsan::{SanOp, WriteKind, NO_REG};
@@ -39,6 +40,7 @@ impl ScCtx<'_> {
     /// assert_eq!(sc.machine().peek8(2, cell), 9);
     /// ```
     pub fn store_u64(&mut self, gp: GlobalPtr, value: u64) {
+        self.rec(ScOp::StoreU64 { dst: gp, value });
         self.rt.stats.stores += 1;
         if gp.pe() as usize == self.pe {
             self.m.st8(self.pe, gp.addr(), value);
@@ -89,6 +91,7 @@ impl ScCtx<'_> {
     /// executed and stored less than requested) — a deadlock in the
     /// program being simulated.
     pub fn store_sync(&mut self, bytes: u64) {
+        self.rec(ScOp::StoreSync { bytes });
         let target = self.rt.store_watermark + bytes;
         let t = self.m.arrival_time_of(self.pe, target).unwrap_or_else(|| {
             panic!(

@@ -1,0 +1,170 @@
+//! The op recorder turns executions back into per-PE `ScOp` streams.
+
+use splitc::{GlobalLock, GlobalPtr, RecEvent, ScOp, SplitC};
+use t3d_machine::MachineConfig;
+
+fn machine() -> (SplitC, u64) {
+    let mut sc = SplitC::new(MachineConfig::t3d(4));
+    let base = sc.alloc(512, 8);
+    (sc, base)
+}
+
+#[test]
+fn recording_is_off_by_default() {
+    let (mut sc, base) = machine();
+    sc.run_phase(|ctx| {
+        let gp = GlobalPtr::new((ctx.pe() as u32 + 1) % 4, base);
+        ctx.write_u64(gp, 7);
+    });
+    sc.barrier();
+    assert!(sc.take_op_log().iter().all(Vec::is_empty));
+}
+
+#[test]
+fn leaf_ops_round_trip_through_the_log() {
+    let (mut sc, base) = machine();
+    sc.record_ops(true);
+    sc.run_phase(|ctx| {
+        let right = (ctx.pe() as u32 + 1) % 4;
+        let gp = GlobalPtr::new(right, base);
+        ctx.write_u64(gp, ctx.pe() as u64);
+        ctx.get(base + 64, gp);
+        ctx.sync();
+        ctx.put(gp, 9);
+        ctx.sync();
+    });
+    sc.barrier();
+    let log = sc.take_op_log();
+    assert_eq!(log.len(), 4);
+    for (pe, events) in log.iter().enumerate() {
+        let right = (pe as u32 + 1) % 4;
+        let gp = GlobalPtr::new(right, base);
+        assert_eq!(
+            events,
+            &vec![
+                RecEvent::Op(ScOp::WriteU64 {
+                    dst: gp,
+                    value: pe as u64
+                }),
+                RecEvent::Op(ScOp::Get {
+                    local_off: base + 64,
+                    src: gp
+                }),
+                RecEvent::Op(ScOp::Sync),
+                RecEvent::Op(ScOp::Put { dst: gp, value: 9 }),
+                RecEvent::Op(ScOp::Sync),
+                RecEvent::PhaseEnd,
+                RecEvent::Barrier,
+            ],
+        );
+    }
+    // take_op_log drains: a second take is empty.
+    assert!(sc.take_op_log().iter().all(Vec::is_empty));
+}
+
+#[test]
+fn collectives_mark_every_node_uniformly() {
+    let (mut sc, base) = machine();
+    sc.record_ops(true);
+    sc.run_phase(|ctx| {
+        let right = (ctx.pe() as u32 + 1) % 4;
+        ctx.store_u64(GlobalPtr::new(right, base), 1);
+    });
+    sc.all_store_sync();
+    let log = sc.take_op_log();
+    for events in &log {
+        // The phase end is marked, then all_store_sync logs its own
+        // marker, and its internal global barrier adds one more.
+        assert_eq!(
+            &events[1..],
+            &[
+                RecEvent::PhaseEnd,
+                RecEvent::AllStoreSync,
+                RecEvent::Barrier
+            ],
+        );
+        assert!(matches!(events[0], RecEvent::Op(ScOp::StoreU64 { .. })));
+    }
+}
+
+#[test]
+fn composites_record_their_leaves() {
+    let (mut sc, base) = machine();
+    sc.record_ops(true);
+    let word = GlobalPtr::new(1, base);
+    let dst = GlobalPtr::new(2, base + 64);
+    sc.on(0, |ctx| {
+        ctx.exec_op(&ScOp::LockGuardedWrite {
+            word,
+            dst,
+            value: 5,
+        });
+    });
+    let log = sc.take_op_log();
+    assert_eq!(
+        log[0],
+        vec![
+            RecEvent::Op(ScOp::LockTryAcquire { word }),
+            RecEvent::Op(ScOp::WriteU64 { dst, value: 5 }),
+            RecEvent::Op(ScOp::LockRelease { word }),
+        ],
+    );
+}
+
+#[test]
+fn wrappers_record_a_superset_with_identical_footprints() {
+    let (mut sc, base) = machine();
+    sc.record_ops(true);
+    let src = GlobalPtr::new(1, base);
+    sc.on(0, |ctx| {
+        // byte_read delegates to read_u64 on the containing word: the
+        // log records the delegate, whose read span covers the byte.
+        ctx.byte_read(GlobalPtr::new(1, base + 3));
+        // Remote byte_write travels the AM queue but is recorded at the
+        // issuing wrapper, not as an AmAdd.
+        ctx.byte_write(GlobalPtr::new(1, base + 8), 0xAB);
+        ctx.exec_op(&ScOp::AmAdd {
+            target_pe: 1,
+            off: base + 16,
+            delta: 2,
+        });
+        // An 8-byte bulk_read delegates to read_u64: both recorded.
+        ctx.bulk_read(base + 64, src, 8);
+    });
+    let log = sc.take_op_log();
+    assert_eq!(
+        log[0],
+        vec![
+            RecEvent::Op(ScOp::ReadU64 { src }),
+            RecEvent::Op(ScOp::ByteWrite {
+                dst: GlobalPtr::new(1, base + 8),
+                value: 0xAB
+            }),
+            RecEvent::Op(ScOp::AmAdd {
+                target_pe: 1,
+                off: base + 16,
+                delta: 2
+            }),
+            RecEvent::Op(ScOp::BulkRead {
+                local_off: base + 64,
+                src,
+                bytes: 8
+            }),
+            RecEvent::Op(ScOp::ReadU64 { src }),
+        ],
+    );
+}
+
+#[test]
+fn lock_probes_are_not_recorded() {
+    let (mut sc, base) = machine();
+    sc.record_ops(true);
+    let lock = GlobalLock::new(GlobalPtr::new(1, base));
+    sc.on(0, |ctx| {
+        assert!(!ctx.lock_is_held(lock));
+        assert!(ctx.lock_try_acquire(lock));
+        ctx.lock_release(lock);
+    });
+    let log = sc.take_op_log();
+    assert_eq!(log[0].len(), 2);
+}

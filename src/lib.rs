@@ -11,6 +11,8 @@
 //! * [`splitc`] — the Split-C runtime (the paper's compiler perspective)
 //! * [`t3d_microbench`] — the micro-benchmark suite and figure harness
 //! * [`em3d`] — the EM3D application study
+//! * [`t3d_lint`] — static analyzer over recorded Split-C op streams
+//! * [`t3d_fuzz`] — differential fuzzer (runtime vs flat reference)
 //!
 //! # Example
 //!
@@ -31,6 +33,8 @@
 
 pub use em3d;
 pub use splitc;
+pub use t3d_fuzz;
+pub use t3d_lint;
 pub use t3d_machine;
 pub use t3d_memsys;
 pub use t3d_microbench;
