@@ -7,7 +7,7 @@
 use crate::graph::{Em3dGraph, Em3dParams, Endpoint};
 use splitc::{GlobalPtr, RecEvent, SplitC};
 use std::collections::HashMap;
-use t3d_machine::{MachineConfig, OpStats, PerfMode, PerfReport, PhaseDriver};
+use t3d_machine::{EngineMode, MachineConfig, OpStats, PerfMode, PerfReport, PhaseDriver};
 
 /// Which optimization level to run (Section 8, in paper order).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -431,7 +431,43 @@ pub fn run_version_with(
     params: Em3dParams,
     version: Version,
 ) -> Em3dResult {
-    run_version_inner(driver, nprocs, params, version, false, false).0
+    run_version_inner(
+        driver,
+        EngineMode::from_env(),
+        nprocs,
+        params,
+        version,
+        false,
+        false,
+    )
+    .0
+}
+
+/// [`run_version_with`] pinning the time-advance engine explicitly —
+/// the in-process cross-engine differential oracle
+/// ([`EngineMode::Cycle`] checks [`EngineMode::Event`]).
+pub fn run_version_engine(
+    driver: PhaseDriver,
+    engine: EngineMode,
+    nprocs: u32,
+    params: Em3dParams,
+    version: Version,
+) -> Em3dResult {
+    run_version_inner(driver, engine, nprocs, params, version, false, false).0
+}
+
+/// [`run_version_profiled`] pinning the time-advance engine explicitly,
+/// so attribution ledgers can be compared across engines in one
+/// process.
+pub fn run_version_profiled_engine(
+    driver: PhaseDriver,
+    engine: EngineMode,
+    nprocs: u32,
+    params: Em3dParams,
+    version: Version,
+) -> (Em3dResult, PerfReport) {
+    let (r, p, _) = run_version_inner(driver, engine, nprocs, params, version, true, false);
+    (r, p.expect("profiling was requested"))
 }
 
 /// [`run_version_with`], with op recording: every runtime primitive the
@@ -445,7 +481,15 @@ pub fn run_version_recorded(
     params: Em3dParams,
     version: Version,
 ) -> (Em3dResult, Vec<Vec<RecEvent>>) {
-    let (r, _, log) = run_version_inner(driver, nprocs, params, version, false, true);
+    let (r, _, log) = run_version_inner(
+        driver,
+        EngineMode::from_env(),
+        nprocs,
+        params,
+        version,
+        false,
+        true,
+    );
     (r, log)
 }
 
@@ -460,12 +504,21 @@ pub fn run_version_profiled(
     params: Em3dParams,
     version: Version,
 ) -> (Em3dResult, PerfReport) {
-    let (r, p, _) = run_version_inner(driver, nprocs, params, version, true, false);
+    let (r, p, _) = run_version_inner(
+        driver,
+        EngineMode::from_env(),
+        nprocs,
+        params,
+        version,
+        true,
+        false,
+    );
     (r, p.expect("profiling was requested"))
 }
 
 fn run_version_inner(
     driver: PhaseDriver,
+    engine: EngineMode,
     nprocs: u32,
     params: Em3dParams,
     version: Version,
@@ -473,7 +526,9 @@ fn run_version_inner(
     record: bool,
 ) -> (Em3dResult, Option<PerfReport>, Vec<Vec<RecEvent>>) {
     let g = Em3dGraph::generate(params, nprocs);
-    let mut sc = SplitC::new(MachineConfig::t3d_with_mem(nprocs, 4 * 1024 * 1024));
+    let mut cfg = MachineConfig::t3d_with_mem(nprocs, 4 * 1024 * 1024);
+    cfg.engine = engine;
+    let mut sc = SplitC::new(cfg);
     if record {
         sc.record_ops(true);
     }

@@ -22,7 +22,9 @@ use crate::refmodel::{interpret, RefOutcome};
 use splitc::{SplitC, SplitcConfig};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
-use t3d_machine::{MachineConfig, MemSnapshot, PhaseDriver};
+use t3d_machine::{
+    EngineMode, MachineConfig, MemSnapshot, OpStats, PerfMode, PerfReport, PhaseDriver,
+};
 use t3dsan::SanitizeMode;
 
 /// Fault injection: after phase `phase`'s terminator (clamped to the
@@ -37,6 +39,24 @@ pub struct Fault {
     pub off: u64,
 }
 
+/// Event-schedule fault injection: before phase `phase`'s body runs
+/// (clamped to the last phase), arm a due-time skew on one PE's next
+/// event. The event engine consumes at least one `BarrierSettle` per PE
+/// at the phase terminator, so the skew is guaranteed to fire by then,
+/// stretching that PE's clock — which the engine-matrix oracle must
+/// catch as a snapshot divergence. Inert under the cycle engine (there
+/// is no queue to skew), which is exactly why detection proves the
+/// differential bites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventSkew {
+    /// Phase before whose body the skew is armed.
+    pub phase: usize,
+    /// Node whose next event is delayed (mod `nodes`).
+    pub pe: usize,
+    /// Cycles of delay. Large values make the divergence unmissable.
+    pub extra_cy: u64,
+}
+
 /// What one execution produced.
 #[derive(Debug, Clone)]
 pub struct RunRecord {
@@ -49,6 +69,11 @@ pub struct RunRecord {
     /// Region base the program was lowered at (deterministic; the
     /// static analyzer lints the same lowering).
     pub base: u64,
+    /// Per-PE operation counters at program end.
+    pub ops: Vec<OpStats>,
+    /// The cycle-attribution report (collected on every run; the
+    /// engine-matrix oracle compares ledgers bit-for-bit).
+    pub perf: PerfReport,
 }
 
 /// Runs `prog` under `driver`, optionally injecting `fault` (the
@@ -59,7 +84,21 @@ pub fn run_program(
     driver: PhaseDriver,
     fault: Option<Fault>,
 ) -> Result<RunRecord, String> {
-    let result = catch_unwind(AssertUnwindSafe(|| run_program_inner(prog, driver, fault)));
+    run_program_engine(prog, driver, EngineMode::from_env(), fault, None)
+}
+
+/// [`run_program`] with the time-advance engine pinned and an optional
+/// [`EventSkew`] (the engine-matrix self-test hook).
+pub fn run_program_engine(
+    prog: &Program,
+    driver: PhaseDriver,
+    engine: EngineMode,
+    fault: Option<Fault>,
+    skew: Option<EventSkew>,
+) -> Result<RunRecord, String> {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        run_program_inner(prog, driver, engine, fault, skew)
+    }));
     result.map_err(|payload| {
         if let Some(s) = payload.downcast_ref::<&str>() {
             (*s).to_string()
@@ -71,19 +110,33 @@ pub fn run_program(
     })
 }
 
-fn run_program_inner(prog: &Program, driver: PhaseDriver, fault: Option<Fault>) -> RunRecord {
+fn run_program_inner(
+    prog: &Program,
+    driver: PhaseDriver,
+    engine: EngineMode,
+    fault: Option<Fault>,
+    skew: Option<EventSkew>,
+) -> RunRecord {
     let n = prog.nodes as usize;
     let cfg = SplitcConfig {
         sanitize: SanitizeMode::Collect,
         ..SplitcConfig::t3d()
     };
-    let mut sc = SplitC::with_config(MachineConfig::t3d(prog.nodes), cfg);
+    let mut mcfg = MachineConfig::t3d(prog.nodes);
+    mcfg.engine = engine;
+    let mut sc = SplitC::with_config(mcfg, cfg);
+    sc.machine().set_perf_mode(PerfMode::Counters);
     let base = sc.alloc(prog.region_bytes(), 8);
     let lowered = prog.lower(base);
     let results: Vec<Mutex<Vec<u64>>> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
     let mut snaps = Vec::with_capacity(lowered.len());
     let last = lowered.len().saturating_sub(1);
     for (i, phase) in lowered.iter().enumerate() {
+        if let Some(k) = skew {
+            if i == k.phase.min(last) {
+                sc.machine().perturb_next_event(k.pe % n, k.extra_cy);
+            }
+        }
         let terminator = match phase {
             LoweredPhase::Sharded { ops, terminator } => {
                 sc.par_phase_with(driver, |ctx| {
@@ -125,6 +178,8 @@ fn run_program_inner(prog: &Program, driver: PhaseDriver, fault: Option<Fault>) 
         .san_report()
         .map(|r| r.kinds().iter().map(|k| format!("{k:?}")).collect())
         .unwrap_or_default();
+    let ops = (0..n).map(|pe| sc.machine_ref().op_stats(pe)).collect();
+    let perf = sc.machine_ref().perf();
     RunRecord {
         snaps,
         results: results
@@ -133,6 +188,8 @@ fn run_program_inner(prog: &Program, driver: PhaseDriver, fault: Option<Fault>) 
             .collect(),
         san,
         base,
+        ops,
+        perf,
     }
 }
 
@@ -211,6 +268,82 @@ pub fn check_case(prog: &Program, threads: usize, fault: Option<Fault>) -> Optio
             "static hazards on a clean-by-construction program:\n{}",
             report.render_table()
         ));
+    }
+    None
+}
+
+/// The first divergence between two run records, or `None` if they are
+/// bit-identical in every compared dimension: snapshots (memory AND
+/// virtual clocks), op results, per-PE operation counters, the full
+/// attribution report, and the sanitizer findings.
+fn record_divergence(label: &str, a: &RunRecord, b: &RunRecord) -> Option<String> {
+    for (i, (x, y)) in a.snaps.iter().zip(&b.snaps).enumerate() {
+        if let Some(d) = x.diff(y) {
+            return Some(format!("{label}: snapshot divergence at phase {i}: {d}"));
+        }
+    }
+    if a.snaps.len() != b.snaps.len() {
+        return Some(format!(
+            "{label}: phase count {} vs {}",
+            a.snaps.len(),
+            b.snaps.len()
+        ));
+    }
+    if a.results != b.results {
+        return Some(format!(
+            "{label}: result divergence: {:?} vs {:?}",
+            a.results, b.results
+        ));
+    }
+    if a.ops != b.ops {
+        return Some(format!(
+            "{label}: op-counter divergence: {:?} vs {:?}",
+            a.ops, b.ops
+        ));
+    }
+    if a.perf != b.perf {
+        return Some(format!("{label}: attribution ledgers diverge"));
+    }
+    if a.san != b.san {
+        return Some(format!(
+            "{label}: sanitizer divergence: {:?} vs {:?}",
+            a.san, b.san
+        ));
+    }
+    None
+}
+
+/// The engine-matrix oracle: one program under every combination of
+/// time-advance engine (cycle, event) and phase driver (Seq,
+/// Par(`threads`)), all four runs compared bit-for-bit against the
+/// cycle/Seq baseline — snapshots (memory and clocks), results, op
+/// counters, attribution ledgers and sanitizer reports. `skew` arms an
+/// event due-time perturbation on the event-engine runs only (the
+/// self-test; the cycle baseline stays clean so the divergence is
+/// attributable). Returns `None` when all four runs agree.
+pub fn check_case_engine_matrix(
+    prog: &Program,
+    threads: usize,
+    skew: Option<EventSkew>,
+) -> Option<String> {
+    let baseline = match run_program_engine(prog, PhaseDriver::Seq, EngineMode::Cycle, None, None) {
+        Err(e) => return Some(format!("panic under cycle/Seq: {e}")),
+        Ok(r) => r,
+    };
+    let legs = [
+        (PhaseDriver::Par(threads), EngineMode::Cycle, None),
+        (PhaseDriver::Seq, EngineMode::Event, skew),
+        (PhaseDriver::Par(threads), EngineMode::Event, skew),
+    ];
+    for (driver, engine, leg_skew) in legs {
+        let label = format!("{engine:?}/{driver:?}");
+        let run = match run_program_engine(prog, driver, engine, None, leg_skew) {
+            Err(e) => return Some(format!("panic under {label}: {e}")),
+            Ok(r) => r,
+        };
+        if let Some(d) = record_divergence(&label, &baseline, &run) {
+            return Some(d);
+        }
     }
     None
 }
@@ -295,6 +428,33 @@ mod tests {
     #[test]
     fn a_clean_program_passes_the_full_oracle() {
         assert_eq!(check_case(&two_phase_prog(), 2, None), None);
+    }
+
+    #[test]
+    fn the_engine_matrix_passes_on_a_clean_program() {
+        assert_eq!(check_case_engine_matrix(&two_phase_prog(), 2, None), None);
+    }
+
+    #[test]
+    fn a_skewed_event_due_time_is_caught() {
+        let skew = EventSkew {
+            phase: 0,
+            pe: 1,
+            extra_cy: 1 << 20,
+        };
+        let failure = check_case_engine_matrix(&two_phase_prog(), 2, Some(skew));
+        let msg = failure.expect("a skewed due-time must be detected");
+        assert!(msg.contains("Event"), "{msg}");
+    }
+
+    #[test]
+    fn engine_runs_agree_with_the_default_oracle_view() {
+        // run_program (env engine) and the pinned-engine runs land on
+        // the same snapshots — the engine is invisible to timing.
+        let p = two_phase_prog();
+        let a = run_program_engine(&p, PhaseDriver::Seq, EngineMode::Cycle, None, None).unwrap();
+        let b = run_program_engine(&p, PhaseDriver::Seq, EngineMode::Event, None, None).unwrap();
+        assert!(record_divergence("test", &a, &b).is_none());
     }
 
     #[test]

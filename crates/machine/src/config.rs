@@ -1,5 +1,6 @@
 //! Whole-machine configuration.
 
+use crate::event::EngineMode;
 use t3d_memsys::MemConfig;
 use t3d_shell::{ReceiveMode, ShellConfig};
 use t3d_torus::TorusConfig;
@@ -22,6 +23,10 @@ pub struct MachineConfig {
     /// What happens when a native message arrives: queue it (25 µs
     /// interrupt) or additionally switch to a user handler (+33 µs).
     pub msg_mode: ReceiveMode,
+    /// Which time-advance engine the machine runs. Constructors read
+    /// `T3D_EVENT` (the event engine unless `T3D_EVENT=0`); tests set
+    /// the field directly to pin a mode regardless of the environment.
+    pub engine: EngineMode,
 }
 
 impl MachineConfig {
@@ -33,6 +38,7 @@ impl MachineConfig {
             torus: TorusConfig::for_nodes(nodes),
             contention: false,
             msg_mode: ReceiveMode::Queue,
+            engine: EngineMode::from_env(),
         }
     }
 
@@ -61,6 +67,7 @@ impl MachineConfig {
             torus: TorusConfig::for_nodes(1),
             contention: false,
             msg_mode: ReceiveMode::Queue,
+            engine: EngineMode::from_env(),
         }
     }
 

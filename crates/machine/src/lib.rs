@@ -33,6 +33,7 @@
 
 pub mod config;
 pub mod cpu;
+pub mod event;
 pub mod machine;
 pub mod node;
 pub mod ops;
@@ -43,6 +44,7 @@ pub mod trace;
 
 pub use config::MachineConfig;
 pub use cpu::Cpu;
+pub use event::{EngineMode, Event, EventKind, EventQueue, EventStats};
 pub use machine::{BltHandle, Machine};
 pub use node::{Node, OpStats};
 pub use ops::MachineOps;

@@ -2,6 +2,7 @@
 //! deterministic virtual time.
 
 use crate::config::MachineConfig;
+use crate::event::{self, EngineMode, EventStats};
 use crate::node::Node;
 use crate::trace::{TraceEvent, TraceKind, Tracer};
 use t3d_memsys::{RemoteSink, WriteTarget};
@@ -163,6 +164,44 @@ impl Machine {
                 cycles,
             });
         }
+    }
+
+    /// Whether the next wait takes the skip-to-next-event path: the
+    /// event engine is selected and no contended window is in progress.
+    fn use_event_path(&self) -> bool {
+        self.cfg.engine == EngineMode::Event && !self.contended_window()
+    }
+
+    /// A contended window: contention modeling is on and ≥2 PEs have
+    /// in-flight remote traffic (pending buffered writes or outstanding
+    /// acks), so shell queueing can couple their timing through shared
+    /// node state. Conservative — any such window runs cycle-accurate.
+    fn contended_window(&self) -> bool {
+        if !self.cfg.contention {
+            return false;
+        }
+        self.nodes
+            .iter()
+            .filter(|n| n.port.wbuf_pending() > 0 || n.acks.clear_time().is_some())
+            .count()
+            >= 2
+    }
+
+    /// Event-engine activity counters for one PE (both zero under the
+    /// cycle engine).
+    pub fn event_stats(&self, pe: usize) -> EventStats {
+        self.nodes[pe].events.stats
+    }
+
+    /// Fault-injection hook for the differential harness: the next event
+    /// the PE pops is due `extra_cy` cycles late. Under the event engine
+    /// this perturbs virtual time — every barrier consumes a settle
+    /// event per PE, so an armed skew always fires — and the engine
+    /// matrix must catch the divergence. A no-op under the cycle engine
+    /// (nothing pops events), which is exactly the point: only a
+    /// *detected* difference proves the oracle bites.
+    pub fn perturb_next_event(&mut self, pe: usize, extra_cy: u64) {
+        self.nodes[pe].events.skew_next(extra_cy);
     }
 
     /// Queueing delay at `target`'s shell for a request that becomes
@@ -406,8 +445,13 @@ impl Machine {
     pub fn memory_barrier(&mut self, pe: usize) {
         self.nodes[pe].ops.memory_barriers += 1;
         let now = self.nodes[pe].clock;
-        let cost = self.nodes[pe].port.memory_barrier(now);
-        self.nodes[pe].clock = now + cost;
+        let cost = if self.use_event_path() {
+            event::memory_barrier_event(&mut self.nodes[pe])
+        } else {
+            let c = self.nodes[pe].port.memory_barrier(now);
+            self.nodes[pe].clock = now + c;
+            c
+        };
         self.nodes[pe].perf.sample(OpKind::Fence, cost);
         let t = self.nodes[pe].clock;
         self.nodes[pe].prefetch.note_memory_barrier(t);
@@ -432,9 +476,14 @@ impl Machine {
     pub fn wait_write_acks(&mut self, pe: usize) {
         self.nodes[pe].ops.ack_waits += 1;
         let now = self.nodes[pe].clock;
-        let cost = self.nodes[pe].acks.wait_clear(now);
-        self.nodes[pe].clock = now + cost;
-        self.nodes[pe].perf.credit(CostClass::AckWait, cost);
+        let cost = if self.use_event_path() {
+            event::wait_write_acks_event(&mut self.nodes[pe])
+        } else {
+            let c = self.nodes[pe].acks.wait_clear(now);
+            self.nodes[pe].clock = now + c;
+            self.nodes[pe].perf.credit(CostClass::AckWait, c);
+            c
+        };
         self.nodes[pe].perf.sample(OpKind::AckWait, cost);
         self.trace(pe, TraceKind::AckWait, 0, now);
     }
@@ -518,9 +567,14 @@ impl Machine {
     pub fn pop_prefetch(&mut self, pe: usize) -> Result<u64, PopError> {
         self.nodes[pe].ops.pops += 1;
         let now = self.nodes[pe].clock;
-        let (value, cost) = self.nodes[pe].prefetch.pop(now)?;
-        self.nodes[pe].clock = now + cost;
-        self.nodes[pe].perf.credit(CostClass::PrefetchWait, cost);
+        let (value, cost) = if self.use_event_path() {
+            event::pop_prefetch_event(&mut self.nodes[pe])?
+        } else {
+            let (v, c) = self.nodes[pe].prefetch.pop(now)?;
+            self.nodes[pe].clock = now + c;
+            self.nodes[pe].perf.credit(CostClass::PrefetchWait, c);
+            (v, c)
+        };
         self.nodes[pe].perf.sample(OpKind::Pop, cost);
         self.trace(pe, TraceKind::Pop, 0, now);
         Ok(value)
@@ -650,11 +704,16 @@ impl Machine {
     /// Blocks until a BLT transfer completes.
     pub fn blt_wait(&mut self, pe: usize, handle: BltHandle) {
         let now = self.nodes[pe].clock;
-        let n = &mut self.nodes[pe];
-        n.clock = n.clock.max(handle.completion);
-        let waited = n.clock - now;
-        n.perf.credit(CostClass::BltWait, waited);
-        n.perf.sample(OpKind::BltWait, waited);
+        let waited = if self.use_event_path() {
+            event::blt_wait_event(&mut self.nodes[pe], handle.completion)
+        } else {
+            let n = &mut self.nodes[pe];
+            n.clock = n.clock.max(handle.completion);
+            let w = n.clock - now;
+            n.perf.credit(CostClass::BltWait, w);
+            w
+        };
+        self.nodes[pe].perf.sample(OpKind::BltWait, waited);
         self.trace(pe, TraceKind::BltWait, 0, now);
     }
 
@@ -805,9 +864,19 @@ impl Machine {
         let done = self.barrier.completion_time().expect("all nodes arrived");
         self.barrier.reset();
         let overhead = self.cfg.shell.barrier_start_cy + self.cfg.shell.barrier_end_cy;
+        let event_path = self.use_event_path();
         for pe in 0..self.nodes.len() {
             let start = self.nodes[pe].clock;
-            self.nodes[pe].clock = done + self.cfg.shell.barrier_end_cy;
+            // The wire settles at `done` ≥ every arrival ≥ this clock, so
+            // aligning via the settle event reproduces `done` exactly —
+            // unless a perturbed due-time skews it, which the
+            // differential harness must then catch.
+            let aligned = if event_path {
+                event::barrier_settle_event(&mut self.nodes[pe], done)
+            } else {
+                done
+            };
+            self.nodes[pe].clock = aligned + self.cfg.shell.barrier_end_cy;
             let delta = self.nodes[pe].clock - start;
             let p = &mut self.nodes[pe].perf;
             p.credit(CostClass::BarrierOverhead, overhead);
@@ -859,14 +928,23 @@ impl Machine {
             .completion_time()
             .expect("every node must start-barrier before end-barrier");
         self.barrier.reset();
+        let event_path = self.use_event_path();
         for pe in 0..self.nodes.len() {
             let start = self.nodes[pe].clock;
-            self.nodes[pe].clock = start.max(done) + self.cfg.shell.barrier_end_cy;
+            let aligned = if event_path {
+                event::barrier_settle_event(&mut self.nodes[pe], done)
+            } else {
+                start.max(done)
+            };
+            self.nodes[pe].clock = aligned + self.cfg.shell.barrier_end_cy;
             let end_cy = self.cfg.shell.barrier_end_cy;
             let delta = self.nodes[pe].clock - start;
             let p = &mut self.nodes[pe].perf;
             p.credit(CostClass::BarrierOverhead, end_cy);
-            p.credit(CostClass::BarrierWait, done.saturating_sub(start));
+            // `aligned - start == done.saturating_sub(start)` on both
+            // unperturbed paths; using `aligned` keeps conservation even
+            // when a skew fault stretches the settle.
+            p.credit(CostClass::BarrierWait, aligned - start);
             p.sample(OpKind::Barrier, delta);
             self.trace(pe, TraceKind::FuzzyBarrierEnd, 0, start);
         }
@@ -912,6 +990,7 @@ impl Machine {
             node.incoming.clear();
             node.acks.wait_clear(u64::MAX / 2);
             node.shell_busy_until = 0;
+            node.events.clear();
             // Rebase attribution at the zeroed clock (collection state is
             // preserved; accumulated credits from before the reset would
             // otherwise break conservation against the new clocks).

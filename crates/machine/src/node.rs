@@ -1,6 +1,7 @@
 //! One node: Alpha core state, memory port and shell units.
 
 use crate::config::MachineConfig;
+use crate::event::EventQueue;
 use t3d_memsys::MemPort;
 use t3d_perf::PerfAccum;
 
@@ -92,6 +93,9 @@ pub struct Node {
     /// When this node's shell finishes servicing its current remote
     /// request (used only when contention modeling is on).
     pub shell_busy_until: u64,
+    /// Pending-completion queue for the event engine (empty between
+    /// operations; see [`crate::event`]).
+    pub events: EventQueue,
 }
 
 impl Node {
@@ -111,6 +115,7 @@ impl Node {
             ops: OpStats::default(),
             perf: PerfAccum::default(),
             shell_busy_until: 0,
+            events: EventQueue::default(),
         }
     }
 

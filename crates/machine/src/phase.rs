@@ -227,6 +227,15 @@ impl<'a> PhasePe<'a> {
         t3d_shell::annex::split_pa(va, self.sh.cfg.mem.offset_bits)
     }
 
+    /// Mirrors `Machine::use_event_path`. A shard cannot see other
+    /// shards' in-flight traffic, so with contention modeling on it
+    /// conservatively stays cycle-accurate for the whole phase; with
+    /// contention off (the default) the fast-forward is exact and the
+    /// gate reduces to the engine mode.
+    fn use_event_path(&self) -> bool {
+        self.sh.cfg.engine == crate::event::EngineMode::Event && !self.sh.cfg.contention
+    }
+
     fn line_mask(&self) -> u64 {
         self.sh.cfg.mem.l1.line as u64 - 1
     }
@@ -555,8 +564,13 @@ impl MachineOps for PhasePe<'_> {
         self.own(pe);
         self.node.ops.memory_barriers += 1;
         let now = self.node.clock;
-        let cost = self.node.port.memory_barrier(now);
-        self.node.clock = now + cost;
+        let cost = if self.use_event_path() {
+            crate::event::memory_barrier_event(self.node)
+        } else {
+            let c = self.node.port.memory_barrier(now);
+            self.node.clock = now + c;
+            c
+        };
         self.node.perf.sample(OpKind::Fence, cost);
         let t = self.node.clock;
         self.node.prefetch.note_memory_barrier(t);
@@ -576,10 +590,16 @@ impl MachineOps for PhasePe<'_> {
         self.own(pe);
         self.node.ops.ack_waits += 1;
         let now = self.node.clock;
-        let cost = self.node.acks.wait_clear(now);
-        self.node.clock = now + cost;
-        self.node.perf.credit(CostClass::AckWait, cost);
+        let cost = if self.use_event_path() {
+            crate::event::wait_write_acks_event(self.node)
+        } else {
+            let c = self.node.acks.wait_clear(now);
+            self.node.clock = now + c;
+            self.node.perf.credit(CostClass::AckWait, c);
+            c
+        };
         self.node.perf.sample(OpKind::AckWait, cost);
+        let _ = now;
     }
 
     fn fetch(&mut self, pe: usize, va: u64) -> bool {
@@ -638,9 +658,14 @@ impl MachineOps for PhasePe<'_> {
         self.own(pe);
         self.node.ops.pops += 1;
         let now = self.node.clock;
-        let (value, cost) = self.node.prefetch.pop(now)?;
-        self.node.clock = now + cost;
-        self.node.perf.credit(CostClass::PrefetchWait, cost);
+        let (value, cost) = if self.use_event_path() {
+            crate::event::pop_prefetch_event(self.node)?
+        } else {
+            let (v, c) = self.node.prefetch.pop(now)?;
+            self.node.clock = now + c;
+            self.node.perf.credit(CostClass::PrefetchWait, c);
+            (v, c)
+        };
         self.node.perf.sample(OpKind::Pop, cost);
         Ok(value)
     }
@@ -763,9 +788,14 @@ impl MachineOps for PhasePe<'_> {
     fn blt_wait(&mut self, pe: usize, handle: BltHandle) {
         self.own(pe);
         let now = self.node.clock;
-        self.node.clock = self.node.clock.max(handle.completion);
-        let waited = self.node.clock - now;
-        self.node.perf.credit(CostClass::BltWait, waited);
+        let waited = if self.use_event_path() {
+            crate::event::blt_wait_event(self.node, handle.completion)
+        } else {
+            self.node.clock = self.node.clock.max(handle.completion);
+            let w = self.node.clock - now;
+            self.node.perf.credit(CostClass::BltWait, w);
+            w
+        };
         self.node.perf.sample(OpKind::BltWait, waited);
     }
 

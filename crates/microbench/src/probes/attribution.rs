@@ -8,13 +8,13 @@
 //! sequential and the parallel phase driver.
 
 use splitc::{GlobalPtr, SplitC};
-use t3d_machine::{Machine, MachineConfig, PerfMode, PerfReport, PhaseDriver};
+use t3d_machine::{EngineMode, Machine, MachineConfig, PerfMode, PerfReport, PhaseDriver};
 use t3d_shell::blt::BltDirection;
 use t3d_shell::{AnnexEntry, FuncCode};
 
 /// What one scenario execution produced: the attribution report plus a
 /// determinism fingerprint of the final machine state.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ScenarioRun {
     /// The profiler's cycle-attribution report.
     pub report: PerfReport,
@@ -23,6 +23,22 @@ pub struct ScenarioRun {
     /// drivers and repeated runs; the throughput bench compares it so a
     /// fast-but-wrong engine fails instead of posting a great rate.
     pub checksum: u64,
+    /// Host seconds this run spent outside simulation: constructing the
+    /// machine (arena zeroing dominates) before the scenario started,
+    /// plus snapshotting and checksumming the final state after it
+    /// ended. The throughput harness subtracts it from the rate
+    /// denominator via [`t3d_perf::measure_split`]; it is host time, so
+    /// it is excluded from equality.
+    pub setup_secs: f64,
+}
+
+impl PartialEq for ScenarioRun {
+    /// Equality covers only the deterministic fields — the report and
+    /// the state checksum. `setup_secs` is host wall time and varies
+    /// run to run.
+    fn eq(&self, other: &Self) -> bool {
+        self.report == other.report && self.checksum == other.checksum
+    }
 }
 
 /// One named attribution scenario.
@@ -30,21 +46,29 @@ pub struct ScenarioRun {
 pub struct Scenario {
     /// Stable name (the key in `BENCH_micro.json`).
     pub name: &'static str,
-    /// Runs the scenario under the given phase driver and returns the
-    /// attribution report and checksum. Scenarios that never enter a
-    /// sharded phase ignore the driver.
-    pub run: fn(PhaseDriver) -> ScenarioRun,
+    /// Runs the scenario under the given phase driver and time-advance
+    /// engine, returning the attribution report and checksum. Both
+    /// dimensions are bit-identity contracts: scenarios that never
+    /// enter a sharded phase ignore the driver, but every scenario
+    /// honours the engine mode.
+    pub run: fn(PhaseDriver, EngineMode) -> ScenarioRun,
 }
 
 /// Every scenario confines its traffic to the first megabyte of each
 /// node, so the checksum region covers all bytes any of them can touch.
 const SNAP_BYTES: u64 = 1 << 20;
 
-/// Captures the scenario's result: report plus state fingerprint.
-fn finish(m: &Machine) -> ScenarioRun {
+/// Captures the scenario's result: report plus state fingerprint. The
+/// snapshot copy and FNV pass touch [`SNAP_BYTES`] per PE — on a tiny
+/// scenario that verification sweep, not the simulation, dominates the
+/// host wall time — so its host seconds join the excluded overhead.
+fn finish(m: &Machine, setup_secs: f64) -> ScenarioRun {
+    let t = std::time::Instant::now();
+    let checksum = m.snapshot_region(0, SNAP_BYTES).fnv64();
     ScenarioRun {
         report: m.perf(),
-        checksum: m.snapshot_region(0, SNAP_BYTES).fnv64(),
+        checksum,
+        setup_secs: setup_secs + t.elapsed().as_secs_f64(),
     }
 }
 
@@ -113,10 +137,13 @@ pub fn all() -> &'static [Scenario] {
 /// unaffected — the throughput bench's cycle gate pins that).
 const NODE_MEM: usize = 2 << 20;
 
-fn machine(pes: u32) -> Machine {
-    let mut m = Machine::new(MachineConfig::t3d_with_mem(pes, NODE_MEM));
+fn machine(pes: u32, engine: EngineMode) -> (Machine, f64) {
+    let t = std::time::Instant::now();
+    let mut cfg = MachineConfig::t3d_with_mem(pes, NODE_MEM);
+    cfg.engine = engine;
+    let mut m = Machine::new(cfg);
     m.set_perf_mode(PerfMode::Counters);
-    m
+    (m, t.elapsed().as_secs_f64())
 }
 
 fn aim(m: &mut Machine, pe: usize, target: u32, func: FuncCode) -> u64 {
@@ -126,21 +153,21 @@ fn aim(m: &mut Machine, pe: usize, target: u32, func: FuncCode) -> u64 {
 
 /// Strided local reads: a miss pass over 16 KB, then a hit pass over the
 /// resident prefix — L1 hits, DRAM page hits and misses all appear.
-fn local_read_stream(_d: PhaseDriver) -> ScenarioRun {
-    let mut m = machine(1);
+fn local_read_stream(_d: PhaseDriver, engine: EngineMode) -> ScenarioRun {
+    let (mut m, setup) = machine(1, engine);
     for i in 0..512u64 {
         let _ = m.ld8(0, i * 32);
     }
     for i in 0..256u64 {
         let _ = m.ld8(0, i * 8);
     }
-    finish(&m)
+    finish(&m, setup)
 }
 
 /// Local write bursts: merging stores within a line, page-hopping stores
 /// that stall the write buffer, and the drain at the barrier.
-fn local_write_burst(_d: PhaseDriver) -> ScenarioRun {
-    let mut m = machine(1);
+fn local_write_burst(_d: PhaseDriver, engine: EngineMode) -> ScenarioRun {
+    let (mut m, setup) = machine(1, engine);
     for i in 0..128u64 {
         m.st8(0, i * 8, i);
     }
@@ -148,59 +175,59 @@ fn local_write_burst(_d: PhaseDriver) -> ScenarioRun {
         m.st8(0, i * 16 * 1024, i);
     }
     m.memory_barrier(0);
-    finish(&m)
+    finish(&m, setup)
 }
 
 /// The Figure 4 uncached probe, attributed: shell launch, network and
 /// remote DRAM should dominate.
-fn remote_read_uncached(_d: PhaseDriver) -> ScenarioRun {
-    let mut m = machine(2);
+fn remote_read_uncached(_d: PhaseDriver, engine: EngineMode) -> ScenarioRun {
+    let (mut m, setup) = machine(2, engine);
     let base = aim(&mut m, 0, 1, FuncCode::Uncached);
     for i in 0..64u64 {
         let _ = m.ld8(0, base + i * 64);
     }
-    finish(&m)
+    finish(&m, setup)
 }
 
 /// Cached remote reads at word stride: one line fill amortized over
 /// three L1 hits.
-fn remote_read_cached(_d: PhaseDriver) -> ScenarioRun {
-    let mut m = machine(2);
+fn remote_read_cached(_d: PhaseDriver, engine: EngineMode) -> ScenarioRun {
+    let (mut m, setup) = machine(2, engine);
     let base = aim(&mut m, 0, 1, FuncCode::Cached);
     for i in 0..256u64 {
         let _ = m.ld8(0, base + i * 8);
     }
-    finish(&m)
+    finish(&m, setup)
 }
 
 /// Blocking remote writes: store, fence, ack wait — every iteration.
-fn remote_write_block(_d: PhaseDriver) -> ScenarioRun {
-    let mut m = machine(2);
+fn remote_write_block(_d: PhaseDriver, engine: EngineMode) -> ScenarioRun {
+    let (mut m, setup) = machine(2, engine);
     let base = aim(&mut m, 0, 1, FuncCode::Uncached);
     for i in 0..32u64 {
         m.st8(0, base + i * 64, i);
         m.memory_barrier(0);
         m.wait_write_acks(0);
     }
-    finish(&m)
+    finish(&m, setup)
 }
 
 /// Pipelined remote writes (Figure 7's put idiom): a burst of stores,
 /// one fence, one ack wait.
-fn remote_write_pipeline(_d: PhaseDriver) -> ScenarioRun {
-    let mut m = machine(2);
+fn remote_write_pipeline(_d: PhaseDriver, engine: EngineMode) -> ScenarioRun {
+    let (mut m, setup) = machine(2, engine);
     let base = aim(&mut m, 0, 1, FuncCode::Uncached);
     for i in 0..64u64 {
         m.st8(0, base + i * 64, i);
     }
     m.memory_barrier(0);
     m.wait_write_acks(0);
-    finish(&m)
+    finish(&m, setup)
 }
 
 /// Prefetch groups (Figure 6's group-of-4 sweep): issue, fence, pop.
-fn prefetch_pipeline(_d: PhaseDriver) -> ScenarioRun {
-    let mut m = machine(2);
+fn prefetch_pipeline(_d: PhaseDriver, engine: EngineMode) -> ScenarioRun {
+    let (mut m, setup) = machine(2, engine);
     let base = aim(&mut m, 0, 1, FuncCode::Uncached);
     for g in 0..16u64 {
         let mut issued = 0u64;
@@ -214,44 +241,44 @@ fn prefetch_pipeline(_d: PhaseDriver) -> ScenarioRun {
             m.pop_prefetch(0).expect("fetched values must pop");
         }
     }
-    finish(&m)
+    finish(&m, setup)
 }
 
 /// One BLT block write and its completion wait.
-fn bulk_blt(_d: PhaseDriver) -> ScenarioRun {
-    let mut m = machine(2);
+fn bulk_blt(_d: PhaseDriver, engine: EngineMode) -> ScenarioRun {
+    let (mut m, setup) = machine(2, engine);
     for i in 0..512u64 {
         m.poke_mem(0, 0x8000 + i * 8, &i.to_le_bytes());
     }
     let h = m.blt_start(0, BltDirection::Write, 0x8000, 1, 0x8000, 4096);
     m.blt_wait(0, h);
-    finish(&m)
+    finish(&m, setup)
 }
 
 /// Skewed barrier episodes: overhead plus wait for the laggard.
-fn sync_barrier(_d: PhaseDriver) -> ScenarioRun {
-    let mut m = machine(4);
+fn sync_barrier(_d: PhaseDriver, engine: EngineMode) -> ScenarioRun {
+    let (mut m, setup) = machine(4, engine);
     for round in 0..8u64 {
         for pe in 0..4usize {
             m.advance(pe, 50 + (pe as u64) * 37 + round * 11);
         }
         m.barrier_all();
     }
-    finish(&m)
+    finish(&m, setup)
 }
 
 /// Fetch&increment tickets against a remote register.
-fn sync_fetchinc(_d: PhaseDriver) -> ScenarioRun {
-    let mut m = machine(2);
+fn sync_fetchinc(_d: PhaseDriver, engine: EngineMode) -> ScenarioRun {
+    let (mut m, setup) = machine(2, engine);
     for _ in 0..32 {
         let _ = m.fetch_inc(0, 1, 0);
     }
-    finish(&m)
+    finish(&m, setup)
 }
 
 /// Message ping-pong: the 122-cycle PAL send and the receive dispatch.
-fn msg_pingpong(_d: PhaseDriver) -> ScenarioRun {
-    let mut m = machine(2);
+fn msg_pingpong(_d: PhaseDriver, engine: EngineMode) -> ScenarioRun {
+    let (mut m, setup) = machine(2, engine);
     for round in 0..8u64 {
         m.msg_send(0, 1, [round, 0, 0, 0]);
         let target = m.clock(0) + 10_000;
@@ -264,13 +291,13 @@ fn msg_pingpong(_d: PhaseDriver) -> ScenarioRun {
         m.advance(0, target.saturating_sub(now));
         m.msg_receive(0).expect("pong arrived");
     }
-    finish(&m)
+    finish(&m, setup)
 }
 
 /// A bulk-synchronous neighbour exchange through the sharded engine —
 /// the scenario that exercises the parallel driver's attribution.
-fn phase_exchange(d: PhaseDriver) -> ScenarioRun {
-    let mut m = machine(4);
+fn phase_exchange(d: PhaseDriver, engine: EngineMode) -> ScenarioRun {
+    let (mut m, setup) = machine(4, engine);
     for _ in 0..4 {
         m.sharded_phase(d, |cpu| {
             let pe = cpu.pe();
@@ -290,15 +317,18 @@ fn phase_exchange(d: PhaseDriver) -> ScenarioRun {
         });
         m.barrier_all();
     }
-    finish(&m)
+    finish(&m, setup)
 }
 
 /// Split-C gets and puts through the parallel phase driver.
-fn splitc_getput(d: PhaseDriver) -> ScenarioRun {
+fn splitc_getput(d: PhaseDriver, engine: EngineMode) -> ScenarioRun {
     // Full-size nodes: the Split-C runtime anchors its active-message
     // region at the top of memory, so shrinking node memory would move
     // those addresses and change DRAM timing.
-    let mut sc = SplitC::new(MachineConfig::t3d(4));
+    let t = std::time::Instant::now();
+    let mut cfg = MachineConfig::t3d(4);
+    cfg.engine = engine;
+    let mut sc = SplitC::new(cfg);
     let src = sc.alloc(256, 8);
     let dst = sc.alloc(256, 8);
     for pe in 0..4usize {
@@ -307,6 +337,7 @@ fn splitc_getput(d: PhaseDriver) -> ScenarioRun {
         }
     }
     sc.machine().set_perf_mode(PerfMode::Counters);
+    let setup = t.elapsed().as_secs_f64();
     for _ in 0..2 {
         sc.par_phase_with(d, |ctx| {
             let right = ((ctx.pe() + 1) % ctx.nodes()) as u32;
@@ -319,7 +350,7 @@ fn splitc_getput(d: PhaseDriver) -> ScenarioRun {
         });
         sc.barrier();
     }
-    finish(sc.machine_ref())
+    finish(sc.machine_ref(), setup)
 }
 
 #[cfg(test)]
@@ -329,7 +360,7 @@ mod tests {
     #[test]
     fn every_scenario_attributes_something() {
         for s in all() {
-            let run = (s.run)(PhaseDriver::Seq);
+            let run = (s.run)(PhaseDriver::Seq, EngineMode::Cycle);
             assert!(run.report.total() > 0, "{} attributed no cycles", s.name);
             assert_ne!(run.checksum, 0, "{} produced no fingerprint", s.name);
         }
@@ -339,7 +370,7 @@ mod tests {
     fn remote_scenarios_show_remote_cycles() {
         for name in ["remote.read.uncached", "remote.write.block", "bulk.blt"] {
             let s = all().iter().find(|s| s.name == name).unwrap();
-            let report = (s.run)(PhaseDriver::Seq).report;
+            let report = (s.run)(PhaseDriver::Seq, EngineMode::Cycle).report;
             assert!(
                 report.remote_share() > 0.2,
                 "{name} remote share {:.2}",

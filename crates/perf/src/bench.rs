@@ -71,7 +71,7 @@ fn stat_from(v: Option<&Value>) -> Stat {
 }
 
 fn throughput_json(t: &Throughput) -> Value {
-    Value::obj(vec![
+    let mut fields = vec![
         ("cycles_per_sec", stat_json(&t.cycles_per_sec)),
         ("ops_per_sec", stat_json(&t.ops_per_sec)),
         ("sim_cycles", Value::Int(t.sim_cycles as i64)),
@@ -81,7 +81,14 @@ fn throughput_json(t: &Throughput) -> Value {
         ("checksum", Value::Str(format!("{:#018x}", t.checksum))),
         ("runs", Value::Int(t.runs as i64)),
         ("warmup", Value::Int(t.warmup as i64)),
-    ])
+    ];
+    // Additive v2 field: setup seconds per run, present only when the
+    // benchmark was measured with the setup/simulation split. Documents
+    // without it parse back as `setup: None`.
+    if let Some(setup) = &t.setup {
+        fields.push(("setup", stat_json(setup)));
+    }
+    Value::obj(fields)
 }
 
 fn throughput_from(v: &Value) -> Result<Throughput, String> {
@@ -101,6 +108,7 @@ fn throughput_from(v: &Value) -> Result<Throughput, String> {
         checksum,
         runs: int("runs") as u32,
         warmup: int("warmup") as u32,
+        setup: v.get("setup").map(|s| stat_from(Some(s))),
     })
 }
 
@@ -309,6 +317,10 @@ mod tests {
             checksum,
             runs: 3,
             warmup: 1,
+            setup: Some(Stat {
+                mean: 0.002,
+                stddev: 0.0001,
+            }),
         }
     }
 
@@ -331,6 +343,10 @@ mod tests {
         let mut bare = entry("no.throughput", 7);
         bare.throughput = None;
         doc.entries.push(bare);
+        // ...and throughput blocks measured without the setup split.
+        let mut nosetup = entry("no.setup", 9);
+        nosetup.throughput.as_mut().unwrap().setup = None;
+        doc.entries.push(nosetup);
         let text = doc.to_json().render_pretty();
         let back = BenchDoc::from_json(&text).unwrap();
         assert_eq!(back, doc);
@@ -378,6 +394,24 @@ mod tests {
         assert_eq!(doc.suite, "micro");
         assert_eq!(doc.entries.len(), 13);
         assert!(doc.entries.iter().all(|e| e.throughput.is_none()));
+        assert!(compare(&doc, &doc, 0.25, 0.5).is_empty());
+    }
+
+    #[test]
+    fn the_committed_v2_nosetup_fixture_parses_and_compares() {
+        // The last v2 document written before the throughput block grew
+        // its `setup` field, checked in verbatim as the migration
+        // fixture (same pattern as the v1 fixture above): it must keep
+        // parsing — with `setup` absent mapping to `None` — and serve
+        // as a baseline without tripping any gate.
+        let doc = BenchDoc::from_json(include_str!("../fixtures/BENCH_micro_v2_nosetup.json"))
+            .expect("v2-nosetup fixture parses");
+        assert_eq!(doc.suite, "micro");
+        assert_eq!(doc.entries.len(), 13);
+        assert!(doc
+            .entries
+            .iter()
+            .all(|e| e.throughput.as_ref().is_some_and(|t| t.setup.is_none())));
         assert!(compare(&doc, &doc, 0.25, 0.5).is_empty());
     }
 

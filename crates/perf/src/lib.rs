@@ -49,7 +49,9 @@ pub use hist::Hist;
 pub use ledger::{CostClass, Ledger, OpHists, OpKind, PerfAccum, COST_CLASSES, OP_KINDS};
 pub use registry::Registry;
 pub use report::{PePerf, PerfReport, PhaseLog, PhaseRecord};
-pub use throughput::{measure, RunSample, Stat, Throughput, ThroughputSpec};
+pub use throughput::{
+    measure, measure_split, RunSample, SplitSample, Stat, Throughput, ThroughputSpec,
+};
 
 /// How much observability a run collects. Mirrors the `T3D_SAN`
 /// precedent: an environment knob (`T3D_PERF`) fills in the default,

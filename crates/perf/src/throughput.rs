@@ -43,6 +43,22 @@ pub struct RunSample {
     pub checksum: u64,
 }
 
+/// What one benchmark execution reports back to [`measure_split`]: the
+/// deterministic run totals plus how much of the run's wall time was
+/// measurement apparatus — setup (machine construction, arena
+/// allocation) and verification (snapshotting and checksumming the
+/// final state) — rather than simulation. Those seconds are excluded
+/// from the rate denominators, so the published cycles/sec measures
+/// the engine, not the allocator or the checksummer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitSample {
+    /// The deterministic totals of the run.
+    pub sample: RunSample,
+    /// Host seconds the run spent outside simulation (setup before it,
+    /// state checksumming after it).
+    pub setup_secs: f64,
+}
+
 /// A mean and population standard deviation over the measured runs.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Stat {
@@ -86,6 +102,13 @@ pub struct Throughput {
     pub runs: u32,
     /// Number of discarded warm-up runs.
     pub warmup: u32,
+    /// Host seconds per run spent outside simulation — setup (machine
+    /// construction, arena allocation) plus final-state checksumming —
+    /// excluded from the rate denominators. `None` when the benchmark
+    /// was measured with [`measure`], which has no such split —
+    /// documents written before the split parse back as `None` too, so
+    /// the field is additive within the v2 schema.
+    pub setup: Option<Stat>,
 }
 
 /// Runs `run` `spec.warmup + spec.runs` times, timing the measured runs
@@ -96,14 +119,34 @@ pub fn measure(
     spec: ThroughputSpec,
     mut run: impl FnMut() -> RunSample,
 ) -> Result<Throughput, String> {
+    let mut t = measure_split(spec, || SplitSample {
+        sample: run(),
+        setup_secs: 0.0,
+    })?;
+    t.setup = None;
+    Ok(t)
+}
+
+/// Like [`measure`], but each run reports how much of its wall time was
+/// one-time setup; that time is subtracted from the rate denominators
+/// and published as the `setup` stat. The determinism guard is the
+/// same: any divergence in cycles, ops or checksum fails the
+/// measurement.
+pub fn measure_split(
+    spec: ThroughputSpec,
+    mut run: impl FnMut() -> SplitSample,
+) -> Result<Throughput, String> {
     assert!(spec.runs > 0, "at least one measured run");
     let mut reference: Option<RunSample> = None;
     let mut cy_rates = Vec::with_capacity(spec.runs as usize);
     let mut op_rates = Vec::with_capacity(spec.runs as usize);
+    let mut setups = Vec::with_capacity(spec.runs as usize);
     for i in 0..spec.warmup + spec.runs {
         let t = Instant::now();
-        let sample = run();
-        let secs = t.elapsed().as_secs_f64().max(1e-9);
+        let split = run();
+        let elapsed = t.elapsed().as_secs_f64();
+        let secs = (elapsed - split.setup_secs).max(1e-9);
+        let sample = split.sample;
         let reference = reference.get_or_insert(sample);
         if sample != *reference {
             return Err(format!(
@@ -120,6 +163,7 @@ pub fn measure(
         if i >= spec.warmup {
             cy_rates.push(sample.sim_cycles as f64 / secs);
             op_rates.push(sample.sim_ops as f64 / secs);
+            setups.push(split.setup_secs);
         }
     }
     let reference = reference.expect("at least one run executed");
@@ -131,6 +175,7 @@ pub fn measure(
         checksum: reference.checksum,
         runs: spec.runs,
         warmup: spec.warmup,
+        setup: Some(Stat::of(&setups)),
     })
 }
 
@@ -174,6 +219,66 @@ mod tests {
         assert_eq!(t.warmup, 2);
         assert!(t.cycles_per_sec.mean > 0.0);
         assert!(t.ops_per_sec.mean > 0.0);
+    }
+
+    #[test]
+    fn measure_leaves_setup_unset() {
+        let t = measure(ThroughputSpec { warmup: 0, runs: 1 }, || RunSample {
+            sim_cycles: 1,
+            sim_ops: 1,
+            checksum: 0,
+        })
+        .unwrap();
+        assert!(t.setup.is_none());
+    }
+
+    #[test]
+    fn measure_split_excludes_setup_from_rates() {
+        // The run sleeps 20 ms and declares 19 ms of it as setup. With
+        // setup excluded the rate denominator is the (sub-millisecond)
+        // residual, so the measured rate must beat the rate a
+        // full-elapsed denominator could ever produce. Sleep is a lower
+        // bound on elapsed time, so the comparison is safe unless the
+        // scheduler overshoots the sleep by 19 ms.
+        let spec = ThroughputSpec { warmup: 0, runs: 2 };
+        let t = measure_split(spec, || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            SplitSample {
+                sample: RunSample {
+                    sim_cycles: 1000,
+                    sim_ops: 10,
+                    checksum: 0xBEEF,
+                },
+                setup_secs: 0.019,
+            }
+        })
+        .unwrap();
+        let setup = t.setup.expect("split measurement records a setup stat");
+        assert!((setup.mean - 0.019).abs() < 1e-12, "setup = {setup:?}");
+        assert!(
+            t.cycles_per_sec.mean > t.sim_cycles as f64 / setup.mean,
+            "rate {} does not reflect setup exclusion",
+            t.cycles_per_sec.mean
+        );
+        assert_eq!(t.checksum, 0xBEEF);
+    }
+
+    #[test]
+    fn measure_split_guards_determinism() {
+        let mut calls = 0u64;
+        let err = measure_split(ThroughputSpec { warmup: 0, runs: 2 }, || {
+            calls += 1;
+            SplitSample {
+                sample: RunSample {
+                    sim_cycles: calls,
+                    sim_ops: 1,
+                    checksum: 0,
+                },
+                setup_secs: 0.0,
+            }
+        })
+        .unwrap_err();
+        assert!(err.contains("nondeterministic"), "unexpected error: {err}");
     }
 
     #[test]

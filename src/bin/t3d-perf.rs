@@ -35,10 +35,13 @@
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-use em3d::{run_version_profiled, Em3dParams, Version};
-use t3d_machine::{PerfReport, PhaseDriver};
+use em3d::{run_version_profiled_engine, Em3dParams, Version};
+use t3d_machine::{EngineMode, PerfReport, PhaseDriver};
 use t3d_microbench::probes::attribution;
-use t3d_perf::{compare, measure, BenchDoc, BenchEntry, RunSample, Throughput, ThroughputSpec};
+use t3d_perf::{
+    compare, measure, measure_split, BenchDoc, BenchEntry, RunSample, SplitSample, Throughput,
+    ThroughputSpec,
+};
 
 struct Opts {
     out: std::path::PathBuf,
@@ -77,39 +80,79 @@ fn entry_from_report(name: &str, report: &PerfReport, throughput: Throughput) ->
     }
 }
 
-fn run_micro(driver: PhaseDriver, opts: &Opts) -> Result<BenchDoc, String> {
+/// Measures one scenario under one engine, with machine-construction
+/// time folded into the throughput block's `setup` stat.
+fn measure_scenario(
+    s: &attribution::Scenario,
+    driver: PhaseDriver,
+    engine: EngineMode,
+    spec: ThroughputSpec,
+    first: &mut Option<PerfReport>,
+) -> Result<Throughput, String> {
+    measure_split(spec, || {
+        let run = (s.run)(driver, engine);
+        let sample = RunSample {
+            sim_cycles: run.report.total(),
+            sim_ops: sim_ops(&run.report),
+            checksum: run.checksum,
+        };
+        let setup_secs = run.setup_secs;
+        first.get_or_insert(run.report);
+        SplitSample { sample, setup_secs }
+    })
+    .map_err(|e| format!("{} [{engine:?}]: {e}", s.name))
+}
+
+fn run_micro(driver: PhaseDriver, engine: EngineMode, opts: &Opts) -> Result<BenchDoc, String> {
     let mut doc = BenchDoc::new("micro");
     for s in attribution::all() {
         let mut first: Option<PerfReport> = None;
-        let throughput = measure(opts.spec, || {
-            let run = (s.run)(driver);
-            let sample = RunSample {
-                sim_cycles: run.report.total(),
-                sim_ops: sim_ops(&run.report),
-                checksum: run.checksum,
-            };
-            first.get_or_insert(run.report);
-            sample
-        })
-        .map_err(|e| format!("{}: {e}", s.name))?;
+        // The published throughput block measures the session engine;
+        // a second measurement under the other engine yields the
+        // event-core speedup extra and doubles as a differential check.
+        let main = measure_scenario(s, driver, engine, opts.spec, &mut first)?;
+        let other_engine = match engine {
+            EngineMode::Event => EngineMode::Cycle,
+            EngineMode::Cycle => EngineMode::Event,
+        };
+        let mut other_first = None;
+        let other = measure_scenario(s, driver, other_engine, opts.spec, &mut other_first)?;
+        if (main.checksum, main.sim_cycles) != (other.checksum, other.sim_cycles) {
+            return Err(format!(
+                "{}: engines diverged: {engine:?} (cycles={}, checksum={:#018x}) vs \
+                 {other_engine:?} (cycles={}, checksum={:#018x})",
+                s.name, main.sim_cycles, main.checksum, other.sim_cycles, other.checksum
+            ));
+        }
+        let (event_rate, cycle_rate) = match engine {
+            EngineMode::Event => (main.cycles_per_sec.mean, other.cycles_per_sec.mean),
+            EngineMode::Cycle => (other.cycles_per_sec.mean, main.cycles_per_sec.mean),
+        };
         let report = first.expect("measure ran the scenario at least once");
         if opts.report {
             println!("=== {} ===\n{}", s.name, report.render());
         }
-        doc.entries
-            .push(entry_from_report(s.name, &report, throughput));
+        let mut e = entry_from_report(s.name, &report, main);
+        if cycle_rate > 0.0 {
+            e.extras
+                .insert("event_speedup".to_string(), event_rate / cycle_rate);
+        }
+        doc.entries.push(e);
     }
     Ok(doc)
 }
 
-fn run_em3d(driver: PhaseDriver, opts: &Opts) -> Result<BenchDoc, String> {
+fn run_em3d(driver: PhaseDriver, engine: EngineMode, opts: &Opts) -> Result<BenchDoc, String> {
     let mut doc = BenchDoc::new("em3d");
     let params = Em3dParams::tiny(30.0);
     for v in Version::all() {
         let name = format!("em3d.{}", v.label());
         let mut first: Option<(f64, PerfReport)> = None;
+        // EM3D builds its graph and machine inside the run, so there
+        // is no setup/simulation split to observe; `measure` leaves the
+        // setup stat unset (the micro suite isolates setup).
         let throughput = measure(opts.spec, || {
-            let (result, report) = run_version_profiled(driver, 4, params, v);
+            let (result, report) = run_version_profiled_engine(driver, engine, 4, params, v);
             let sample = RunSample {
                 sim_cycles: report.total(),
                 sim_ops: sim_ops(&report),
@@ -256,9 +299,10 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     let driver = PhaseDriver::from_env();
+    let engine = EngineMode::from_env();
     let mut docs = Vec::new();
     if matches!(cmd, "micro" | "all") {
-        match run_micro(driver, &opts) {
+        match run_micro(driver, engine, &opts) {
             Ok(doc) => docs.push(doc),
             Err(e) => {
                 eprintln!("DETERMINISM FAILURE [micro]: {e}");
@@ -267,7 +311,7 @@ fn main() -> ExitCode {
         }
     }
     if matches!(cmd, "em3d" | "all") {
-        match run_em3d(driver, &opts) {
+        match run_em3d(driver, engine, &opts) {
             Ok(doc) => docs.push(doc),
             Err(e) => {
                 eprintln!("DETERMINISM FAILURE [em3d]: {e}");
