@@ -70,8 +70,14 @@ impl Hist {
     }
 
     /// The `p`-quantile (0 < p ≤ 100) at bucket resolution: the upper
-    /// bound of the bucket holding the sample at that rank. 0 when
-    /// empty.
+    /// bound of the bucket holding the sample at that rank.
+    ///
+    /// An **empty histogram reports 0** for every percentile. This is
+    /// a contract, not an accident: aggregators (the `t3d-sched` fleet
+    /// metrics, BENCH document summaries) serialize percentiles of
+    /// histograms that may have received no samples, and 0 is the
+    /// sentinel those schemas rely on. Pinned by
+    /// `empty_percentiles_are_zero`.
     pub fn percentile(&self, p: u64) -> u64 {
         let n = self.count();
         if n == 0 {
@@ -176,5 +182,23 @@ mod tests {
         assert_eq!(h.count(), 0);
         assert_eq!(h.p50(), 0);
         assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn empty_percentiles_are_zero() {
+        // The documented contract: every percentile of an empty
+        // histogram is 0 (schemas use 0 as the no-samples sentinel),
+        // and merging empty histograms preserves that.
+        let mut h = Hist::default();
+        for p in [1, 50, 95, 99, 100] {
+            assert_eq!(h.percentile(p), 0, "p{p} of empty must be 0");
+        }
+        h.merge(&Hist::default());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p99(), 0);
+        // One sample flips every percentile to its bucket bound.
+        h.record(0);
+        assert_eq!(h.percentile(1), 1);
+        assert_eq!(h.p99(), 1);
     }
 }

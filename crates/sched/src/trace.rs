@@ -1,0 +1,332 @@
+//! The job-stream trace model: what arrives, when, and how big.
+//!
+//! A trace is an ordered list of [`Job`]s, each asking for a
+//! power-of-two block of PEs at a virtual-cycle arrival time. Traces
+//! come from the seeded synthetic generator ([`Trace::generate`]) or
+//! from JSON (`t3d-sched-trace-v1`), and the same trace always
+//! schedules the same way — every number in a generated trace derives
+//! from one `t3d-prng` stream, including the Poisson-ish arrival
+//! process, which uses a *deterministic* natural log ([`ln_det`])
+//! rather than libm's `ln` so checked-in traces and BENCH documents
+//! reproduce bit-identically on any host.
+
+use t3d_perf::json::{self, Value};
+
+use crate::kernels::Kernel;
+use crate::metrics::{fnv1a, FNV_OFFSET};
+use t3d_prng::Rng;
+
+/// Schema tag for trace JSON.
+pub const TRACE_SCHEMA: &str = "t3d-sched-trace-v1";
+
+/// One job in the stream. A job's id is its index in the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Job {
+    /// Virtual cycle at which the job enters the queue.
+    pub arrival_cy: u64,
+    /// PEs requested (a power of two; the allocator rounds up anything
+    /// else).
+    pub pe_count: u32,
+    /// The payload program.
+    pub kernel: Kernel,
+    /// Per-PE problem size (kernel-specific units: nodes, cells, keys
+    /// or rows per PE).
+    pub size: u64,
+    /// Seed for the kernel's input data.
+    pub seed: u64,
+}
+
+/// Parameters for the synthetic trace generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenParams {
+    /// Number of jobs to generate.
+    pub jobs: u32,
+    /// Mean inter-arrival gap in cycles (geometric, so the arrival
+    /// process is the discrete analogue of Poisson).
+    pub mean_interarrival_cy: u64,
+    /// Smallest job size as log2(PEs) (e.g. 1 = 2 PEs).
+    pub min_order: u32,
+    /// Largest job size as log2(PEs).
+    pub max_order: u32,
+    /// Master seed; every field of every job derives from it.
+    pub seed: u64,
+}
+
+impl Default for GenParams {
+    fn default() -> Self {
+        GenParams {
+            jobs: 32,
+            mean_interarrival_cy: 200_000,
+            min_order: 1,
+            max_order: 3,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// An ordered job stream.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    /// Jobs in arrival order (non-decreasing `arrival_cy`).
+    pub jobs: Vec<Job>,
+}
+
+impl Trace {
+    /// Generates a synthetic trace: geometric inter-arrival gaps with
+    /// the given mean, job sizes uniform over the order range, kernels
+    /// drawn from [`Kernel::zoo`], per-PE problem sizes perturbed
+    /// ±50% around each kernel's default. Deterministic in `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_order > max_order`.
+    pub fn generate(params: GenParams) -> Trace {
+        assert!(
+            params.min_order <= params.max_order,
+            "min_order {} > max_order {}",
+            params.min_order,
+            params.max_order
+        );
+        let mut rng = Rng::seed_from_u64(params.seed);
+        let mut jobs = Vec::with_capacity(params.jobs as usize);
+        let mut clock = 0u64;
+        for _ in 0..params.jobs {
+            clock += geometric(&mut rng, params.mean_interarrival_cy);
+            let order = rng.gen_range(params.min_order..params.max_order + 1);
+            let kernel = *rng.pick(Kernel::zoo());
+            let base = kernel.default_size();
+            let size = (base * rng.gen_range(50..151) / 100).max(4);
+            jobs.push(Job {
+                arrival_cy: clock,
+                pe_count: 1u32 << order,
+                kernel,
+                size,
+                seed: rng.next_u64(),
+            });
+        }
+        Trace { jobs }
+    }
+
+    /// FNV-1a fingerprint of every field of every job — the identity
+    /// of a trace for determinism checks.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for j in &self.jobs {
+            h = fnv1a(h, &j.arrival_cy.to_le_bytes());
+            h = fnv1a(h, &j.pe_count.to_le_bytes());
+            h = fnv1a(h, j.kernel.name().as_bytes());
+            h = fnv1a(h, &j.size.to_le_bytes());
+            h = fnv1a(h, &j.seed.to_le_bytes());
+        }
+        h
+    }
+
+    /// The trace as a `t3d-sched-trace-v1` JSON document.
+    pub fn to_json(&self) -> Value {
+        let jobs = self
+            .jobs
+            .iter()
+            .map(|j| {
+                Value::obj(vec![
+                    ("arrival_cy", Value::Int(j.arrival_cy as i64)),
+                    ("pe_count", Value::Int(i64::from(j.pe_count))),
+                    ("kernel", Value::Str(j.kernel.name())),
+                    ("size", Value::Int(j.size as i64)),
+                    // Hex: kernel seeds use the full u64 range, which a
+                    // JSON integer (i64 here) cannot carry.
+                    ("seed", Value::Str(format!("{:#018x}", j.seed))),
+                ])
+            })
+            .collect();
+        Value::obj(vec![
+            ("schema", Value::Str(TRACE_SCHEMA.to_string())),
+            ("jobs", Value::Arr(jobs)),
+        ])
+    }
+
+    /// Parses a `t3d-sched-trace-v1` document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem: wrong
+    /// schema, missing field, unknown kernel, or arrivals out of order.
+    pub fn from_json(v: &Value) -> Result<Trace, String> {
+        let schema = v.get("schema").and_then(Value::as_str).unwrap_or("");
+        if schema != TRACE_SCHEMA {
+            return Err(format!("expected schema {TRACE_SCHEMA:?}, got {schema:?}"));
+        }
+        let raw = v
+            .get("jobs")
+            .and_then(Value::as_arr)
+            .ok_or("trace missing jobs array")?;
+        let mut jobs = Vec::with_capacity(raw.len());
+        let mut last_arrival = 0u64;
+        for (i, jv) in raw.iter().enumerate() {
+            let int = |key: &str| -> Result<i64, String> {
+                jv.get(key)
+                    .and_then(Value::as_i64)
+                    .ok_or(format!("job {i} missing {key}"))
+            };
+            let kernel_name = jv
+                .get("kernel")
+                .and_then(Value::as_str)
+                .ok_or(format!("job {i} missing kernel"))?;
+            let kernel = Kernel::parse(kernel_name)
+                .ok_or(format!("job {i}: unknown kernel {kernel_name:?}"))?;
+            let seed_text = jv
+                .get("seed")
+                .and_then(Value::as_str)
+                .ok_or(format!("job {i} missing seed"))?;
+            let digits = seed_text.strip_prefix("0x").unwrap_or(seed_text);
+            let seed = u64::from_str_radix(digits, 16)
+                .map_err(|e| format!("job {i}: bad seed {seed_text:?}: {e}"))?;
+            let arrival_cy = int("arrival_cy")? as u64;
+            if arrival_cy < last_arrival {
+                return Err(format!("job {i}: arrivals out of order"));
+            }
+            last_arrival = arrival_cy;
+            jobs.push(Job {
+                arrival_cy,
+                pe_count: u32::try_from(int("pe_count")?)
+                    .map_err(|e| format!("job {i}: bad pe_count: {e}"))?,
+                kernel,
+                size: int("size")? as u64,
+                seed,
+            });
+        }
+        Ok(Trace { jobs })
+    }
+
+    /// Renders the trace as pretty JSON text.
+    pub fn render(&self) -> String {
+        self.to_json().render_pretty()
+    }
+
+    /// Parses trace JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first syntax or structural problem.
+    pub fn parse(text: &str) -> Result<Trace, String> {
+        Trace::from_json(&json::parse(text)?)
+    }
+}
+
+/// A geometric inter-arrival gap with the given mean, in cycles (at
+/// least 1). The discrete analogue of exponential inter-arrival times:
+/// `k = 1 + floor(ln(1-u) / ln(1-1/mean))`.
+fn geometric(rng: &mut Rng, mean: u64) -> u64 {
+    if mean <= 1 {
+        return 1;
+    }
+    let u = rng.gen_f64();
+    let p = 1.0 / mean as f64;
+    let k = (ln_det(1.0 - u) / ln_det(1.0 - p)).floor();
+    1 + k as u64
+}
+
+/// Deterministic natural logarithm for `x` in (0, 1]: IEEE-754
+/// bit-decomposition plus the atanh series, using only `f64`
+/// multiply/add (whose results IEEE fully specifies). libm's `ln` is
+/// correctly rounded on common hosts but not *guaranteed* identical
+/// across platforms, and the arrival process feeds checked-in BENCH
+/// documents that must reproduce bit-exactly everywhere.
+///
+/// # Panics
+///
+/// Panics on non-finite, non-positive, or subnormal input (arrival
+/// sampling never produces those).
+pub fn ln_det(x: f64) -> f64 {
+    assert!(x.is_finite() && x > 0.0, "ln_det domain: got {x}");
+    let bits = x.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as i64;
+    assert!(exp != 0, "ln_det: subnormal input {x:e}");
+    let e = exp - 1023;
+    // Mantissa with the implicit leading 1: m in [1, 2).
+    let m = f64::from_bits((bits & 0x000f_ffff_ffff_ffff) | (1023u64 << 52));
+    // ln m = 2 atanh(t), t = (m-1)/(m+1) in [0, 1/3); the series
+    // t + t³/3 + t⁵/5 + … converges past f64 precision by t²⁷.
+    let t = (m - 1.0) / (m + 1.0);
+    let t2 = t * t;
+    let mut term = t;
+    let mut sum = 0.0;
+    for k in 0..14 {
+        sum += term / f64::from(2 * k + 1);
+        term *= t2;
+    }
+    2.0 * sum + e as f64 * std::f64::consts::LN_2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_det_matches_libm() {
+        // On this host libm is correctly rounded; ln_det must agree
+        // closely everywhere we sample. Near x = 1 the exponent and
+        // series terms cancel, so the bound is absolute (a few ulps of
+        // ln 2), not relative.
+        let mut rng = Rng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.gen_f64().max(1e-12);
+            let got = ln_det(x);
+            let want = x.ln();
+            assert!(
+                (got - want).abs() <= 1e-14 * want.abs().max(1.0),
+                "ln_det({x:e}) = {got:e}, libm {want:e}"
+            );
+        }
+        assert_eq!(ln_det(1.0), 0.0);
+        assert!((ln_det(0.5) + std::f64::consts::LN_2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn geometric_mean_is_close() {
+        let mut rng = Rng::seed_from_u64(2);
+        let mean = 1000u64;
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| geometric(&mut rng, mean)).sum();
+        let got = total as f64 / f64::from(n);
+        assert!(
+            (got - mean as f64).abs() < 0.05 * mean as f64,
+            "sample mean {got} too far from {mean}"
+        );
+    }
+
+    #[test]
+    fn generate_is_deterministic_and_ordered() {
+        let p = GenParams::default();
+        let a = Trace::generate(p);
+        let b = Trace::generate(p);
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        for w in a.jobs.windows(2) {
+            assert!(w[0].arrival_cy <= w[1].arrival_cy);
+        }
+        let mut p2 = p;
+        p2.seed ^= 1;
+        assert_ne!(Trace::generate(p2).fingerprint(), a.fingerprint());
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let t = Trace::generate(GenParams::default());
+        let back = Trace::parse(&t.render()).expect("round trip");
+        assert_eq!(t, back);
+        assert_eq!(t.fingerprint(), back.fingerprint());
+    }
+
+    #[test]
+    fn parse_rejects_bad_documents() {
+        assert!(Trace::parse("{}").is_err());
+        let mut t = Trace::generate(GenParams {
+            jobs: 2,
+            ..GenParams::default()
+        });
+        t.jobs[1].arrival_cy = 0;
+        t.jobs[0].arrival_cy = 10;
+        let text = t.render();
+        assert!(Trace::parse(&text).unwrap_err().contains("out of order"));
+    }
+}

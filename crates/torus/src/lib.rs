@@ -12,8 +12,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod subcube;
 pub mod traffic;
 
+pub use subcube::SubCube;
 pub use traffic::TrafficMatrix;
 
 /// A position in the torus.

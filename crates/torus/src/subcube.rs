@@ -1,0 +1,312 @@
+//! Power-of-two sub-cube arithmetic for torus partitioning.
+//!
+//! A real T3D ran as a shared service: the machine's X×Y×Z torus was
+//! carved into rectangular sub-cubes and each job gang-ran inside one.
+//! This module is the geometry half of that story — canonical
+//! power-of-two sub-cube shapes, the deterministic split order, and
+//! buddy identification — consumed by the partition allocator in
+//! `crates/sched`. Everything here is pure integer math: splitting
+//! always halves the *largest* dimension (ties broken X, then Y, then
+//! Z), so every block of a given PE count has exactly one shape, which
+//! is what makes buddy coalescing and job-cycle memoisation sound.
+
+use crate::Coord;
+
+/// Extents of a (sub-)torus in each dimension.
+pub type Dims = (u32, u32, u32);
+
+/// Number of PEs inside `dims`.
+fn pes(dims: Dims) -> u64 {
+    u64::from(dims.0) * u64::from(dims.1) * u64::from(dims.2)
+}
+
+/// True when every extent is a power of two (the precondition for the
+/// whole buddy scheme).
+pub fn dims_pow2(dims: Dims) -> bool {
+    dims.0.is_power_of_two() && dims.1.is_power_of_two() && dims.2.is_power_of_two()
+}
+
+/// The dimension a block of shape `dims` is split along: the largest
+/// extent, ties broken X before Y before Z. Returns `None` for a
+/// single-PE block.
+pub fn split_axis(dims: Dims) -> Option<usize> {
+    if pes(dims) <= 1 {
+        return None;
+    }
+    let exts = [dims.0, dims.1, dims.2];
+    let max = *exts.iter().max().expect("three extents");
+    exts.iter().position(|&e| e == max)
+}
+
+/// The canonical shape of an order-`k` block (2^k PEs) inside a machine
+/// of shape `machine`: obtained by repeatedly halving the largest
+/// dimension of the full machine. The result is the same for every
+/// block of that order, which is what lets blocks be identified by
+/// `(order, origin)` alone.
+///
+/// # Panics
+///
+/// Panics if `machine` has a non-power-of-two extent or `2^k` exceeds
+/// the machine size.
+pub fn shape_of_order(machine: Dims, k: u32) -> Dims {
+    assert!(dims_pow2(machine), "machine extents must be powers of two");
+    let total = pes(machine);
+    assert!(
+        u64::from(1u32) << k <= total,
+        "order {k} exceeds machine of {total} PEs"
+    );
+    let mut d = machine;
+    while pes(d) > 1u64 << k {
+        let axis = split_axis(d).expect("block larger than one PE splits");
+        match axis {
+            0 => d.0 /= 2,
+            1 => d.1 /= 2,
+            _ => d.2 /= 2,
+        }
+    }
+    d
+}
+
+/// A rectangular sub-cube of a torus: an origin corner plus extents.
+/// Canonical blocks are aligned — each origin coordinate is a multiple
+/// of the corresponding extent — so aligned blocks never wrap around
+/// the torus and two blocks either nest or are disjoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubCube {
+    /// The low corner.
+    pub origin: Coord,
+    /// Extent in each dimension.
+    pub dims: Dims,
+}
+
+impl std::fmt::Display for SubCube {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}x{}x{}@{}",
+            self.dims.0, self.dims.1, self.dims.2, self.origin
+        )
+    }
+}
+
+impl SubCube {
+    /// The whole machine as one block.
+    pub fn whole(machine: Dims) -> SubCube {
+        SubCube {
+            origin: Coord { x: 0, y: 0, z: 0 },
+            dims: machine,
+        }
+    }
+
+    /// Number of PEs in this block.
+    pub fn pes(&self) -> u64 {
+        pes(self.dims)
+    }
+
+    /// `log2(pes)` for power-of-two blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block's PE count is not a power of two.
+    pub fn order(&self) -> u32 {
+        let n = self.pes();
+        assert!(n.is_power_of_two(), "{self} is not a power-of-two block");
+        n.trailing_zeros()
+    }
+
+    /// Whether every origin coordinate is a multiple of its extent (the
+    /// canonical-buddy alignment invariant).
+    pub fn aligned(&self) -> bool {
+        self.origin.x.is_multiple_of(self.dims.0)
+            && self.origin.y.is_multiple_of(self.dims.1)
+            && self.origin.z.is_multiple_of(self.dims.2)
+    }
+
+    /// Whether `c` lies inside this block.
+    pub fn contains(&self, c: Coord) -> bool {
+        c.x >= self.origin.x
+            && c.x < self.origin.x + self.dims.0
+            && c.y >= self.origin.y
+            && c.y < self.origin.y + self.dims.1
+            && c.z >= self.origin.z
+            && c.z < self.origin.z + self.dims.2
+    }
+
+    /// Whether two aligned blocks share any PE.
+    pub fn overlaps(&self, other: &SubCube) -> bool {
+        let axis = |a0: u32, ae: u32, b0: u32, be: u32| a0 < b0 + be && b0 < a0 + ae;
+        axis(self.origin.x, self.dims.0, other.origin.x, other.dims.0)
+            && axis(self.origin.y, self.dims.1, other.origin.y, other.dims.1)
+            && axis(self.origin.z, self.dims.2, other.origin.z, other.dims.2)
+    }
+
+    /// Every coordinate inside the block, X varying fastest (matching
+    /// the torus node-id order).
+    pub fn coords(&self) -> Vec<Coord> {
+        let mut out = Vec::with_capacity(self.pes() as usize);
+        for z in self.origin.z..self.origin.z + self.dims.2 {
+            for y in self.origin.y..self.origin.y + self.dims.1 {
+                for x in self.origin.x..self.origin.x + self.dims.0 {
+                    out.push(Coord { x, y, z });
+                }
+            }
+        }
+        out
+    }
+
+    /// Splits the block in half along its canonical split axis,
+    /// returning `(lower, upper)` — lower keeps the origin. The two
+    /// halves are buddies of each other.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a single-PE block.
+    pub fn split(&self) -> (SubCube, SubCube) {
+        let axis = split_axis(self.dims).expect("cannot split a single-PE block");
+        let mut lo = *self;
+        let mut hi = *self;
+        match axis {
+            0 => {
+                lo.dims.0 /= 2;
+                hi.dims.0 /= 2;
+                hi.origin.x += hi.dims.0;
+            }
+            1 => {
+                lo.dims.1 /= 2;
+                hi.dims.1 /= 2;
+                hi.origin.y += hi.dims.1;
+            }
+            _ => {
+                lo.dims.2 /= 2;
+                hi.dims.2 /= 2;
+                hi.origin.z += hi.dims.2;
+            }
+        }
+        (lo, hi)
+    }
+
+    /// The buddy of this block inside `machine`: the sibling half of
+    /// the parent block that `split` produced it from. The parent's
+    /// split axis is recovered from the canonical shape sequence —
+    /// the parent of an order-`k` block is the order-`k+1` shape, and
+    /// the axis where the shapes differ is the one that was halved.
+    ///
+    /// Returns `None` when the block already spans the machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is misaligned or its shape is not the
+    /// canonical shape of its order.
+    pub fn buddy(&self, machine: Dims) -> Option<SubCube> {
+        assert!(self.aligned(), "{self} is not aligned");
+        let k = self.order();
+        assert_eq!(
+            self.dims,
+            shape_of_order(machine, k),
+            "{self} is not the canonical order-{k} shape"
+        );
+        if self.pes() == pes(machine) {
+            return None;
+        }
+        let parent_dims = shape_of_order(machine, k + 1);
+        let mut b = *self;
+        if parent_dims.0 != self.dims.0 {
+            b.origin.x ^= self.dims.0;
+        } else if parent_dims.1 != self.dims.1 {
+            b.origin.y ^= self.dims.1;
+        } else {
+            b.origin.z ^= self.dims.2;
+        }
+        Some(b)
+    }
+
+    /// The parent block this one and its buddy coalesce into.
+    ///
+    /// Returns `None` when the block already spans the machine.
+    pub fn parent(&self, machine: Dims) -> Option<SubCube> {
+        let b = self.buddy(machine)?;
+        Some(SubCube {
+            origin: Coord {
+                x: self.origin.x.min(b.origin.x),
+                y: self.origin.y.min(b.origin.y),
+                z: self.origin.z.min(b.origin.z),
+            },
+            dims: shape_of_order(machine, self.order() + 1),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const M: Dims = (8, 4, 4);
+
+    #[test]
+    fn shape_sequence_halves_largest_dimension_first() {
+        assert_eq!(shape_of_order(M, 7), (8, 4, 4));
+        assert_eq!(shape_of_order(M, 6), (4, 4, 4));
+        assert_eq!(shape_of_order(M, 5), (2, 4, 4));
+        assert_eq!(shape_of_order(M, 4), (2, 2, 4));
+        assert_eq!(shape_of_order(M, 3), (2, 2, 2));
+        assert_eq!(shape_of_order(M, 2), (1, 2, 2));
+        assert_eq!(shape_of_order(M, 1), (1, 1, 2));
+        assert_eq!(shape_of_order(M, 0), (1, 1, 1));
+    }
+
+    #[test]
+    fn split_halves_are_aligned_buddies_and_coalesce() {
+        let whole = SubCube::whole(M);
+        let (lo, hi) = whole.split();
+        assert!(lo.aligned() && hi.aligned());
+        assert!(!lo.overlaps(&hi));
+        assert_eq!(lo.pes() + hi.pes(), whole.pes());
+        assert_eq!(lo.buddy(M), Some(hi));
+        assert_eq!(hi.buddy(M), Some(lo));
+        assert_eq!(lo.parent(M), Some(whole));
+        assert_eq!(hi.parent(M), Some(whole));
+        assert_eq!(whole.buddy(M), None);
+    }
+
+    #[test]
+    fn recursive_splits_partition_the_machine() {
+        // Split all the way down to single PEs; the leaves must tile
+        // the machine exactly.
+        fn leaves(c: SubCube, out: &mut Vec<SubCube>) {
+            if c.pes() == 1 {
+                out.push(c);
+            } else {
+                let (lo, hi) = c.split();
+                leaves(lo, out);
+                leaves(hi, out);
+            }
+        }
+        let mut all = Vec::new();
+        leaves(SubCube::whole(M), &mut all);
+        assert_eq!(all.len(), 128);
+        let mut seen: Vec<Coord> = all.iter().map(|c| c.origin).collect();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), 128, "leaves tile without overlap");
+    }
+
+    #[test]
+    fn contains_and_coords_agree() {
+        let (lo, hi) = SubCube::whole(M).split();
+        for c in lo.coords() {
+            assert!(lo.contains(c));
+            assert!(!hi.contains(c));
+        }
+        assert_eq!(lo.coords().len() as u64, lo.pes());
+    }
+
+    #[test]
+    #[should_panic(expected = "not aligned")]
+    fn misaligned_buddy_panics() {
+        let c = SubCube {
+            origin: Coord { x: 1, y: 0, z: 0 },
+            dims: (2, 4, 4),
+        };
+        let _ = c.buddy(M);
+    }
+}

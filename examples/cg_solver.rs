@@ -4,179 +4,34 @@
 //! compute through the simulated memory system.
 //!
 //! Solves the 1-D Poisson problem `A x = b` with the tridiagonal
-//! Laplacian (2 on the diagonal, −1 off), block-row distributed.
+//! Laplacian (2 on the diagonal, −1 off), block-row distributed. The
+//! solver lives in `t3d_sched::kernels::run_cg` (it is also a job
+//! payload for the `t3d-sched` gang scheduler) and checks its converged
+//! solution against a direct host solve (Thomas algorithm) on every
+//! run; this example is a thin wrapper.
 //!
 //! ```sh
 //! cargo run --release --example cg_solver
 //! ```
 
-use splitc::{GlobalPtr, SplitC};
-use t3d_machine::MachineConfig;
+use t3d_sched::kernels::{run_cg, ExecEnv};
 
 const P: u32 = 8;
 const LOCAL_N: u64 = 128; // rows per node
-const N: u64 = P as u64 * LOCAL_N;
-const MAX_ITERS: usize = 600;
-const TOL: f64 = 1e-10;
-
-struct Vecs {
-    x: u64,
-    r: u64,
-    p: u64, // with 2 halo cells: [halo_lo][LOCAL_N cells][halo_hi]
-    ap: u64,
-    scalar: u64,
-    scratch: u64,
-}
-
-fn f(sc: &mut SplitC, pe: usize, off: u64) -> f64 {
-    f64::from_bits(sc.machine().peek8(pe, off))
-}
-
-/// Exchanges p's boundary cells into the neighbours' halo slots.
-fn halo_exchange(sc: &mut SplitC, v: &Vecs) {
-    let p_cells = v.p + 8; // first interior cell
-    sc.run_phase(|ctx| {
-        let pe = ctx.pe();
-        if pe > 0 {
-            let first = ctx.machine().ld8(pe, p_cells);
-            ctx.store_u64(
-                GlobalPtr::new(pe as u32 - 1, v.p + (LOCAL_N + 1) * 8),
-                first,
-            );
-        }
-        if pe + 1 < ctx.nodes() {
-            let last = ctx.machine().ld8(pe, p_cells + (LOCAL_N - 1) * 8);
-            ctx.store_u64(GlobalPtr::new(pe as u32 + 1, v.p), last);
-        }
-    });
-    sc.all_store_sync();
-}
-
-/// ap = A * p (tridiagonal Laplacian), using the freshly exchanged halo.
-fn matvec(sc: &mut SplitC, v: &Vecs) {
-    sc.run_phase(|ctx| {
-        let pe = ctx.pe();
-        let first_global = pe as u64 * LOCAL_N;
-        for i in 0..LOCAL_N {
-            let here = f64::from_bits(ctx.machine().ld8(pe, v.p + (i + 1) * 8));
-            let lo = if first_global + i == 0 {
-                0.0
-            } else {
-                f64::from_bits(ctx.machine().ld8(pe, v.p + i * 8))
-            };
-            let hi = if first_global + i == N - 1 {
-                0.0
-            } else {
-                f64::from_bits(ctx.machine().ld8(pe, v.p + (i + 2) * 8))
-            };
-            let val = 2.0 * here - lo - hi;
-            ctx.machine().st8(pe, v.ap + i * 8, val.to_bits());
-            ctx.advance(20); // two FP adds + multiply + loop
-        }
-    });
-    sc.barrier();
-}
-
-/// Global dot product of two local arrays via all-reduce.
-fn dot(sc: &mut SplitC, v: &Vecs, a_off: u64, a_stride_halo: bool, b_off: u64) -> f64 {
-    sc.run_phase(|ctx| {
-        let pe = ctx.pe();
-        let mut acc = 0.0;
-        for i in 0..LOCAL_N {
-            let a_idx = if a_stride_halo { (i + 1) * 8 } else { i * 8 };
-            let a = f64::from_bits(ctx.machine().ld8(pe, a_off + a_idx));
-            let b = f64::from_bits(ctx.machine().ld8(pe, b_off + i * 8));
-            acc += a * b;
-            ctx.advance(16);
-        }
-        ctx.machine().st8(pe, v.scalar, acc.to_bits());
-        let pe2 = ctx.pe();
-        ctx.machine().memory_barrier(pe2);
-    });
-    let bits = sc.all_reduce_u64(v.scalar, v.scratch, |a, b| {
-        (f64::from_bits(a) + f64::from_bits(b)).to_bits()
-    });
-    f64::from_bits(bits)
-}
+const SEED: u64 = 0xC6;
 
 fn main() {
-    let mut sc = SplitC::new(MachineConfig::t3d(P));
-    let v = Vecs {
-        x: sc.alloc(LOCAL_N * 8, 8),
-        r: sc.alloc(LOCAL_N * 8, 8),
-        p: sc.alloc((LOCAL_N + 2) * 8, 8),
-        ap: sc.alloc(LOCAL_N * 8, 8),
-        scalar: sc.alloc(8, 8),
-        scratch: sc.alloc(8, 8),
-    };
-
-    // b = 1 everywhere; x0 = 0; r = b; p = r.
-    for pe in 0..P as usize {
-        for i in 0..LOCAL_N {
-            sc.machine().poke8(pe, v.x + i * 8, 0f64.to_bits());
-            sc.machine().poke8(pe, v.r + i * 8, 1f64.to_bits());
-            sc.machine().poke8(pe, v.p + (i + 1) * 8, 1f64.to_bits());
-        }
-        sc.machine().poke8(pe, v.p, 0f64.to_bits());
-        sc.machine()
-            .poke8(pe, v.p + (LOCAL_N + 1) * 8, 0f64.to_bits());
-    }
-
-    let mut rr = dot(&mut sc, &v, v.r, false, v.r);
-    let mut iters = 0;
-    while rr.sqrt() > TOL && iters < MAX_ITERS {
-        halo_exchange(&mut sc, &v);
-        matvec(&mut sc, &v);
-        let pap = dot(&mut sc, &v, v.p, true, v.ap);
-        let alpha = rr / pap;
-        sc.run_phase(|ctx| {
-            let pe = ctx.pe();
-            for i in 0..LOCAL_N {
-                let x = f64::from_bits(ctx.machine().ld8(pe, v.x + i * 8));
-                let pi = f64::from_bits(ctx.machine().ld8(pe, v.p + (i + 1) * 8));
-                let r = f64::from_bits(ctx.machine().ld8(pe, v.r + i * 8));
-                let ap = f64::from_bits(ctx.machine().ld8(pe, v.ap + i * 8));
-                ctx.machine()
-                    .st8(pe, v.x + i * 8, (x + alpha * pi).to_bits());
-                ctx.machine()
-                    .st8(pe, v.r + i * 8, (r - alpha * ap).to_bits());
-                ctx.advance(24);
-            }
-        });
-        sc.barrier();
-        let rr_new = dot(&mut sc, &v, v.r, false, v.r);
-        let beta = rr_new / rr;
-        rr = rr_new;
-        sc.run_phase(|ctx| {
-            let pe = ctx.pe();
-            for i in 0..LOCAL_N {
-                let r = f64::from_bits(ctx.machine().ld8(pe, v.r + i * 8));
-                let pi = f64::from_bits(ctx.machine().ld8(pe, v.p + (i + 1) * 8));
-                ctx.machine()
-                    .st8(pe, v.p + (i + 1) * 8, (r + beta * pi).to_bits());
-                ctx.advance(16);
-            }
-        });
-        sc.barrier();
-        iters += 1;
-    }
-
-    // Verify against the analytic solution of the discrete Poisson
-    // problem with b=1: x_i = (i+1)(N-i)/2.
-    let mut max_err = 0.0f64;
-    for pe in 0..P as usize {
-        for i in 0..LOCAL_N {
-            let gi = pe as u64 * LOCAL_N + i;
-            let expect = (gi as f64 + 1.0) * (N as f64 - gi as f64) / 2.0;
-            let got = f(&mut sc, pe, v.x + i * 8);
-            max_err = max_err.max((got - expect).abs() / expect);
-        }
-    }
-    let ms = sc.max_clock() as f64 / 150.0e3;
+    let out = run_cg(ExecEnv::from_env(), P, LOCAL_N, SEED);
     println!(
-        "CG on {N}-point Poisson over {P} PEs: {iters} iterations, \
-         residual {:.2e}, max rel. error {max_err:.2e}, {ms:.2} ms virtual time",
-        rr.sqrt()
+        "CG on {}-point Poisson over {P} PEs: {} iterations, \
+         max rel. error {:.2e}, {:.2} ms virtual time",
+        u64::from(P) * LOCAL_N,
+        out.iters,
+        out.max_rel_err,
+        out.ms
     );
-    assert!(max_err < 1e-6, "CG must converge to the analytic solution");
+    assert!(
+        out.max_rel_err < 1e-6,
+        "CG must converge to the direct solution"
+    );
 }

@@ -9,197 +9,26 @@
 //!    partitions to their destination PEs.
 //! 4. Each PE sorts its received keys; the result is globally sorted.
 //!
+//! The sort itself lives in `t3d_sched::kernels::run_sample_sort` (it is
+//! also a job payload for the `t3d-sched` gang scheduler) and verifies
+//! on every run that its output is a globally sorted permutation of the
+//! input; this example is a thin wrapper.
+//!
 //! ```sh
 //! cargo run --release --example sample_sort
 //! ```
 
-use splitc::{GlobalPtr, SplitC};
-use t3d_machine::MachineConfig;
-use t3d_prng::Rng;
+use t3d_sched::kernels::{run_sample_sort, ExecEnv};
 
 const P: u32 = 8;
 const KEYS_PER_PE: u64 = 512;
-const OVERSAMPLE: u64 = 8;
-
-/// Cycles charged for a host-side comparison sort of n keys (the local
-/// compute the simulator does not execute instruction by instruction).
-fn sort_cost(n: u64) -> u64 {
-    // ~12 cycles per comparison, n log2 n comparisons.
-    12 * n * (64 - n.leading_zeros() as u64)
-}
-
-fn read_keys(sc: &mut SplitC, pe: usize, off: u64, n: u64) -> Vec<u64> {
-    (0..n)
-        .map(|i| sc.machine().peek8(pe, off + i * 8))
-        .collect()
-}
+const SEED: u64 = 99;
 
 fn main() {
-    let mut sc = SplitC::new(MachineConfig::t3d(P));
-    let keys = sc.alloc(KEYS_PER_PE * 8, 8);
-    // Receive region: worst-case skew margin.
-    let recv_cap = KEYS_PER_PE * 4;
-    let recv = sc.alloc(recv_cap * 8, 8);
-    let samples = sc.alloc(P as u64 * OVERSAMPLE * 8, 8); // at PE 0
-    let splitters = sc.alloc(P as u64 * 8, 8); // broadcast to all
-    let counts = sc.alloc(P as u64 * P as u64 * 8, 8); // [src][dst] at PE 0
-
-    // Generate keys.
-    for pe in 0..P as usize {
-        let mut rng = Rng::seed_from_u64(99 + pe as u64);
-        for i in 0..KEYS_PER_PE {
-            sc.machine()
-                .poke8(pe, keys + i * 8, rng.gen_range(0..1_000_000));
-        }
-    }
-
-    // Phase 1: local sort + regular sampling to PE 0.
-    sc.run_phase(|ctx| {
-        let pe = ctx.pe();
-        let mut local: Vec<u64> = (0..KEYS_PER_PE)
-            .map(|i| ctx.machine().ld8(pe, keys + i * 8))
-            .collect();
-        local.sort_unstable();
-        ctx.advance(sort_cost(KEYS_PER_PE));
-        for (i, k) in local.iter().enumerate() {
-            ctx.machine().st8(pe, keys + i as u64 * 8, *k);
-        }
-        // Regular samples.
-        for s in 0..OVERSAMPLE {
-            let idx = s * KEYS_PER_PE / OVERSAMPLE;
-            let slot = pe as u64 * OVERSAMPLE + s;
-            ctx.store_u64(GlobalPtr::new(0, samples + slot * 8), local[idx as usize]);
-        }
-    });
-    sc.all_store_sync();
-
-    // Phase 2: PE 0 picks splitters, broadcasts.
-    sc.on(0, |ctx| {
-        let n = P as u64 * OVERSAMPLE;
-        let mut all: Vec<u64> = (0..n)
-            .map(|i| ctx.machine().ld8(0, samples + i * 8))
-            .collect();
-        all.sort_unstable();
-        ctx.advance(sort_cost(n));
-        for d in 1..P as u64 {
-            let splitter = all[(d * n / P as u64) as usize];
-            for target in 0..P {
-                ctx.store_u64(GlobalPtr::new(target, splitters + d * 8), splitter);
-            }
-        }
-    });
-    sc.all_store_sync();
-
-    // Phase 3: partition, publish counts, then all-to-all bulk puts.
-    sc.run_phase(|ctx| {
-        let pe = ctx.pe();
-        let splits: Vec<u64> = (1..P as u64)
-            .map(|d| ctx.machine().ld8(pe, splitters + d * 8))
-            .collect();
-        let mut c = vec![0u64; P as usize];
-        for i in 0..KEYS_PER_PE {
-            let k = ctx.machine().ld8(pe, keys + i * 8);
-            let dst = splits.partition_point(|&s| s <= k);
-            c[dst] += 1;
-            ctx.advance(6);
-        }
-        for (dst, n) in c.iter().enumerate() {
-            let slot = pe as u64 * P as u64 + dst as u64;
-            ctx.store_u64(GlobalPtr::new(0, counts + slot * 8), *n);
-        }
-    });
-    sc.all_store_sync();
-    // PE 0 computes per-destination receive offsets and broadcasts them
-    // back as (src, dst) start slots.
-    let offsets = sc.alloc(P as u64 * P as u64 * 8, 8);
-    sc.on(0, |ctx| {
-        for dst in 0..P as u64 {
-            let mut cursor = 0u64;
-            for src in 0..P as u64 {
-                let n = ctx.machine().ld8(0, counts + (src * P as u64 + dst) * 8);
-                for target in 0..P {
-                    ctx.store_u64(
-                        GlobalPtr::new(target, offsets + (src * P as u64 + dst) * 8),
-                        cursor,
-                    );
-                }
-                cursor += n;
-                assert!(cursor <= recv_cap, "receive region overflow");
-            }
-        }
-    });
-    sc.all_store_sync();
-
-    sc.run_phase(|ctx| {
-        let pe = ctx.pe();
-        let splits: Vec<u64> = (1..P as u64)
-            .map(|d| ctx.machine().ld8(pe, splitters + d * 8))
-            .collect();
-        // Keys are sorted, so each destination's partition is one
-        // contiguous run: one bulk_put per destination.
-        let mut start = 0u64;
-        for dst in 0..P as u64 {
-            let mut end = start;
-            while end < KEYS_PER_PE {
-                let k = ctx.machine().ld8(pe, keys + end * 8);
-                if splits.partition_point(|&s| s <= k) as u64 != dst {
-                    break;
-                }
-                end += 1;
-            }
-            if end > start {
-                let slot = ctx
-                    .machine()
-                    .ld8(pe, offsets + (pe as u64 * P as u64 + dst) * 8);
-                ctx.bulk_put(
-                    GlobalPtr::new(dst as u32, recv + slot * 8),
-                    keys + start * 8,
-                    (end - start) * 8,
-                );
-            }
-            start = end;
-        }
-        ctx.sync();
-    });
-    sc.barrier();
-
-    // Phase 4: final local sorts + verification.
-    let mut boundaries = Vec::new();
-    let mut total = Vec::new();
-    for pe in 0..P as usize {
-        // How many keys landed here: recomputed from the counts matrix.
-        let mut n = 0u64;
-        for src in 0..P as u64 {
-            n += sc
-                .machine()
-                .peek8(0, counts + (src * P as u64 + pe as u64) * 8);
-        }
-        let mut mine = read_keys(&mut sc, pe, recv, n);
-        mine.sort_unstable();
-        sc.machine().advance(pe, sort_cost(n.max(1)));
-        if let (Some(first), Some(last)) = (mine.first(), mine.last()) {
-            boundaries.push((*first, *last));
-        }
-        total.extend(mine);
-    }
-    // Global order: each PE's range sits below the next PE's.
-    for w in boundaries.windows(2) {
-        assert!(w[0].1 <= w[1].0, "inter-PE order violated: {w:?}");
-    }
-    // Permutation check: the multiset of keys is preserved.
-    let mut expected: Vec<u64> = (0..P as usize)
-        .flat_map(|pe| {
-            let mut rng = Rng::seed_from_u64(99 + pe as u64);
-            (0..KEYS_PER_PE).map(move |_| rng.gen_range(0..1_000_000))
-        })
-        .collect();
-    expected.sort_unstable();
-    total.sort_unstable();
-    assert_eq!(total, expected, "sample sort must be a sorting permutation");
-
-    let us = sc.max_clock() as f64 / 150.0;
+    let out = run_sample_sort(ExecEnv::from_env(), P, KEYS_PER_PE, SEED);
+    assert_eq!(out.keys, u64::from(P) * KEYS_PER_PE);
     println!(
-        "sample sort: {} keys over {P} PEs in {us:.0} us (verified globally sorted)",
-        P as u64 * KEYS_PER_PE
+        "sample sort: {} keys over {P} PEs in {:.0} us (verified globally sorted)",
+        out.keys, out.us
     );
 }

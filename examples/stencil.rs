@@ -1,9 +1,10 @@
 //! A 1-D Jacobi stencil with ghost-cell exchange — the bulk-synchronous
 //! pattern Section 7 of the paper motivates.
 //!
-//! Each processor owns a block of a global 1-D array. Every step it
-//! exchanges boundary cells with its neighbours and relaxes its block.
-//! Three communication strategies are compared:
+//! The stencil itself lives in `t3d_sched::kernels::run_stencil` (it is
+//! also a job payload for the `t3d-sched` gang scheduler); this example
+//! runs it under all three halo strategies and checks they compute a
+//! bit-identical field:
 //!
 //! * blocking writes (the naive port),
 //! * signaling stores + `allStoreSync` (the paper's recommendation),
@@ -17,115 +18,27 @@
 //! cargo run --example stencil
 //! ```
 
-use splitc::{GlobalPtr, SplitC};
-use t3d_machine::MachineConfig;
+use t3d_sched::kernels::{run_stencil, ExecEnv, StencilComm};
 
 const NODES: u32 = 8;
 const BLOCK: u64 = 512; // cells per processor
 const STEPS: usize = 5;
-
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Comm {
-    BlockingWrite,
-    Store,
-    Bulk,
-}
-
-fn run(comm: Comm) -> (f64, f64) {
-    let mut sc = SplitC::new(MachineConfig::t3d(NODES));
-    // Block plus one ghost cell on each side.
-    let cells = sc.alloc((BLOCK + 2) * 8, 8);
-
-    // Initialize: a spike on PE 0.
-    for p in 0..NODES as usize {
-        for i in 0..BLOCK + 2 {
-            sc.machine().poke8(p, cells + i * 8, 0f64.to_bits());
-        }
-    }
-    sc.machine().poke8(0, cells + 8, 1000f64.to_bits());
-
-    for _ in 0..STEPS {
-        // Exchange: send my first/last interior cells to the
-        // neighbours' ghost slots.
-        sc.par_phase(|ctx| {
-            let pe = ctx.pe();
-            let left = (pe + NODES as usize - 1) % NODES as usize;
-            let right = (pe + 1) % NODES as usize;
-            let my_first = cells + 8;
-            let my_last = cells + BLOCK * 8;
-            let left_ghost_at_right = cells; // their [0] is my last
-            let right_ghost_at_left = cells + (BLOCK + 1) * 8;
-            match comm {
-                Comm::BlockingWrite => {
-                    let v = ctx.ops().ld8(pe, my_last);
-                    ctx.write_u64(GlobalPtr::new(right as u32, left_ghost_at_right), v);
-                    let v = ctx.ops().ld8(pe, my_first);
-                    ctx.write_u64(GlobalPtr::new(left as u32, right_ghost_at_left), v);
-                }
-                Comm::Store => {
-                    let v = ctx.ops().ld8(pe, my_last);
-                    ctx.store_u64(GlobalPtr::new(right as u32, left_ghost_at_right), v);
-                    let v = ctx.ops().ld8(pe, my_first);
-                    ctx.store_u64(GlobalPtr::new(left as u32, right_ghost_at_left), v);
-                }
-                Comm::Bulk => {
-                    ctx.bulk_put(
-                        GlobalPtr::new(right as u32, left_ghost_at_right),
-                        my_last,
-                        8,
-                    );
-                    ctx.bulk_put(
-                        GlobalPtr::new(left as u32, right_ghost_at_left),
-                        my_first,
-                        8,
-                    );
-                    ctx.sync();
-                }
-            }
-        });
-        match comm {
-            Comm::Store => sc.all_store_sync(),
-            _ => sc.barrier(),
-        }
-
-        // Relax: new[i] = (old[i-1] + old[i+1]) / 2, in place with a
-        // rolling previous value.
-        sc.par_phase(|ctx| {
-            let pe = ctx.pe();
-            let mut prev = f64::from_bits(ctx.ops().ld8(pe, cells));
-            for i in 1..=BLOCK {
-                let here = f64::from_bits(ctx.ops().ld8(pe, cells + i * 8));
-                let next = f64::from_bits(ctx.ops().ld8(pe, cells + (i + 1) * 8));
-                let new = 0.5 * (prev + next);
-                prev = here;
-                ctx.ops().st8(pe, cells + i * 8, new.to_bits());
-                ctx.advance(8); // FP add + multiply
-            }
-        });
-        sc.barrier();
-    }
-
-    // Conservation-ish check: the spike has spread but mass is finite.
-    let mut total = 0.0;
-    for p in 0..NODES as usize {
-        for i in 1..=BLOCK {
-            total += f64::from_bits(sc.machine().peek8(p, cells + i * 8));
-        }
-    }
-    let us = sc.max_clock() as f64 * sc.machine_ref().cycle_ns() / 1000.0;
-    (us, total)
-}
+const SEED: u64 = 0x57E4;
 
 fn main() {
     println!("1-D stencil, {NODES} PEs x {BLOCK} cells, {STEPS} steps\n");
+    let env = ExecEnv::from_env();
     let mut reference = None;
-    for comm in [Comm::BlockingWrite, Comm::Store, Comm::Bulk] {
-        let (us, total) = run(comm);
-        println!("{comm:?}: {us:>9.1} us total, field sum {total:.6}");
+    for comm in StencilComm::all() {
+        let out = run_stencil(env, NODES, BLOCK, STEPS, SEED, comm);
+        println!(
+            "{comm:?}: {:>9.1} us total, field sum {:.6}",
+            out.us, out.field_sum
+        );
         match reference {
-            None => reference = Some(total),
-            Some(r) => assert!(
-                (total - r).abs() < 1e-9,
+            None => reference = Some(out.run.result_fnv),
+            Some(r) => assert_eq!(
+                out.run.result_fnv, r,
                 "all strategies must compute the same field"
             ),
         }

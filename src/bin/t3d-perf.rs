@@ -15,6 +15,7 @@
 //! ```text
 //! t3d-perf [micro|em3d|all] [--out DIR] [--compare DIR] [--tol F]
 //!          [--host-tol F] [--runs N] [--warmup N] [--report]
+//!          [--filter SUBSTR]
 //! t3d-perf compare OLD.json NEW.json [--tol F] [--host-tol F]
 //! ```
 //!
@@ -26,7 +27,13 @@
 //! sets the host-throughput regression tolerance (default 0.5: a run
 //! must achieve at least half the baseline's sim-cycles/host-sec);
 //! `--runs`/`--warmup` shape the throughput measurement (defaults 3/1);
-//! `--report` prints each run's rendered attribution report.
+//! `--report` prints each run's rendered attribution report;
+//! `--filter SUBSTR` runs only the micro scenarios whose name contains
+//! the substring — a development convenience for iterating on one
+//! probe. A filtered document is a subset, so don't check it in as a
+//! baseline or `--compare` it against the full one (missing entries
+//! fail the gate, by design). Without `--filter`, behaviour and BENCH
+//! documents are unchanged.
 //!
 //! Every measured run must reproduce the first run's cycles, op count
 //! and FNV state checksum — a nondeterministic benchmark aborts the
@@ -50,6 +57,13 @@ struct Opts {
     host_tol: f64,
     spec: ThroughputSpec,
     report: bool,
+    filter: Option<String>,
+}
+
+/// Whether a scenario name passes the `--filter` substring (no filter
+/// = everything passes).
+fn name_matches(name: &str, filter: Option<&str>) -> bool {
+    filter.is_none_or(|f| name.contains(f))
 }
 
 /// Total simulated operations a report counted (the `ops.*` registry
@@ -105,7 +119,10 @@ fn measure_scenario(
 
 fn run_micro(driver: PhaseDriver, engine: EngineMode, opts: &Opts) -> Result<BenchDoc, String> {
     let mut doc = BenchDoc::new("micro");
-    for s in attribution::all() {
+    let scenarios = attribution::all()
+        .iter()
+        .filter(|s| name_matches(s.name, opts.filter.as_deref()));
+    for s in scenarios {
         let mut first: Option<PerfReport> = None;
         // The published throughput block measures the session engine;
         // a second measurement under the other engine yields the
@@ -214,6 +231,7 @@ fn main() -> ExitCode {
         host_tol: 0.5,
         spec: ThroughputSpec::default(),
         report: false,
+        filter: None,
     };
     if let Some(i) = args.iter().position(|a| a == "--report") {
         args.remove(i);
@@ -244,6 +262,23 @@ fn main() -> ExitCode {
     if opts.spec.runs == 0 {
         eprintln!("--runs must be at least 1");
         return ExitCode::from(2);
+    }
+    match take_value_flag(&mut args, "--filter") {
+        Ok(None) => {}
+        Ok(Some(v)) => {
+            if !attribution::all().iter().any(|s| s.name.contains(&v)) {
+                eprintln!(
+                    "--filter {v:?} matches none of the {} micro scenarios",
+                    attribution::all().len()
+                );
+                return ExitCode::from(2);
+            }
+            opts.filter = Some(v);
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
     }
     match take_value_flag(&mut args, "--out") {
         Ok(None) => {}
@@ -363,5 +398,23 @@ fn main() -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_is_substring_and_absent_means_all() {
+        assert!(name_matches("store.remote", None));
+        assert!(name_matches("store.remote", Some("store")));
+        assert!(name_matches("store.remote", Some("remote")));
+        assert!(!name_matches("store.remote", Some("bulk")));
+        // Every scenario passes the empty filter, so `--filter ""`
+        // degenerates to the full suite rather than an error.
+        for s in attribution::all() {
+            assert!(name_matches(s.name, Some("")));
+        }
     }
 }

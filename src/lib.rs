@@ -11,6 +11,8 @@
 //! * [`splitc`] — the Split-C runtime (the paper's compiler perspective)
 //! * [`t3d_microbench`] — the micro-benchmark suite and figure harness
 //! * [`em3d`] — the EM3D application study
+//! * [`t3d_sched`] — multi-tenant job-stream layer (gang scheduler,
+//!   torus partitions, saturation sweeps)
 //! * [`t3d_lint`] — static analyzer over recorded Split-C op streams
 //! * [`t3d_fuzz`] — differential fuzzer (runtime vs flat reference)
 //!
@@ -38,5 +40,6 @@ pub use t3d_lint;
 pub use t3d_machine;
 pub use t3d_memsys;
 pub use t3d_microbench;
+pub use t3d_sched;
 pub use t3d_shell;
 pub use t3d_torus;
