@@ -439,6 +439,7 @@ pub fn run_version_with(
         version,
         false,
         false,
+        false,
     )
     .0
 }
@@ -453,7 +454,7 @@ pub fn run_version_engine(
     params: Em3dParams,
     version: Version,
 ) -> Em3dResult {
-    run_version_inner(driver, engine, nprocs, params, version, false, false).0
+    run_version_inner(driver, engine, nprocs, params, version, false, false, false).0
 }
 
 /// [`run_version_profiled`] pinning the time-advance engine explicitly,
@@ -466,7 +467,24 @@ pub fn run_version_profiled_engine(
     params: Em3dParams,
     version: Version,
 ) -> (Em3dResult, PerfReport) {
-    let (r, p, _) = run_version_inner(driver, engine, nprocs, params, version, true, false);
+    let (r, p, _) = run_version_inner(driver, engine, nprocs, params, version, true, false, false);
+    (r, p.expect("profiling was requested"))
+}
+
+/// [`run_version_profiled_engine`] with the opt-in contention models
+/// enabled (target-shell queueing plus per-link occupancy on every
+/// dimension-order route, as in
+/// [`MachineConfig::t3d_link_contended`]). The contended arm of the
+/// `t3d-perf scale` sweep; values still verify against the host
+/// reference — contention reshapes time, never data.
+pub fn run_version_profiled_contended(
+    driver: PhaseDriver,
+    engine: EngineMode,
+    nprocs: u32,
+    params: Em3dParams,
+    version: Version,
+) -> (Em3dResult, PerfReport) {
+    let (r, p, _) = run_version_inner(driver, engine, nprocs, params, version, true, false, true);
     (r, p.expect("profiling was requested"))
 }
 
@@ -489,6 +507,7 @@ pub fn run_version_recorded(
         version,
         false,
         true,
+        false,
     );
     (r, log)
 }
@@ -512,10 +531,12 @@ pub fn run_version_profiled(
         version,
         true,
         false,
+        false,
     );
     (r, p.expect("profiling was requested"))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_version_inner(
     driver: PhaseDriver,
     engine: EngineMode,
@@ -524,10 +545,15 @@ fn run_version_inner(
     version: Version,
     profile: bool,
     record: bool,
+    contended: bool,
 ) -> (Em3dResult, Option<PerfReport>, Vec<Vec<RecEvent>>) {
     let g = Em3dGraph::generate(params, nprocs);
     let mut cfg = MachineConfig::t3d_with_mem(nprocs, 4 * 1024 * 1024);
     cfg.engine = engine;
+    if contended {
+        cfg.contention = true;
+        cfg.link_contention = true;
+    }
     let mut sc = SplitC::new(cfg);
     if record {
         sc.record_ops(true);

@@ -42,7 +42,10 @@ const MAX_GETS_PER_PE: u32 = 12;
 
 /// Generates one random well-formed program.
 pub fn gen_program(rng: &mut Rng) -> Program {
-    let nodes = rng.gen_range(2u32..6);
+    // Machine sizes must be powers of two (`Machine::try_new` rejects
+    // the rest); one draw rounded up keeps the RNG stream layout and
+    // yields 2/4/8-node machines.
+    let nodes = rng.gen_range(2u32..6).next_power_of_two();
     // ~10% of programs get a big region so bulk ops cross the BLT
     // thresholds (988 words for gets, 2,048 for reads).
     let slots = if rng.chance(0.1) {

@@ -355,7 +355,8 @@ mod tests {
 
     fn two_phase_prog() -> Program {
         Program {
-            nodes: 3,
+            // 4 nodes (power-of-two machines only); PE 3 stays idle.
+            nodes: 4,
             slots: 12,
             locks: 2,
             phases: vec![

@@ -20,6 +20,13 @@ pub struct MachineConfig {
     /// controller. Off by default — the paper's probes run with a single
     /// active processor — but hot-spot application patterns need it.
     pub contention: bool,
+    /// Model queueing on torus links: each remote operation occupies the
+    /// links of its dimension-order route for `bytes / 2` cycles (the
+    /// T3D's two bytes per link per cycle), and a transfer whose route
+    /// crosses a still-occupied link waits for the hottest one to clear.
+    /// Off by default, and bit-identical to the uncontended machine when
+    /// off.
+    pub link_contention: bool,
     /// What happens when a native message arrives: queue it (25 µs
     /// interrupt) or additionally switch to a user handler (+33 µs).
     pub msg_mode: ReceiveMode,
@@ -37,6 +44,7 @@ impl MachineConfig {
             shell: ShellConfig::t3d(),
             torus: TorusConfig::for_nodes(nodes),
             contention: false,
+            link_contention: false,
             msg_mode: ReceiveMode::Queue,
             engine: EngineMode::from_env(),
         }
@@ -57,6 +65,14 @@ impl MachineConfig {
         cfg
     }
 
+    /// A T3D with both target-shell and torus-link contention modeling
+    /// enabled.
+    pub fn t3d_link_contended(nodes: u32) -> Self {
+        let mut cfg = Self::t3d_contended(nodes);
+        cfg.link_contention = true;
+        cfg
+    }
+
     /// The single-node DEC Alpha workstation used as the Figure 1
     /// comparison machine (same 21064 core, 512 KB L2, 8 KB pages,
     /// 300 ns memory). Only local operations are meaningful.
@@ -66,6 +82,7 @@ impl MachineConfig {
             shell: ShellConfig::t3d(),
             torus: TorusConfig::for_nodes(1),
             contention: false,
+            link_contention: false,
             msg_mode: ReceiveMode::Queue,
             engine: EngineMode::from_env(),
         }

@@ -162,31 +162,31 @@ impl EventQueue {
     }
 }
 
-use crate::node::Node;
+use crate::node::{Node, NodeHot};
 use t3d_perf::CostClass;
 use t3d_shell::PopError;
 
-/// Fast-forwards `node.clock` through every scheduled event, crediting
+/// Fast-forwards `hot.clock` through every scheduled event, crediting
 /// each skipped span to `class` in the node ledger. `WbufRetire` events
 /// additionally retire due write-buffer entries at exactly their
 /// due-times, so retired completions (and therefore remote-store
 /// arrival/ack times) match the cycle path's. Returns the cycles
 /// skipped.
-fn drain_events(node: &mut Node, class: CostClass) -> u64 {
-    let start = node.clock;
+fn drain_events(hot: &mut NodeHot, node: &mut Node, class: CostClass) -> u64 {
+    let start = hot.clock;
     while let Some(ev) = node.events.pop() {
-        if ev.due > node.clock {
-            let skipped = ev.due - node.clock;
-            node.clock = ev.due;
+        if ev.due > hot.clock {
+            let skipped = ev.due - hot.clock;
+            hot.clock = ev.due;
             node.perf.credit(class, skipped);
             node.events.stats.cycles_fast_forwarded += skipped;
         }
         node.events.stats.events_fast_forwarded += 1;
         if ev.kind == EventKind::WbufRetire {
-            node.port.apply_due(node.clock);
+            node.port.apply_due(hot.clock);
         }
     }
-    node.clock - start
+    hot.clock - start
 }
 
 /// Event-path memory barrier: one `WbufRetire` event per pending entry,
@@ -197,35 +197,35 @@ fn drain_events(node: &mut Node, class: CostClass) -> u64 {
 /// `now`. The skipped span lands in the node ledger and the issue cost
 /// in the port ledger — both under `WbufDrain`, so the merged per-PE
 /// ledger matches the cycle path's.
-pub(crate) fn memory_barrier_event(node: &mut Node) -> u64 {
+pub(crate) fn memory_barrier_event(hot: &mut NodeHot, node: &mut Node) -> u64 {
     debug_assert!(node.events.is_empty(), "no stale events between ops");
-    let start = node.clock;
+    let start = hot.clock;
     let dues: Vec<u64> = node.port.wbuf_due_times().collect();
     for due in dues {
         node.events.push(due, EventKind::WbufRetire);
     }
-    drain_events(node, CostClass::WbufDrain);
-    let issue = node.port.memory_barrier(node.clock);
-    node.clock += issue;
-    node.clock - start
+    drain_events(hot, node, CostClass::WbufDrain);
+    let issue = node.port.memory_barrier(hot.clock);
+    hot.clock += issue;
+    hot.clock - start
 }
 
 /// Event-path write-acknowledgement wait: one `AckArrival` event per
 /// outstanding ack, fast-forward to the last of them, then one final
 /// status poll. Total cost equals `AckTracker::wait_clear` at the
 /// original clock; every cycle is credited to `AckWait`.
-pub(crate) fn wait_write_acks_event(node: &mut Node) -> u64 {
+pub(crate) fn wait_write_acks_event(hot: &mut NodeHot, node: &mut Node) -> u64 {
     debug_assert!(node.events.is_empty(), "no stale events between ops");
-    let start = node.clock;
+    let start = hot.clock;
     let times: Vec<u64> = node.acks.pending_times().to_vec();
     for t in times {
         node.events.push(t, EventKind::AckArrival);
     }
-    drain_events(node, CostClass::AckWait);
-    let poll = node.acks.wait_clear(node.clock);
-    node.clock += poll;
+    drain_events(hot, node, CostClass::AckWait);
+    let poll = node.acks.wait_clear(hot.clock);
+    hot.clock += poll;
     node.perf.credit(CostClass::AckWait, poll);
-    node.clock - start
+    hot.clock - start
 }
 
 /// Event-path prefetch pop: fast-forward to the head's arrival, then
@@ -236,34 +236,37 @@ pub(crate) fn wait_write_acks_event(node: &mut Node) -> u64 {
 ///
 /// The same conditions as `PrefetchUnit::pop`, checked *before* any
 /// clock motion.
-pub(crate) fn pop_prefetch_event(node: &mut Node) -> Result<(u64, u64), PopError> {
+pub(crate) fn pop_prefetch_event(
+    hot: &mut NodeHot,
+    node: &mut Node,
+) -> Result<(u64, u64), PopError> {
     debug_assert!(node.events.is_empty(), "no stale events between ops");
-    let start = node.clock;
+    let start = hot.clock;
     let arrival = node.prefetch.head_arrival()?;
-    if arrival > node.clock {
+    if arrival > hot.clock {
         node.events.push(arrival, EventKind::PrefetchArrival);
-        drain_events(node, CostClass::PrefetchWait);
+        drain_events(hot, node, CostClass::PrefetchWait);
     }
     let (value, cost) = node
         .prefetch
-        .pop(node.clock)
+        .pop(hot.clock)
         .expect("head checked by head_arrival");
-    node.clock += cost;
+    hot.clock += cost;
     node.perf.credit(CostClass::PrefetchWait, cost);
-    Ok((value, node.clock - start))
+    Ok((value, hot.clock - start))
 }
 
 /// Event-path BLT wait: fast-forward to the stream's completion (the
 /// cycle path's `clock.max(completion)`), crediting the wait to
 /// `BltWait`. Returns the cycles waited.
-pub(crate) fn blt_wait_event(node: &mut Node, completion: u64) -> u64 {
+pub(crate) fn blt_wait_event(hot: &mut NodeHot, node: &mut Node, completion: u64) -> u64 {
     debug_assert!(node.events.is_empty(), "no stale events between ops");
-    let start = node.clock;
-    if completion > node.clock {
+    let start = hot.clock;
+    if completion > hot.clock {
         node.events.push(completion, EventKind::BltComplete);
-        drain_events(node, CostClass::BltWait);
+        drain_events(hot, node, CostClass::BltWait);
     }
-    node.clock - start
+    hot.clock - start
 }
 
 /// Event-path barrier settlement: schedules and consumes one
@@ -273,13 +276,13 @@ pub(crate) fn blt_wait_event(node: &mut Node, completion: u64) -> u64 {
 /// cycle path's. This is also the guaranteed consumption point for a
 /// pending due-time skew: every barrier pops one settle event per PE,
 /// so an armed `perturb_next_event` always fires by the next barrier.
-pub(crate) fn barrier_settle_event(node: &mut Node, done: u64) -> u64 {
+pub(crate) fn barrier_settle_event(hot: &NodeHot, node: &mut Node, done: u64) -> u64 {
     debug_assert!(node.events.is_empty(), "no stale events between ops");
     node.events.push(done, EventKind::BarrierSettle);
     let ev = node.events.pop().expect("just pushed");
-    let aligned = node.clock.max(ev.due);
+    let aligned = hot.clock.max(ev.due);
     node.events.stats.events_fast_forwarded += 1;
-    node.events.stats.cycles_fast_forwarded += aligned - node.clock;
+    node.events.stats.cycles_fast_forwarded += aligned - hot.clock;
     aligned
 }
 

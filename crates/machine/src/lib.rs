@@ -45,8 +45,8 @@ pub mod trace;
 pub use config::MachineConfig;
 pub use cpu::Cpu;
 pub use event::{EngineMode, Event, EventKind, EventQueue, EventStats};
-pub use machine::{BltHandle, Machine};
-pub use node::{Node, OpStats};
+pub use machine::{BltHandle, Machine, MachineSizeError};
+pub use node::{Node, NodeHot, OpStats};
 pub use ops::MachineOps;
 pub use phase::PhaseDriver;
 pub use snapshot::{MemSnapshot, SnapshotDiff};

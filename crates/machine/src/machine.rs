@@ -3,7 +3,7 @@
 
 use crate::config::MachineConfig;
 use crate::event::{self, EngineMode, EventStats};
-use crate::node::Node;
+use crate::node::{Node, NodeHot};
 use crate::trace::{TraceEvent, TraceKind, Tracer};
 use t3d_memsys::{RemoteSink, WriteTarget};
 use t3d_perf::{
@@ -12,7 +12,40 @@ use t3d_perf::{
 };
 use t3d_shell::blt::BltDirection;
 use t3d_shell::{AnnexEntry, BarrierUnit, FuncCode, Message, PopError};
-use t3d_torus::Torus;
+use t3d_torus::{subcube, Torus};
+
+/// Cycles a transfer of `bytes` occupies each link of its route: the
+/// T3D moves two bytes per link per cycle, and even a one-byte request
+/// holds the link for a cycle.
+pub(crate) fn link_occupancy_cy(bytes: u64) -> u64 {
+    bytes.div_ceil(2).max(1)
+}
+
+/// Sub-cube granularity of the contention-window scan: PEs are grouped
+/// into canonical torus sub-cubes of (at most) this many PEs, and a
+/// contended window triggers the cycle-accurate fallback only for the
+/// sub-cube whose PEs are actually coupled.
+const CONTENTION_BLOCK_PES: usize = 8;
+
+/// Error from [`Machine::try_new`]: the torus construction and the
+/// sub-cube machinery (shard partition, buddy allocation) require a
+/// power-of-two node count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineSizeError {
+    nodes: u32,
+}
+
+impl std::fmt::Display for MachineSizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "machine size must be a power of two >= 1, got {} nodes",
+            self.nodes
+        )
+    }
+}
+
+impl std::error::Error for MachineSizeError {}
 
 /// Handle to an in-flight BLT transfer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +64,17 @@ pub struct Machine {
     cfg: MachineConfig,
     torus: Torus,
     nodes: Vec<Node>,
+    /// Struct-of-arrays hot state: one small record per PE (clock, shell
+    /// occupancy, in-flight mirrors) so the whole-machine scans stay on
+    /// contiguous cache lines.
+    hot: Vec<NodeHot>,
+    /// Per-directed-link occupancy-until clocks (indexed by
+    /// [`Torus::link_id`]); all zero unless `cfg.link_contention`.
+    link_busy: Vec<u64>,
+    /// Contention-window sub-cube of each PE.
+    block_of: Vec<u32>,
+    /// PEs of each contention-window sub-cube, in canonical order.
+    block_pes: Vec<Vec<u32>>,
     barrier: BarrierUnit,
     tracer: Tracer,
     perf_mode: PerfMode,
@@ -41,11 +85,44 @@ impl Machine {
     /// Builds a machine from a configuration. Profiling defaults to the
     /// `T3D_PERF` environment variable (off when unset), mirroring the
     /// sanitizer's `T3D_SAN` convention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node count is not a power of two ≥ 1 (see
+    /// [`Machine::try_new`] for the non-panicking form).
     pub fn new(cfg: MachineConfig) -> Self {
+        match Self::try_new(cfg) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds a machine from a configuration, rejecting node counts that
+    /// are not a power of two ≥ 1 with a typed error instead of a
+    /// downstream panic in the torus or sub-cube machinery.
+    pub fn try_new(cfg: MachineConfig) -> Result<Self, MachineSizeError> {
+        let n_cfg = cfg.nodes();
+        if n_cfg == 0 || !n_cfg.is_power_of_two() {
+            return Err(MachineSizeError { nodes: n_cfg });
+        }
         let torus = Torus::new(cfg.torus);
         let n = torus.nodes();
+        let blocks = subcube::partition(cfg.torus.dims, (n as usize / CONTENTION_BLOCK_PES).max(1));
+        let mut block_of = vec![0u32; n as usize];
+        let mut block_pes = Vec::with_capacity(blocks.len());
+        for (bi, b) in blocks.iter().enumerate() {
+            let pes: Vec<u32> = b.coords().into_iter().map(|c| torus.node_of(c)).collect();
+            for &pe in &pes {
+                block_of[pe as usize] = bi as u32;
+            }
+            block_pes.push(pes);
+        }
         let mut m = Machine {
             nodes: (0..n).map(|pe| Node::new(&cfg, pe)).collect(),
+            hot: vec![NodeHot::default(); n as usize],
+            link_busy: vec![0; torus.num_links()],
+            block_of,
+            block_pes,
             barrier: BarrierUnit::new(&cfg.shell, n as usize),
             torus,
             cfg,
@@ -57,7 +134,7 @@ impl Machine {
         if mode.counters() {
             m.set_perf_mode(mode);
         }
-        m
+        Ok(m)
     }
 
     /// The configuration this machine was built with.
@@ -92,12 +169,12 @@ impl Machine {
 
     /// A node's virtual time, in cycles.
     pub fn clock(&self, pe: usize) -> u64 {
-        self.nodes[pe].clock
+        self.hot[pe].clock
     }
 
     /// Charges `cycles` of computation to a node.
     pub fn advance(&mut self, pe: usize, cycles: u64) {
-        self.nodes[pe].clock += cycles;
+        self.hot[pe].clock += cycles;
         self.nodes[pe].perf.credit(CostClass::Compute, cycles);
     }
 
@@ -155,7 +232,7 @@ impl Machine {
     #[inline]
     fn trace(&mut self, pe: usize, kind: TraceKind, addr: u64, start: u64) {
         if self.tracer.is_enabled() {
-            let cycles = self.nodes[pe].clock - start;
+            let cycles = self.hot[pe].clock - start;
             self.tracer.record(TraceEvent {
                 pe: pe as u32,
                 kind,
@@ -166,25 +243,48 @@ impl Machine {
         }
     }
 
-    /// Whether the next wait takes the skip-to-next-event path: the
-    /// event engine is selected and no contended window is in progress.
-    fn use_event_path(&self) -> bool {
-        self.cfg.engine == EngineMode::Event && !self.contended_window()
+    /// Whether `pe`'s next wait takes the skip-to-next-event path: the
+    /// event engine is selected and no contended window is in progress
+    /// in `pe`'s sub-cube.
+    fn use_event_path(&self, pe: usize) -> bool {
+        self.cfg.engine == EngineMode::Event && !self.contended_window(pe)
     }
 
-    /// A contended window: contention modeling is on and ≥2 PEs have
-    /// in-flight remote traffic (pending buffered writes or outstanding
-    /// acks), so shell queueing can couple their timing through shared
-    /// node state. Conservative — any such window runs cycle-accurate.
-    fn contended_window(&self) -> bool {
-        if !self.cfg.contention {
+    /// A contended window: contention modeling is on and ≥2 PEs of
+    /// `pe`'s sub-cube have in-flight remote traffic (pending buffered
+    /// writes or outstanding acks), so shell or link queueing can couple
+    /// their timing through shared state. Conservative — any such window
+    /// runs cycle-accurate. The scan reads the [`NodeHot`] in-flight
+    /// mirrors (contiguous, a few words per PE) and is regional: a
+    /// contended sub-cube on one corner of a 1024-PE machine does not
+    /// knock the opposite corner off the event path.
+    fn contended_window(&self, pe: usize) -> bool {
+        if !(self.cfg.contention || self.cfg.link_contention) {
             return false;
         }
-        self.nodes
-            .iter()
-            .filter(|n| n.port.wbuf_pending() > 0 || n.acks.clear_time().is_some())
+        let pes = &self.block_pes[self.block_of[pe] as usize];
+        debug_assert!(
+            pes.iter().all(|&p| {
+                let n = &self.nodes[p as usize];
+                self.hot[p as usize].inflight()
+                    == (n.port.wbuf_pending() > 0 || n.acks.clear_time().is_some())
+            }),
+            "hot in-flight mirror out of sync with node units"
+        );
+        pes.iter()
+            .filter(|&&p| self.hot[p as usize].inflight())
             .count()
             >= 2
+    }
+
+    /// Re-syncs `pe`'s hot in-flight mirrors from the authoritative
+    /// units. Called wherever the write buffer or ack tracker can change
+    /// population.
+    fn sync_inflight(&mut self, pe: usize) {
+        let n = &self.nodes[pe];
+        let h = &mut self.hot[pe];
+        h.wbuf_pending = n.port.wbuf_pending() as u32;
+        h.acks_inflight = n.acks.clear_time().is_some();
     }
 
     /// Event-engine activity counters for one PE (both zero under the
@@ -211,8 +311,29 @@ impl Machine {
         if !self.cfg.contention {
             return 0;
         }
-        let start = ready.max(self.nodes[target].shell_busy_until);
-        self.nodes[target].shell_busy_until = start + occupancy_cy;
+        let start = ready.max(self.hot[target].shell_busy_until);
+        self.hot[target].shell_busy_until = start + occupancy_cy;
+        start - ready
+    }
+
+    /// Queueing delay on the dimension-order route `pe -> target` for a
+    /// transfer that reaches the network at `ready` and occupies each
+    /// route link for `occupancy_cy` (its bytes at two per cycle). The
+    /// transfer waits for the hottest link of its route to clear, then
+    /// holds every link of the route until it finishes. Zero unless link
+    /// contention modeling is enabled.
+    fn link_contend(&mut self, pe: usize, target: usize, ready: u64, occupancy_cy: u64) -> u64 {
+        if !self.cfg.link_contention || pe == target {
+            return 0;
+        }
+        let path = self.torus.route(pe as u32, target as u32);
+        let mut start = ready;
+        for w in path.windows(2) {
+            start = start.max(self.link_busy[self.torus.step_link_id(w[0], w[1])]);
+        }
+        for w in path.windows(2) {
+            self.link_busy[self.torus.step_link_id(w[0], w[1])] = start + occupancy_cy;
+        }
         start - ready
     }
 
@@ -231,9 +352,9 @@ impl Machine {
             "annex target PE {} does not exist",
             entry.pe
         );
-        let now = self.nodes[pe].clock;
+        let now = self.hot[pe].clock;
         let cost = self.nodes[pe].annex.update(idx, entry);
-        self.nodes[pe].clock += cost;
+        self.hot[pe].clock += cost;
         self.nodes[pe].perf.credit(CostClass::AnnexUpdate, cost);
         self.trace(pe, TraceKind::AnnexSet(entry.pe), idx as u64, now);
     }
@@ -270,9 +391,9 @@ impl Machine {
         let (aidx, off) = self.split_va(va);
         if aidx == 0 {
             self.nodes[pe].ops.loads_local += 1;
-            let now = self.nodes[pe].clock;
+            let now = self.hot[pe].clock;
             let cost = self.nodes[pe].port.read(now, va, buf);
-            self.nodes[pe].clock = now + cost;
+            self.hot[pe].clock = now + cost;
             self.nodes[pe].perf.sample(OpKind::LdLocal, cost);
             self.deliver_outbox(pe);
             self.trace(pe, TraceKind::LoadLocal, va, now);
@@ -286,7 +407,7 @@ impl Machine {
         self.nodes[pe].ops.loads_remote += 1;
         let entry = self.nodes[pe].annex.entry(aidx);
         let target = entry.pe as usize;
-        let now = self.nodes[pe].clock;
+        let now = self.hot[pe].clock;
         // Push out anything due, so our own earlier stores can land.
         self.nodes[pe].port.apply_due(now);
         self.deliver_outbox(pe);
@@ -297,7 +418,7 @@ impl Machine {
         if let Some(line) = self.nodes[pe].port.l1().lookup(va) {
             let o = (va - line_pa) as usize;
             buf.copy_from_slice(&line[o..o + buf.len()]);
-            self.nodes[pe].clock = now + cost + self.cfg.mem.l1.hit_cy;
+            self.hot[pe].clock = now + cost + self.cfg.mem.l1.hit_cy;
             let hit = self.cfg.mem.l1.hit_cy;
             self.nodes[pe].perf.credit(CostClass::L1Hit, hit);
             self.nodes[pe].perf.sample(OpKind::LdRemote, cost + hit);
@@ -306,7 +427,7 @@ impl Machine {
         }
         match entry.func {
             FuncCode::Cached => {
-                let target_clock = self.nodes[target].clock;
+                let target_clock = self.hot[target].clock;
                 self.nodes[target].port.apply_due(target_clock);
                 self.deliver_outbox(target);
                 let line_off = off & !self.line_mask();
@@ -318,12 +439,19 @@ impl Machine {
                     + cost
                     + self.cfg.shell.remote_read_shell_cy / 2
                     + self.one_way_cy(pe, target);
-                let queue = self.contend(target, ready, dram + 5);
+                let lqueue = self.link_contend(
+                    pe,
+                    target,
+                    ready,
+                    link_occupancy_cy(self.cfg.mem.l1.line as u64),
+                );
+                let queue = self.contend(target, ready + lqueue, dram + 5);
                 cost += self.cfg.shell.remote_read_shell_cy
                     + self.cfg.shell.cached_read_extra_cy
                     + self.rtt_cy(pe, target)
                     + dram
-                    + queue;
+                    + queue
+                    + lqueue;
                 let shell =
                     self.cfg.shell.remote_read_shell_cy + self.cfg.shell.cached_read_extra_cy;
                 let rtt = self.rtt_cy(pe, target);
@@ -331,7 +459,7 @@ impl Machine {
                 p.credit(CostClass::ShellLaunch, shell);
                 p.credit(CostClass::NetHop, rtt);
                 p.credit(CostClass::RemoteDram, dram);
-                p.credit(CostClass::Contention, queue);
+                p.credit(CostClass::Contention, queue + lqueue);
                 if self.nodes[pe].port.has_pending_line(line_pa) {
                     self.nodes[pe].port.forward_pending(line_pa, &mut line_buf);
                 }
@@ -344,7 +472,7 @@ impl Machine {
                     other == FuncCode::Uncached,
                     "annex function code {other:?} is not a load flavour"
                 );
-                let target_clock = self.nodes[target].clock;
+                let target_clock = self.hot[target].clock;
                 self.nodes[target].port.apply_due(target_clock);
                 self.deliver_outbox(target);
                 let dram = self.nodes[target].port.service_remote_read(off, buf);
@@ -352,16 +480,21 @@ impl Machine {
                     + cost
                     + self.cfg.shell.remote_read_shell_cy / 2
                     + self.one_way_cy(pe, target);
-                let queue = self.contend(target, ready, dram + 5);
-                cost +=
-                    self.cfg.shell.remote_read_shell_cy + self.rtt_cy(pe, target) + dram + queue;
+                let lqueue =
+                    self.link_contend(pe, target, ready, link_occupancy_cy(buf.len() as u64));
+                let queue = self.contend(target, ready + lqueue, dram + 5);
+                cost += self.cfg.shell.remote_read_shell_cy
+                    + self.rtt_cy(pe, target)
+                    + dram
+                    + queue
+                    + lqueue;
                 let shell = self.cfg.shell.remote_read_shell_cy;
                 let rtt = self.rtt_cy(pe, target);
                 let p = &mut self.nodes[pe].perf;
                 p.credit(CostClass::ShellLaunch, shell);
                 p.credit(CostClass::NetHop, rtt);
                 p.credit(CostClass::RemoteDram, dram);
-                p.credit(CostClass::Contention, queue);
+                p.credit(CostClass::Contention, queue + lqueue);
                 // Our own pending stores to the same full PA forward.
                 if self.nodes[pe].port.has_pending_line(line_pa) {
                     let mut line_buf = vec![0u8; self.cfg.mem.l1.line];
@@ -373,7 +506,7 @@ impl Machine {
                 }
             }
         }
-        self.nodes[pe].clock = now + cost;
+        self.hot[pe].clock = now + cost;
         self.nodes[pe].perf.sample(OpKind::LdRemote, cost);
         self.trace(pe, TraceKind::LoadRemote(entry.pe), va, now);
     }
@@ -393,7 +526,7 @@ impl Machine {
     /// Panics if the store crosses a cache line or is out of range.
     pub fn st(&mut self, pe: usize, va: u64, bytes: &[u8]) {
         let (aidx, off) = self.split_va(va);
-        let now = self.nodes[pe].clock;
+        let now = self.hot[pe].clock;
         let cost = if aidx == 0 {
             self.nodes[pe].ops.stores_local += 1;
             self.nodes[pe].port.write(now, va, bytes)
@@ -424,7 +557,7 @@ impl Machine {
                 .port
                 .write_to(now, va, bytes, WriteTarget::Remote(sink))
         };
-        self.nodes[pe].clock = now + cost;
+        self.hot[pe].clock = now + cost;
         let kind_op = if aidx == 0 {
             OpKind::StLocal
         } else {
@@ -444,16 +577,16 @@ impl Machine {
     /// pending prefetch requests with it).
     pub fn memory_barrier(&mut self, pe: usize) {
         self.nodes[pe].ops.memory_barriers += 1;
-        let now = self.nodes[pe].clock;
-        let cost = if self.use_event_path() {
-            event::memory_barrier_event(&mut self.nodes[pe])
+        let now = self.hot[pe].clock;
+        let cost = if self.use_event_path(pe) {
+            event::memory_barrier_event(&mut self.hot[pe], &mut self.nodes[pe])
         } else {
             let c = self.nodes[pe].port.memory_barrier(now);
-            self.nodes[pe].clock = now + c;
+            self.hot[pe].clock = now + c;
             c
         };
         self.nodes[pe].perf.sample(OpKind::Fence, cost);
-        let t = self.nodes[pe].clock;
+        let t = self.hot[pe].clock;
         self.nodes[pe].prefetch.note_memory_barrier(t);
         self.deliver_outbox(pe);
         self.trace(pe, TraceKind::MemoryBarrier, 0, now);
@@ -463,10 +596,11 @@ impl Machine {
     /// *known to the shell* is outstanding. Writes still in the write
     /// buffer are invisible — the Section 4.3 trap.
     pub fn poll_status(&mut self, pe: usize) -> bool {
-        let now = self.nodes[pe].clock;
+        let now = self.hot[pe].clock;
         let (clear, cost) = self.nodes[pe].acks.poll(now);
-        self.nodes[pe].clock = now + cost;
+        self.hot[pe].clock = now + cost;
         self.nodes[pe].perf.credit(CostClass::AckWait, cost);
+        self.sync_inflight(pe);
         self.trace(pe, TraceKind::StatusPoll, 0, now);
         clear
     }
@@ -475,15 +609,16 @@ impl Machine {
     /// acknowledged. (Fence first — see [`Machine::poll_status`].)
     pub fn wait_write_acks(&mut self, pe: usize) {
         self.nodes[pe].ops.ack_waits += 1;
-        let now = self.nodes[pe].clock;
-        let cost = if self.use_event_path() {
-            event::wait_write_acks_event(&mut self.nodes[pe])
+        let now = self.hot[pe].clock;
+        let cost = if self.use_event_path(pe) {
+            event::wait_write_acks_event(&mut self.hot[pe], &mut self.nodes[pe])
         } else {
             let c = self.nodes[pe].acks.wait_clear(now);
-            self.nodes[pe].clock = now + c;
+            self.hot[pe].clock = now + c;
             self.nodes[pe].perf.credit(CostClass::AckWait, c);
             c
         };
+        self.sync_inflight(pe);
         self.nodes[pe].perf.sample(OpKind::AckWait, cost);
         self.trace(pe, TraceKind::AckWait, 0, now);
     }
@@ -502,13 +637,16 @@ impl Machine {
                 &r.data,
                 Some(r.mask),
             );
-            let queue = self.contend(target, r.completion + sink.ack_rtt_cy / 2, dram + 5);
-            let arrival = r.completion + sink.ack_rtt_cy / 2 + dram + queue;
-            let ack = r.completion + sink.ack_rtt_cy + dram + queue;
             let bytes = r.mask.count_ones() as u64;
+            let ready = r.completion + sink.ack_rtt_cy / 2;
+            let lqueue = self.link_contend(pe, target, ready, link_occupancy_cy(bytes));
+            let queue = self.contend(target, ready + lqueue, dram + 5);
+            let arrival = ready + lqueue + dram + queue;
+            let ack = r.completion + sink.ack_rtt_cy + lqueue + dram + queue;
             self.nodes[target].incoming.push((arrival, bytes));
             self.nodes[pe].acks.expect_ack(ack);
         }
+        self.sync_inflight(pe);
     }
 
     // ------------------------------------------------------------------
@@ -525,33 +663,36 @@ impl Machine {
         } else {
             self.nodes[pe].annex.entry(aidx).pe as usize
         };
-        let now = self.nodes[pe].clock;
+        let now = self.hot[pe].clock;
         let tlb = self.nodes[pe].port.tlb_access(va);
-        let target_clock = self.nodes[target].clock;
+        let target_clock = self.hot[target].clock;
         self.nodes[target].port.apply_due(target_clock);
         self.deliver_outbox(target);
         let mut buf = [0u8; 8];
         let dram = self.nodes[target].port.service_remote_read(off, &mut buf);
         let ready = now + tlb + self.cfg.shell.prefetch_net_cy / 2 + self.one_way_cy(pe, target);
-        let queue = self.contend(target, ready, dram + 5);
-        let latency = self.cfg.shell.prefetch_net_cy + self.rtt_cy(pe, target) + dram + queue;
+        let lqueue = self.link_contend(pe, target, ready, link_occupancy_cy(8));
+        let queue = self.contend(target, ready + lqueue, dram + 5);
+        let latency =
+            self.cfg.shell.prefetch_net_cy + self.rtt_cy(pe, target) + dram + queue + lqueue;
         let issued =
             match self.nodes[pe]
                 .prefetch
                 .issue(now + tlb, u64::from_le_bytes(buf), latency)
             {
                 Some(c) => {
-                    self.nodes[pe].clock = now + tlb + c;
+                    self.hot[pe].clock = now + tlb + c;
                     self.nodes[pe].perf.credit(CostClass::PrefetchIssue, c);
                     self.nodes[pe].perf.sample(OpKind::Fetch, tlb + c);
                     true
                 }
                 None => {
-                    self.nodes[pe].clock = now + tlb;
+                    self.hot[pe].clock = now + tlb;
                     self.nodes[pe].perf.sample(OpKind::Fetch, tlb);
                     false
                 }
             };
+        self.hot[pe].prefetch_outstanding = self.nodes[pe].prefetch.outstanding() as u32;
         self.trace(pe, TraceKind::Fetch(target as u32), va, now);
         issued
     }
@@ -566,15 +707,16 @@ impl Machine {
     /// write buffer (fence first).
     pub fn pop_prefetch(&mut self, pe: usize) -> Result<u64, PopError> {
         self.nodes[pe].ops.pops += 1;
-        let now = self.nodes[pe].clock;
-        let (value, cost) = if self.use_event_path() {
-            event::pop_prefetch_event(&mut self.nodes[pe])?
+        let now = self.hot[pe].clock;
+        let (value, cost) = if self.use_event_path(pe) {
+            event::pop_prefetch_event(&mut self.hot[pe], &mut self.nodes[pe])?
         } else {
             let (v, c) = self.nodes[pe].prefetch.pop(now)?;
-            self.nodes[pe].clock = now + c;
+            self.hot[pe].clock = now + c;
             self.nodes[pe].perf.credit(CostClass::PrefetchWait, c);
             (v, c)
         };
+        self.hot[pe].prefetch_outstanding = self.nodes[pe].prefetch.outstanding() as u32;
         self.nodes[pe].perf.sample(OpKind::Pop, cost);
         self.trace(pe, TraceKind::Pop, 0, now);
         Ok(value)
@@ -616,9 +758,17 @@ impl Machine {
                 self.poke_and_invalidate(target_pe, remote_off, &data);
             }
         }
-        let now = self.nodes[pe].clock;
+        let now = self.hot[pe].clock;
         let timing = self.nodes[pe].blt.start(now, dir, bytes);
-        self.nodes[pe].clock = now + timing.startup_cy;
+        // The DMA stream holds its route from the moment it starts
+        // injecting (after the OS startup stall) until the last byte.
+        let lqueue = self.link_contend(
+            pe,
+            target_pe,
+            now + timing.startup_cy,
+            link_occupancy_cy(bytes),
+        );
+        self.hot[pe].clock = now + timing.startup_cy;
         self.nodes[pe]
             .perf
             .credit(CostClass::BltStartup, timing.startup_cy);
@@ -627,7 +777,7 @@ impl Machine {
             .sample(OpKind::BltStart, timing.startup_cy);
         self.trace(pe, TraceKind::Blt(target_pe as u32), remote_off, now);
         BltHandle {
-            completion: now + timing.total_cy(),
+            completion: now + timing.total_cy() + lqueue,
             startup_cy: timing.startup_cy,
             stream_cy: timing.stream_cy,
         }
@@ -684,9 +834,15 @@ impl Machine {
             let dram = self.nodes[target_pe].port.dram_mut().access(line);
             extra += dram.saturating_sub(self.cfg.mem.dram.page_hit_cy);
         }
-        let now = self.nodes[pe].clock;
+        let now = self.hot[pe].clock;
         let timing = self.nodes[pe].blt.start(now, dir, count * elem_bytes);
-        self.nodes[pe].clock = now + timing.startup_cy;
+        let lqueue = self.link_contend(
+            pe,
+            target_pe,
+            now + timing.startup_cy,
+            link_occupancy_cy(count * elem_bytes),
+        );
+        self.hot[pe].clock = now + timing.startup_cy;
         self.nodes[pe]
             .perf
             .credit(CostClass::BltStartup, timing.startup_cy);
@@ -695,7 +851,7 @@ impl Machine {
             .sample(OpKind::BltStart, timing.startup_cy);
         self.trace(pe, TraceKind::Blt(target_pe as u32), remote_off, now);
         BltHandle {
-            completion: now + timing.total_cy() + extra,
+            completion: now + timing.total_cy() + extra + lqueue,
             startup_cy: timing.startup_cy,
             stream_cy: timing.stream_cy + extra,
         }
@@ -703,14 +859,14 @@ impl Machine {
 
     /// Blocks until a BLT transfer completes.
     pub fn blt_wait(&mut self, pe: usize, handle: BltHandle) {
-        let now = self.nodes[pe].clock;
-        let waited = if self.use_event_path() {
-            event::blt_wait_event(&mut self.nodes[pe], handle.completion)
+        let now = self.hot[pe].clock;
+        let waited = if self.use_event_path(pe) {
+            event::blt_wait_event(&mut self.hot[pe], &mut self.nodes[pe], handle.completion)
         } else {
-            let n = &mut self.nodes[pe];
-            n.clock = n.clock.max(handle.completion);
-            let w = n.clock - now;
-            n.perf.credit(CostClass::BltWait, w);
+            let h = &mut self.hot[pe];
+            h.clock = h.clock.max(handle.completion);
+            let w = h.clock - now;
+            self.nodes[pe].perf.credit(CostClass::BltWait, w);
             w
         };
         self.nodes[pe].perf.sample(OpKind::BltWait, waited);
@@ -734,12 +890,14 @@ impl Machine {
     /// Sends a four-word message (the 122-cycle PAL call).
     pub fn msg_send(&mut self, pe: usize, dst: usize, words: [u64; 4]) {
         self.nodes[pe].ops.msgs_sent += 1;
-        let now = self.nodes[pe].clock;
-        self.nodes[pe].clock += self.cfg.shell.msg_send_cy;
+        let now = self.hot[pe].clock;
+        self.hot[pe].clock += self.cfg.shell.msg_send_cy;
         let send_cy = self.cfg.shell.msg_send_cy;
         self.nodes[pe].perf.credit(CostClass::MsgSend, send_cy);
         self.nodes[pe].perf.sample(OpKind::MsgSend, send_cy);
-        let arrival = self.nodes[pe].clock + self.one_way_cy(pe, dst);
+        let sent = self.hot[pe].clock;
+        let lqueue = self.link_contend(pe, dst, sent, link_occupancy_cy(32));
+        let arrival = sent + lqueue + self.one_way_cy(pe, dst);
         self.nodes[dst].msgq.deliver(Message {
             from: pe as u32,
             words,
@@ -751,10 +909,10 @@ impl Machine {
     /// Receives the oldest arrived message, paying the 25 µs interrupt
     /// (plus dispatch, in handler mode). `None` if nothing has arrived.
     pub fn msg_receive(&mut self, pe: usize) -> Option<Message> {
-        let now = self.nodes[pe].clock;
+        let now = self.hot[pe].clock;
         self.nodes[pe].ops.msgs_received += 1;
         let (msg, cost) = self.nodes[pe].msgq.receive(now)?;
-        self.nodes[pe].clock = now + cost;
+        self.hot[pe].clock = now + cost;
         self.nodes[pe].perf.credit(CostClass::MsgRecv, cost);
         self.nodes[pe].perf.sample(OpKind::MsgRecv, cost);
         self.trace(pe, TraceKind::MsgRecv, 0, now);
@@ -768,14 +926,16 @@ impl Machine {
     /// Remote fetch&increment on `target_pe`'s register `reg`.
     pub fn fetch_inc(&mut self, pe: usize, target_pe: usize, reg: usize) -> u64 {
         self.nodes[pe].ops.atomics += 1;
-        let now = self.nodes[pe].clock;
+        let now = self.hot[pe].clock;
         let ready = now + self.cfg.shell.remote_read_shell_cy / 2 + self.one_way_cy(pe, target_pe);
-        let queue = self.contend(target_pe, ready, 20);
+        let lqueue = self.link_contend(pe, target_pe, ready, link_occupancy_cy(8));
+        let queue = self.contend(target_pe, ready + lqueue, 20);
         let cost = self.cfg.shell.remote_read_shell_cy
             + self.rtt_cy(pe, target_pe)
             + self.cfg.shell.amo_extra_cy
-            + queue;
-        self.nodes[pe].clock += cost;
+            + queue
+            + lqueue;
+        self.hot[pe].clock += cost;
         let shell = self.cfg.shell.remote_read_shell_cy;
         let rtt = self.rtt_cy(pe, target_pe);
         let amo = self.cfg.shell.amo_extra_cy;
@@ -783,7 +943,7 @@ impl Machine {
         p.credit(CostClass::ShellLaunch, shell);
         p.credit(CostClass::NetHop, rtt);
         p.credit(CostClass::Amo, amo);
-        p.credit(CostClass::Contention, queue);
+        p.credit(CostClass::Contention, queue + lqueue);
         p.sample(OpKind::FetchInc, cost);
         self.trace(pe, TraceKind::FetchInc(target_pe as u32), reg as u64, now);
         self.nodes[target_pe].fetchinc.fetch_inc(reg)
@@ -791,7 +951,7 @@ impl Machine {
 
     /// Loads this node's swap operand register.
     pub fn swap_load(&mut self, pe: usize, value: u64) {
-        let now = self.nodes[pe].clock;
+        let now = self.hot[pe].clock;
         self.nodes[pe].swap.load(value);
         self.trace(pe, TraceKind::SwapLoad, 0, now);
     }
@@ -813,7 +973,7 @@ impl Machine {
             );
             entry.pe as usize
         };
-        let target_clock = self.nodes[target].clock;
+        let target_clock = self.hot[target].clock;
         self.nodes[target].port.apply_due(target_clock);
         self.deliver_outbox(target);
         let mut buf = [0u8; 8];
@@ -823,15 +983,17 @@ impl Machine {
         self.nodes[target]
             .port
             .service_remote_write(off, &to_mem.to_le_bytes(), None);
-        let now = self.nodes[pe].clock;
+        let now = self.hot[pe].clock;
         let ready = now + self.cfg.shell.remote_read_shell_cy / 2 + self.one_way_cy(pe, target);
-        let queue = self.contend(target, ready, dram + 20);
+        let lqueue = self.link_contend(pe, target, ready, link_occupancy_cy(8));
+        let queue = self.contend(target, ready + lqueue, dram + 20);
         let cost = self.cfg.shell.remote_read_shell_cy
             + self.rtt_cy(pe, target)
             + self.cfg.shell.amo_extra_cy
             + dram
-            + queue;
-        self.nodes[pe].clock += cost;
+            + queue
+            + lqueue;
+        self.hot[pe].clock += cost;
         let shell = self.cfg.shell.remote_read_shell_cy;
         let rtt = self.rtt_cy(pe, target);
         let amo = self.cfg.shell.amo_extra_cy;
@@ -840,7 +1002,7 @@ impl Machine {
         p.credit(CostClass::NetHop, rtt);
         p.credit(CostClass::Amo, amo);
         p.credit(CostClass::RemoteDram, dram);
-        p.credit(CostClass::Contention, queue);
+        p.credit(CostClass::Contention, queue + lqueue);
         p.sample(OpKind::Swap, cost);
         self.trace(pe, TraceKind::Swap(target as u32), va, now);
         old_mem
@@ -858,26 +1020,25 @@ impl Machine {
             self.memory_barrier(pe);
         }
         for pe in 0..self.nodes.len() {
-            let t = self.nodes[pe].clock + self.cfg.shell.barrier_start_cy;
+            let t = self.hot[pe].clock + self.cfg.shell.barrier_start_cy;
             self.barrier.start(pe, t);
         }
         let done = self.barrier.completion_time().expect("all nodes arrived");
         self.barrier.reset();
         let overhead = self.cfg.shell.barrier_start_cy + self.cfg.shell.barrier_end_cy;
-        let event_path = self.use_event_path();
         for pe in 0..self.nodes.len() {
-            let start = self.nodes[pe].clock;
+            let start = self.hot[pe].clock;
             // The wire settles at `done` ≥ every arrival ≥ this clock, so
             // aligning via the settle event reproduces `done` exactly —
             // unless a perturbed due-time skews it, which the
             // differential harness must then catch.
-            let aligned = if event_path {
-                event::barrier_settle_event(&mut self.nodes[pe], done)
+            let aligned = if self.use_event_path(pe) {
+                event::barrier_settle_event(&self.hot[pe], &mut self.nodes[pe], done)
             } else {
                 done
             };
-            self.nodes[pe].clock = aligned + self.cfg.shell.barrier_end_cy;
-            let delta = self.nodes[pe].clock - start;
+            self.hot[pe].clock = aligned + self.cfg.shell.barrier_end_cy;
+            let delta = self.hot[pe].clock - start;
             let p = &mut self.nodes[pe].perf;
             p.credit(CostClass::BarrierOverhead, overhead);
             p.credit(CostClass::BarrierWait, delta - overhead);
@@ -903,13 +1064,13 @@ impl Machine {
     ///
     /// Panics if this node already started the current episode.
     pub fn fuzzy_barrier_start(&mut self, pe: usize) {
-        let now = self.nodes[pe].clock;
-        self.nodes[pe].clock += self.cfg.shell.barrier_start_cy;
+        let now = self.hot[pe].clock;
+        self.hot[pe].clock += self.cfg.shell.barrier_start_cy;
         let start_cy = self.cfg.shell.barrier_start_cy;
         self.nodes[pe]
             .perf
             .credit(CostClass::BarrierOverhead, start_cy);
-        let t = self.nodes[pe].clock;
+        let t = self.hot[pe].clock;
         self.barrier.start(pe, t);
         self.trace(pe, TraceKind::FuzzyBarrierStart, 0, now);
     }
@@ -928,17 +1089,16 @@ impl Machine {
             .completion_time()
             .expect("every node must start-barrier before end-barrier");
         self.barrier.reset();
-        let event_path = self.use_event_path();
         for pe in 0..self.nodes.len() {
-            let start = self.nodes[pe].clock;
-            let aligned = if event_path {
-                event::barrier_settle_event(&mut self.nodes[pe], done)
+            let start = self.hot[pe].clock;
+            let aligned = if self.use_event_path(pe) {
+                event::barrier_settle_event(&self.hot[pe], &mut self.nodes[pe], done)
             } else {
                 start.max(done)
             };
-            self.nodes[pe].clock = aligned + self.cfg.shell.barrier_end_cy;
+            self.hot[pe].clock = aligned + self.cfg.shell.barrier_end_cy;
             let end_cy = self.cfg.shell.barrier_end_cy;
-            let delta = self.nodes[pe].clock - start;
+            let delta = self.hot[pe].clock - start;
             let p = &mut self.nodes[pe].perf;
             p.credit(CostClass::BarrierOverhead, end_cy);
             // `aligned - start == done.saturating_sub(start)` on both
@@ -986,10 +1146,8 @@ impl Machine {
             self.deliver_outbox(pe);
         }
         for node in &mut self.nodes {
-            node.clock = 0;
             node.incoming.clear();
             node.acks.wait_clear(u64::MAX / 2);
-            node.shell_busy_until = 0;
             node.events.clear();
             // Rebase attribution at the zeroed clock (collection state is
             // preserved; accumulated credits from before the reset would
@@ -997,6 +1155,14 @@ impl Machine {
             let on = node.perf.on;
             node.perf.restart(on, 0);
             node.port.set_perf(on);
+        }
+        for hot in &mut self.hot {
+            hot.clock = 0;
+            hot.shell_busy_until = 0;
+        }
+        self.link_busy.fill(0);
+        for pe in 0..self.nodes.len() {
+            self.sync_inflight(pe);
         }
         self.phase_log.clear();
     }
@@ -1028,9 +1194,8 @@ impl Machine {
     pub fn set_perf_mode(&mut self, mode: PerfMode) {
         self.perf_mode = mode;
         let on = mode.counters();
-        for node in &mut self.nodes {
-            let clock = node.clock;
-            node.perf.restart(on, clock);
+        for (node, hot) in self.nodes.iter_mut().zip(&self.hot) {
+            node.perf.restart(on, hot.clock);
             node.port.set_perf(on);
         }
         self.phase_log.clear();
@@ -1049,9 +1214,10 @@ impl Machine {
         out
     }
 
-    /// The reference clock for phase spans: the maximum PE clock.
+    /// The reference clock for phase spans: the maximum PE clock (a
+    /// contiguous scan over the hot arena).
     fn perf_ref_clock(&self) -> u64 {
-        self.nodes.iter().map(|n| n.clock).max().unwrap_or(0)
+        self.hot.iter().map(|h| h.clock).max().unwrap_or(0)
     }
 
     /// Opens a named phase in the perf report (no-op unless profiling).
@@ -1090,7 +1256,7 @@ impl Machine {
             ledger.merge(node.port.perf_ledger());
             pes.push(PePerf {
                 pe,
-                elapsed: node.clock.saturating_sub(node.perf.base_clock),
+                elapsed: self.hot[pe].clock.saturating_sub(node.perf.base_clock),
                 ledger,
             });
             hists.merge(&node.perf.hists);
@@ -1180,17 +1346,47 @@ impl Machine {
     /// pre-phase state is pending when the shards start.
     pub(crate) fn normalize_for_phase(&mut self) {
         for pe in 0..self.nodes.len() {
-            let now = self.nodes[pe].clock;
+            let now = self.hot[pe].clock;
             self.nodes[pe].port.apply_due(now);
             self.deliver_outbox(pe);
         }
     }
 
     /// Split borrow of the pieces the sharded phase driver needs: the
-    /// configuration and torus (shared, read-only) and the node array
-    /// (split per-PE across shards).
-    pub(crate) fn phase_parts(&mut self) -> (&MachineConfig, &Torus, &mut [Node]) {
-        (&self.cfg, &self.torus, &mut self.nodes)
+    /// configuration and torus (shared, read-only), the node and hot
+    /// arrays (split per-PE across shards), and the link-occupancy
+    /// clocks (snapshotted read-only; shards queue privately).
+    pub(crate) fn phase_parts(
+        &mut self,
+    ) -> (&MachineConfig, &Torus, &mut [Node], &mut [NodeHot], &[u64]) {
+        (
+            &self.cfg,
+            &self.torus,
+            &mut self.nodes,
+            &mut self.hot,
+            &self.link_busy,
+        )
+    }
+
+    /// Replays one sharded-phase link reservation against the global
+    /// link-occupancy clocks (merge-order deterministic, so Seq and Par
+    /// runs evolve identical link state).
+    pub(crate) fn replay_link(&mut self, src: usize, target: usize, ready: u64, occupancy_cy: u64) {
+        let _ = self.link_contend(src, target, ready, occupancy_cy);
+    }
+
+    /// Split borrow of one PE's cold node and hot record (effect
+    /// application after a sharded phase).
+    pub(crate) fn node_and_hot_mut(&mut self, pe: usize) -> (&mut Node, &mut NodeHot) {
+        (&mut self.nodes[pe], &mut self.hot[pe])
+    }
+
+    /// Re-syncs every PE's hot in-flight mirrors (the sharded phase
+    /// driver mutates unit state through its own shard borrows).
+    pub(crate) fn resync_inflight_all(&mut self) {
+        for pe in 0..self.nodes.len() {
+            self.sync_inflight(pe);
+        }
     }
 }
 
@@ -1645,6 +1841,110 @@ mod tests {
         let t = m.arrival_time_of(1, 32).expect("32 bytes arrived");
         assert!(t > 0);
         assert_eq!(m.arrival_time_of(1, 33), None);
+    }
+
+    #[test]
+    fn non_power_of_two_machine_is_rejected() {
+        let err = Machine::try_new(MachineConfig::t3d(24)).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "machine size must be a power of two >= 1, got 24 nodes"
+        );
+        for n in [1u32, 2, 8, 64, 1024] {
+            assert!(Machine::try_new(MachineConfig::t3d(n)).is_ok());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "machine size must be a power of two >= 1, got 24 nodes")]
+    fn new_panics_on_non_power_of_two() {
+        let _ = Machine::new(MachineConfig::t3d(24));
+    }
+
+    #[test]
+    fn fresh_machine_commits_no_node_memory() {
+        // Construction must not touch the demand-chunked arenas: a
+        // 64-PE machine with 16 MB nodes is a 1 GB address space but a
+        // few-KB allocation until programs store to it.
+        let m = Machine::new(MachineConfig::t3d(64));
+        let resident: usize = (0..m.nodes())
+            .map(|pe| m.node(pe).port.mem_arena().resident_bytes())
+            .sum();
+        assert_eq!(resident, 0, "fresh machines commit no chunks");
+    }
+
+    #[test]
+    fn contended_window_is_per_sub_cube() {
+        // 16 nodes factor to dims (4, 2, 2); the contention window
+        // splits them along X into two canonical (2, 2, 2) sub-cubes —
+        // the same shapes the gang scheduler's buddy allocator hands
+        // out.
+        let mut m = Machine::new(MachineConfig::t3d_contended(16));
+        assert_eq!(m.block_pes.len(), 2);
+        assert_eq!(m.block_pes[0], vec![0, 1, 4, 5, 8, 9, 12, 13]);
+        assert_eq!(m.block_pes[1], vec![2, 3, 6, 7, 10, 11, 14, 15]);
+        // Two PEs of the first sub-cube leave stores in flight.
+        for pe in [0usize, 1] {
+            set_annex(&mut m, pe, 1, 3, FuncCode::Uncached);
+            let va = m.va(1, 0x100);
+            m.st8(pe, va, 9);
+        }
+        assert!(m.contended_window(0), "sender is inside the window");
+        assert!(
+            m.contended_window(5),
+            "an idle PE of a busy sub-cube is inside the window"
+        );
+        assert!(
+            !m.contended_window(2),
+            "the other sub-cube stays uncontended"
+        );
+        assert!(!m.contended_window(15));
+    }
+
+    #[test]
+    fn link_contention_is_free_for_a_lone_sender() {
+        // With one PE sending, every route link is idle at `ready`:
+        // the queueing term is zero and the clocks match the
+        // uncontended machine exactly.
+        let run = |link: bool| {
+            let mut cfg = MachineConfig::t3d(8);
+            cfg.link_contention = link;
+            let mut m = Machine::new(cfg);
+            set_annex(&mut m, 0, 1, 7, FuncCode::Uncached);
+            for i in 0..4u64 {
+                m.st8(0, m.va(1, 0x2000 + i * 8), i);
+            }
+            m.memory_barrier(0);
+            m.wait_write_acks(0);
+            let _ = m.ld8(0, m.va(1, 0x2000));
+            let _ = m.fetch_inc(0, 7, 0);
+            m.clock(0)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn link_contention_queues_streams_sharing_a_link() {
+        // On the (2, 2, 2) torus both 5 → 0 and 7 → 0 dimension-order
+        // routes finish over the Z link (0,0,1) → (0,0,0); two
+        // simultaneous 2 KB BLT streams must serialize on it (1024 cy
+        // of occupancy each at two bytes per cycle).
+        let run = |link: bool| {
+            let mut cfg = MachineConfig::t3d(8);
+            cfg.link_contention = link;
+            let mut m = Machine::new(cfg);
+            let h5 = m.blt_start(5, BltDirection::Write, 0x1000, 0, 0x8000, 2048);
+            let h7 = m.blt_start(7, BltDirection::Write, 0x1000, 0, 0x9000, 2048);
+            m.blt_wait(5, h5);
+            m.blt_wait(7, h7);
+            m.clock(5).max(m.clock(7))
+        };
+        let free = run(false);
+        let queued = run(true);
+        assert!(
+            queued >= free + 1000,
+            "shared final link must queue the second stream: {queued} vs {free} cy"
+        );
     }
 
     #[test]

@@ -59,7 +59,43 @@ impl OpStats {
 }
 use t3d_shell::{AckTracker, Annex, BltUnit, FetchIncRegs, MsgQueue, PrefetchUnit, SwapUnit};
 
-/// A processing element: memory system + shell + virtual clock.
+/// The hot scalar state of one PE, held in a struct-of-arrays arena on
+/// the machine (`Vec<NodeHot>`) rather than inside the pointer-rich
+/// [`Node`]. The whole-machine scans — "max clock across PEs", "any
+/// in-flight traffic in this sub-cube", contention-window checks —
+/// stride over these few words per PE instead of ~500-byte nodes, so a
+/// 1024-PE machine's scan state stays cache-hot.
+///
+/// `wbuf_pending`/`acks_inflight`/`prefetch_outstanding` mirror the
+/// authoritative unit state in the cold node; the machine re-syncs them
+/// at every point where that state can change, and debug builds assert
+/// the mirror against the units on every contention-window scan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeHot {
+    /// Virtual time, in cycles.
+    pub clock: u64,
+    /// When this node's shell finishes servicing its current remote
+    /// request (used only when contention modeling is on).
+    pub shell_busy_until: u64,
+    /// Mirror of `port.wbuf_pending()`.
+    pub wbuf_pending: u32,
+    /// Mirror of `acks.clear_time().is_some()`.
+    pub acks_inflight: bool,
+    /// Mirror of `prefetch.outstanding()`.
+    pub prefetch_outstanding: u32,
+}
+
+impl NodeHot {
+    /// Whether this PE has in-flight remote traffic that shell queueing
+    /// could couple to another PE's timing.
+    pub fn inflight(&self) -> bool {
+        self.wbuf_pending > 0 || self.acks_inflight
+    }
+}
+
+/// A processing element: memory system + shell units. The per-PE hot
+/// scalars (clock, shell occupancy) live in the machine's [`NodeHot`]
+/// arena.
 #[derive(Debug)]
 pub struct Node {
     /// Local memory system.
@@ -78,8 +114,6 @@ pub struct Node {
     pub msgq: MsgQueue,
     /// Block transfer engine.
     pub blt: BltUnit,
-    /// Virtual time, in cycles.
-    pub clock: u64,
     /// Log of remote-write arrivals `(virtual time, bytes)` — the basis
     /// for Split-C `storeSync` (data-counting completion detection).
     pub incoming: Vec<(u64, u64)>,
@@ -90,9 +124,6 @@ pub struct Node {
     /// ledger for the costs it returns. Node-owned so the sharded phase
     /// engine carries it thread-privately.
     pub perf: PerfAccum,
-    /// When this node's shell finishes servicing its current remote
-    /// request (used only when contention modeling is on).
-    pub shell_busy_until: u64,
     /// Pending-completion queue for the event engine (empty between
     /// operations; see [`crate::event`]).
     pub events: EventQueue,
@@ -110,11 +141,9 @@ impl Node {
             swap: SwapUnit::new(),
             msgq: MsgQueue::new(&cfg.shell, cfg.msg_mode),
             blt: BltUnit::new(&cfg.shell),
-            clock: 0,
             incoming: Vec::new(),
             ops: OpStats::default(),
             perf: PerfAccum::default(),
-            shell_busy_until: 0,
             events: EventQueue::default(),
         }
     }

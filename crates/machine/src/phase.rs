@@ -53,15 +53,15 @@
 
 use crate::config::MachineConfig;
 use crate::cpu::Cpu;
-use crate::machine::{BltHandle, Machine};
-use crate::node::{Node, OpStats};
+use crate::machine::{link_occupancy_cy, BltHandle, Machine};
+use crate::node::{Node, NodeHot, OpStats};
 use crate::ops::MachineOps;
 use std::sync::Arc;
 use t3d_memsys::{Dram, MemArena, RemoteSink, WriteTarget};
 use t3d_perf::{CostClass, OpKind};
 use t3d_shell::blt::BltDirection;
 use t3d_shell::{AnnexEntry, FetchIncRegs, FuncCode, Message, PopError};
-use t3d_torus::Torus;
+use t3d_torus::{subcube, Torus};
 
 /// Which execution engine drives a sharded phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,6 +129,9 @@ enum Effect {
     Msg(Message),
     /// A fetch&increment bump of the target's register.
     FetchInc { reg: usize },
+    /// Pure link-occupancy replay with no node-side effect (BLT reads:
+    /// the stream holds its route but deposits locally).
+    LinkReserve,
 }
 
 /// An [`Effect`] with its deterministic merge key.
@@ -145,6 +148,10 @@ struct TimedEffect {
     /// Shell-occupancy replay `(ready, occupancy_cy)` for contention
     /// modeling, when the effect occupies the target's shell.
     busy: Option<(u64, u64)>,
+    /// Link-occupancy replay `(ready, occupancy_cy)` for link-contention
+    /// modeling: at merge time the dimension-order route `src -> target`
+    /// is re-reserved against the global link clocks.
+    link: Option<(u64, u64)>,
     eff: Effect,
 }
 
@@ -158,12 +165,20 @@ struct PhaseShared {
     dram: Vec<Dram>,
     /// Phase-start snapshot of every node's shell occupancy.
     busy: Vec<u64>,
+    /// Phase-start snapshot of the per-link occupancy clocks.
+    links: Vec<u64>,
     /// Phase-start snapshot of every node's fetch&increment registers.
     finc: Vec<FetchIncRegs>,
 }
 
 impl PhaseShared {
-    fn capture(cfg: &MachineConfig, torus: &Torus, nodes: &[Node]) -> Self {
+    fn capture(
+        cfg: &MachineConfig,
+        torus: &Torus,
+        nodes: &[Node],
+        hot: &[NodeHot],
+        links: &[u64],
+    ) -> Self {
         PhaseShared {
             cfg: *cfg,
             torus: torus.clone(),
@@ -172,7 +187,8 @@ impl PhaseShared {
                 .map(|n| Arc::clone(n.port.mem_arena()))
                 .collect(),
             dram: nodes.iter().map(|n| n.port.dram().clone()).collect(),
-            busy: nodes.iter().map(|n| n.shell_busy_until).collect(),
+            busy: hot.iter().map(|h| h.shell_busy_until).collect(),
+            links: links.to_vec(),
             finc: nodes.iter().map(|n| n.fetchinc.clone()).collect(),
         }
     }
@@ -187,12 +203,17 @@ impl PhaseShared {
 pub struct PhasePe<'a> {
     pe: usize,
     node: &'a mut Node,
+    /// This PE's hot scalars (clock, shell occupancy), owned exclusively
+    /// for the phase like the node itself.
+    hot: &'a mut NodeHot,
     sh: &'a PhaseShared,
     /// Private evolution of every other node's DRAM timing, seeded from
     /// the phase-start snapshot.
     rdram: Vec<Dram>,
     /// Private evolution of every other node's shell occupancy.
     rbusy: Vec<u64>,
+    /// Private evolution of the link-occupancy clocks.
+    rlink: Vec<u64>,
     /// This shard's own increments of remote fetch&increment registers.
     finc_bumps: Vec<[u64; 2]>,
     effects: Vec<TimedEffect>,
@@ -200,14 +221,16 @@ pub struct PhasePe<'a> {
 }
 
 impl<'a> PhasePe<'a> {
-    fn new(pe: usize, node: &'a mut Node, sh: &'a PhaseShared) -> Self {
+    fn new(pe: usize, node: &'a mut Node, hot: &'a mut NodeHot, sh: &'a PhaseShared) -> Self {
         let n = sh.mems.len();
         PhasePe {
             pe,
             node,
+            hot,
             sh,
             rdram: sh.dram.clone(),
             rbusy: sh.busy.clone(),
+            rlink: sh.links.clone(),
             finc_bumps: vec![[0u64; 2]; n],
             effects: Vec::new(),
             seq: 0,
@@ -228,12 +251,14 @@ impl<'a> PhasePe<'a> {
     }
 
     /// Mirrors `Machine::use_event_path`. A shard cannot see other
-    /// shards' in-flight traffic, so with contention modeling on it
-    /// conservatively stays cycle-accurate for the whole phase; with
-    /// contention off (the default) the fast-forward is exact and the
-    /// gate reduces to the engine mode.
+    /// shards' in-flight traffic, so with contention modeling on (shell
+    /// or link) it conservatively stays cycle-accurate for the whole
+    /// phase; with contention off (the default) the fast-forward is
+    /// exact and the gate reduces to the engine mode.
     fn use_event_path(&self) -> bool {
-        self.sh.cfg.engine == crate::event::EngineMode::Event && !self.sh.cfg.contention
+        self.sh.cfg.engine == crate::event::EngineMode::Event
+            && !self.sh.cfg.contention
+            && !self.sh.cfg.link_contention
     }
 
     fn line_mask(&self) -> u64 {
@@ -258,7 +283,7 @@ impl<'a> PhasePe<'a> {
             return 0;
         }
         let busy = if target == self.pe {
-            &mut self.node.shell_busy_until
+            &mut self.hot.shell_busy_until
         } else {
             &mut self.rbusy[target]
         };
@@ -267,7 +292,33 @@ impl<'a> PhasePe<'a> {
         start - ready
     }
 
-    fn push(&mut self, time: u64, target: usize, busy: Option<(u64, u64)>, eff: Effect) {
+    /// The shard-local mirror of `Machine::link_contend`: queueing on the
+    /// dimension-order route against the private phase-start link
+    /// snapshot. The reservation is replayed against the global link
+    /// clocks at merge time via [`TimedEffect::link`].
+    fn link_contend(&mut self, target: usize, ready: u64, occupancy_cy: u64) -> u64 {
+        if !self.sh.cfg.link_contention || target == self.pe {
+            return 0;
+        }
+        let path = self.sh.torus.route(self.pe as u32, target as u32);
+        let mut start = ready;
+        for w in path.windows(2) {
+            start = start.max(self.rlink[self.sh.torus.step_link_id(w[0], w[1])]);
+        }
+        for w in path.windows(2) {
+            self.rlink[self.sh.torus.step_link_id(w[0], w[1])] = start + occupancy_cy;
+        }
+        start - ready
+    }
+
+    fn push(
+        &mut self,
+        time: u64,
+        target: usize,
+        busy: Option<(u64, u64)>,
+        link: Option<(u64, u64)>,
+        eff: Effect,
+    ) {
         let seq = self.seq;
         self.seq += 1;
         self.effects.push(TimedEffect {
@@ -276,6 +327,7 @@ impl<'a> PhasePe<'a> {
             seq,
             target: target as u32,
             busy,
+            link,
             eff,
         });
     }
@@ -325,13 +377,15 @@ impl<'a> PhasePe<'a> {
             } else {
                 let dram = self.rdram[target].access(sink.remote_line_pa);
                 let ready = r.completion + sink.ack_rtt_cy / 2;
-                let queue = self.contend(target, ready, dram + 5);
-                let arrival = ready + dram + queue;
-                let ack = r.completion + sink.ack_rtt_cy + dram + queue;
+                let lqueue = self.link_contend(target, ready, link_occupancy_cy(bytes));
+                let queue = self.contend(target, ready + lqueue, dram + 5);
+                let arrival = ready + lqueue + dram + queue;
+                let ack = r.completion + sink.ack_rtt_cy + lqueue + dram + queue;
                 self.push(
                     arrival,
                     target,
-                    Some((ready, dram + 5)),
+                    Some((ready + lqueue, dram + 5)),
+                    Some((ready, link_occupancy_cy(bytes))),
                     Effect::Write {
                         off: sink.remote_line_pa,
                         data: r.data,
@@ -374,12 +428,12 @@ impl MachineOps for PhasePe<'_> {
 
     fn clock(&self, pe: usize) -> u64 {
         self.own(pe);
-        self.node.clock
+        self.hot.clock
     }
 
     fn advance(&mut self, pe: usize, cycles: u64) {
         self.own(pe);
-        self.node.clock += cycles;
+        self.hot.clock += cycles;
         self.node.perf.credit(CostClass::Compute, cycles);
     }
 
@@ -391,7 +445,7 @@ impl MachineOps for PhasePe<'_> {
             entry.pe
         );
         let cost = self.node.annex.update(idx, entry);
-        self.node.clock += cost;
+        self.hot.clock += cost;
         self.node.perf.credit(CostClass::AnnexUpdate, cost);
     }
 
@@ -405,9 +459,9 @@ impl MachineOps for PhasePe<'_> {
         let (aidx, off) = self.split(va);
         if aidx == 0 {
             self.node.ops.loads_local += 1;
-            let now = self.node.clock;
+            let now = self.hot.clock;
             let cost = self.node.port.read(now, va, buf);
-            self.node.clock = now + cost;
+            self.hot.clock = now + cost;
             self.node.perf.sample(OpKind::LdLocal, cost);
             self.flush_outbox();
             return;
@@ -420,7 +474,7 @@ impl MachineOps for PhasePe<'_> {
         self.node.ops.loads_remote += 1;
         let entry = self.node.annex.entry(aidx);
         let target = entry.pe as usize;
-        let now = self.node.clock;
+        let now = self.hot.clock;
         self.node.port.apply_due(now);
         self.flush_outbox();
 
@@ -428,7 +482,7 @@ impl MachineOps for PhasePe<'_> {
         if let Some(line) = self.node.port.l1().lookup(va) {
             let o = (va - line_pa) as usize;
             buf.copy_from_slice(&line[o..o + buf.len()]);
-            self.node.clock = now + cost + self.sh.cfg.mem.l1.hit_cy;
+            self.hot.clock = now + cost + self.sh.cfg.mem.l1.hit_cy;
             let hit = self.sh.cfg.mem.l1.hit_cy;
             self.node.perf.credit(CostClass::L1Hit, hit);
             self.node.perf.sample(OpKind::LdRemote, cost + hit);
@@ -438,20 +492,24 @@ impl MachineOps for PhasePe<'_> {
         if entry.func == FuncCode::Cached {
             let line_off = off & !self.line_mask();
             let mut line_buf = vec![0u8; self.sh.cfg.mem.l1.line];
-            let (dram, queue);
+            let occ = link_occupancy_cy(self.sh.cfg.mem.l1.line as u64);
+            let (dram, queue, lqueue);
             if target == self.pe {
                 dram = self.node.port.service_remote_read(line_off, &mut line_buf);
                 let ready = now + cost + shell.remote_read_shell_cy / 2 + self.one_way(target);
-                queue = self.contend(target, ready, dram + 5);
+                lqueue = self.link_contend(target, ready, occ);
+                queue = self.contend(target, ready + lqueue, dram + 5);
             } else {
                 dram = self.rdram[target].access(line_off);
                 self.sh.mems[target].read(line_off, &mut line_buf);
                 let ready = now + cost + shell.remote_read_shell_cy / 2 + self.one_way(target);
-                queue = self.contend(target, ready, dram + 5);
+                lqueue = self.link_contend(target, ready, occ);
+                queue = self.contend(target, ready + lqueue, dram + 5);
                 self.push(
                     ready,
                     target,
-                    Some((ready, dram + 5)),
+                    Some((ready + lqueue, dram + 5)),
+                    Some((ready, occ)),
                     Effect::DramTouch { off: line_off },
                 );
             }
@@ -459,14 +517,15 @@ impl MachineOps for PhasePe<'_> {
                 + shell.cached_read_extra_cy
                 + self.rtt(target)
                 + dram
-                + queue;
+                + queue
+                + lqueue;
             let launch = shell.remote_read_shell_cy + shell.cached_read_extra_cy;
             let rtt = self.rtt(target);
             let p = &mut self.node.perf;
             p.credit(CostClass::ShellLaunch, launch);
             p.credit(CostClass::NetHop, rtt);
             p.credit(CostClass::RemoteDram, dram);
-            p.credit(CostClass::Contention, queue);
+            p.credit(CostClass::Contention, queue + lqueue);
             if self.node.port.has_pending_line(line_pa) {
                 self.node.port.forward_pending(line_pa, &mut line_buf);
             }
@@ -479,30 +538,34 @@ impl MachineOps for PhasePe<'_> {
                 "annex function code {:?} is not a load flavour",
                 entry.func
             );
-            let (dram, queue);
+            let occ = link_occupancy_cy(buf.len() as u64);
+            let (dram, queue, lqueue);
             if target == self.pe {
                 dram = self.node.port.service_remote_read(off, buf);
                 let ready = now + cost + shell.remote_read_shell_cy / 2 + self.one_way(target);
-                queue = self.contend(target, ready, dram + 5);
+                lqueue = self.link_contend(target, ready, occ);
+                queue = self.contend(target, ready + lqueue, dram + 5);
             } else {
                 dram = self.rdram[target].access(off);
                 self.sh.mems[target].read(off, buf);
                 let ready = now + cost + shell.remote_read_shell_cy / 2 + self.one_way(target);
-                queue = self.contend(target, ready, dram + 5);
+                lqueue = self.link_contend(target, ready, occ);
+                queue = self.contend(target, ready + lqueue, dram + 5);
                 self.push(
                     ready,
                     target,
-                    Some((ready, dram + 5)),
+                    Some((ready + lqueue, dram + 5)),
+                    Some((ready, occ)),
                     Effect::DramTouch { off },
                 );
             }
-            cost += shell.remote_read_shell_cy + self.rtt(target) + dram + queue;
+            cost += shell.remote_read_shell_cy + self.rtt(target) + dram + queue + lqueue;
             let rtt = self.rtt(target);
             let p = &mut self.node.perf;
             p.credit(CostClass::ShellLaunch, shell.remote_read_shell_cy);
             p.credit(CostClass::NetHop, rtt);
             p.credit(CostClass::RemoteDram, dram);
-            p.credit(CostClass::Contention, queue);
+            p.credit(CostClass::Contention, queue + lqueue);
             // Our own pending stores to the same full PA forward.
             if self.node.port.has_pending_line(line_pa) {
                 let mut line_buf = vec![0u8; self.sh.cfg.mem.l1.line];
@@ -513,14 +576,14 @@ impl MachineOps for PhasePe<'_> {
                 buf.copy_from_slice(&line_buf[o..o + buf.len()]);
             }
         }
-        self.node.clock = now + cost;
+        self.hot.clock = now + cost;
         self.node.perf.sample(OpKind::LdRemote, cost);
     }
 
     fn st(&mut self, pe: usize, va: u64, bytes: &[u8]) {
         self.own(pe);
         let (aidx, off) = self.split(va);
-        let now = self.node.clock;
+        let now = self.hot.clock;
         let cost = if aidx == 0 {
             self.node.ops.stores_local += 1;
             self.node.port.write(now, va, bytes)
@@ -550,7 +613,7 @@ impl MachineOps for PhasePe<'_> {
                 .port
                 .write_to(now, va, bytes, WriteTarget::Remote(sink))
         };
-        self.node.clock = now + cost;
+        self.hot.clock = now + cost;
         let kind_op = if aidx == 0 {
             OpKind::StLocal
         } else {
@@ -563,25 +626,25 @@ impl MachineOps for PhasePe<'_> {
     fn memory_barrier(&mut self, pe: usize) {
         self.own(pe);
         self.node.ops.memory_barriers += 1;
-        let now = self.node.clock;
+        let now = self.hot.clock;
         let cost = if self.use_event_path() {
-            crate::event::memory_barrier_event(self.node)
+            crate::event::memory_barrier_event(self.hot, self.node)
         } else {
             let c = self.node.port.memory_barrier(now);
-            self.node.clock = now + c;
+            self.hot.clock = now + c;
             c
         };
         self.node.perf.sample(OpKind::Fence, cost);
-        let t = self.node.clock;
+        let t = self.hot.clock;
         self.node.prefetch.note_memory_barrier(t);
         self.flush_outbox();
     }
 
     fn poll_status(&mut self, pe: usize) -> bool {
         self.own(pe);
-        let now = self.node.clock;
+        let now = self.hot.clock;
         let (clear, cost) = self.node.acks.poll(now);
-        self.node.clock = now + cost;
+        self.hot.clock = now + cost;
         self.node.perf.credit(CostClass::AckWait, cost);
         clear
     }
@@ -589,12 +652,12 @@ impl MachineOps for PhasePe<'_> {
     fn wait_write_acks(&mut self, pe: usize) {
         self.own(pe);
         self.node.ops.ack_waits += 1;
-        let now = self.node.clock;
+        let now = self.hot.clock;
         let cost = if self.use_event_path() {
-            crate::event::wait_write_acks_event(self.node)
+            crate::event::wait_write_acks_event(self.hot, self.node)
         } else {
             let c = self.node.acks.wait_clear(now);
-            self.node.clock = now + c;
+            self.hot.clock = now + c;
             self.node.perf.credit(CostClass::AckWait, c);
             c
         };
@@ -611,12 +674,12 @@ impl MachineOps for PhasePe<'_> {
         } else {
             self.node.annex.entry(aidx).pe as usize
         };
-        let now = self.node.clock;
+        let now = self.hot.clock;
         let tlb = self.node.port.tlb_access(va);
         let mut buf = [0u8; 8];
         let dram;
         if target == self.pe {
-            let clk = self.node.clock;
+            let clk = self.hot.clock;
             self.node.port.apply_due(clk);
             self.flush_outbox();
             dram = self.node.port.service_remote_read(off, &mut buf);
@@ -625,29 +688,31 @@ impl MachineOps for PhasePe<'_> {
             self.sh.mems[target].read(off, &mut buf);
         }
         let ready = now + tlb + self.sh.cfg.shell.prefetch_net_cy / 2 + self.one_way(target);
-        let queue = self.contend(target, ready, dram + 5);
+        let lqueue = self.link_contend(target, ready, link_occupancy_cy(8));
+        let queue = self.contend(target, ready + lqueue, dram + 5);
         if target != self.pe {
             self.push(
                 ready,
                 target,
-                Some((ready, dram + 5)),
+                Some((ready + lqueue, dram + 5)),
+                Some((ready, link_occupancy_cy(8))),
                 Effect::DramTouch { off },
             );
         }
-        let latency = self.sh.cfg.shell.prefetch_net_cy + self.rtt(target) + dram + queue;
+        let latency = self.sh.cfg.shell.prefetch_net_cy + self.rtt(target) + dram + queue + lqueue;
         match self
             .node
             .prefetch
             .issue(now + tlb, u64::from_le_bytes(buf), latency)
         {
             Some(c) => {
-                self.node.clock = now + tlb + c;
+                self.hot.clock = now + tlb + c;
                 self.node.perf.credit(CostClass::PrefetchIssue, c);
                 self.node.perf.sample(OpKind::Fetch, tlb + c);
                 true
             }
             None => {
-                self.node.clock = now + tlb;
+                self.hot.clock = now + tlb;
                 self.node.perf.sample(OpKind::Fetch, tlb);
                 false
             }
@@ -657,12 +722,12 @@ impl MachineOps for PhasePe<'_> {
     fn pop_prefetch(&mut self, pe: usize) -> Result<u64, PopError> {
         self.own(pe);
         self.node.ops.pops += 1;
-        let now = self.node.clock;
+        let now = self.hot.clock;
         let (value, cost) = if self.use_event_path() {
-            crate::event::pop_prefetch_event(self.node)?
+            crate::event::pop_prefetch_event(self.hot, self.node)?
         } else {
             let (v, c) = self.node.prefetch.pop(now)?;
-            self.node.clock = now + c;
+            self.hot.clock = now + c;
             self.node.perf.credit(CostClass::PrefetchWait, c);
             (v, c)
         };
@@ -682,13 +747,27 @@ impl MachineOps for PhasePe<'_> {
         self.own(pe);
         self.node.ops.blts += 1;
         let mut data = vec![0u8; bytes as usize];
-        let now = self.node.clock;
+        let now = self.hot.clock;
         let timing = self.node.blt.start(now, dir, bytes);
-        let completion = now + timing.total_cy();
+        // The DMA stream holds its route from the moment it starts
+        // injecting (after the OS startup stall) until the last byte.
+        let inject = now + timing.startup_cy;
+        let occ = link_occupancy_cy(bytes);
+        let lqueue = self.link_contend(target_pe, inject, occ);
+        let completion = now + timing.total_cy() + lqueue;
         match dir {
             BltDirection::Read => {
                 self.read_target_mem(target_pe, remote_off, &mut data);
                 self.poke_own(local_off, &data);
+                if self.sh.cfg.link_contention && target_pe != self.pe {
+                    self.push(
+                        inject,
+                        target_pe,
+                        None,
+                        Some((inject, occ)),
+                        Effect::LinkReserve,
+                    );
+                }
             }
             BltDirection::Write => {
                 self.node.port.peek_mem(local_off, &mut data);
@@ -699,6 +778,7 @@ impl MachineOps for PhasePe<'_> {
                         completion,
                         target_pe,
                         None,
+                        Some((inject, occ)),
                         Effect::Poke {
                             off: remote_off,
                             data,
@@ -707,7 +787,7 @@ impl MachineOps for PhasePe<'_> {
                 }
             }
         }
-        self.node.clock = now + timing.startup_cy;
+        self.hot.clock = now + timing.startup_cy;
         self.node
             .perf
             .credit(CostClass::BltStartup, timing.startup_cy);
@@ -737,7 +817,7 @@ impl MachineOps for PhasePe<'_> {
             stride_bytes >= elem_bytes,
             "stride must not overlap elements"
         );
-        let now = self.node.clock;
+        let now = self.hot.clock;
         let mut elem = vec![0u8; elem_bytes as usize];
         let mut extra = 0u64;
         let mut deposits: Vec<(u64, Vec<u8>)> = Vec::new();
@@ -763,17 +843,35 @@ impl MachineOps for PhasePe<'_> {
                 self.node.port.dram_mut().access(line)
             } else {
                 let d = self.rdram[target_pe].access(line);
-                self.push(now, target_pe, None, Effect::DramTouch { off: line });
+                self.push(now, target_pe, None, None, Effect::DramTouch { off: line });
                 d
             };
             extra += dram.saturating_sub(self.sh.cfg.mem.dram.page_hit_cy);
         }
         let timing = self.node.blt.start(now, dir, count * elem_bytes);
-        let completion = now + timing.total_cy() + extra;
-        for (off, data) in deposits {
-            self.push(completion, target_pe, None, Effect::Poke { off, data });
+        let inject = now + timing.startup_cy;
+        let occ = link_occupancy_cy(count * elem_bytes);
+        let lqueue = self.link_contend(target_pe, inject, occ);
+        let completion = now + timing.total_cy() + extra + lqueue;
+        if self.sh.cfg.link_contention && target_pe != self.pe {
+            self.push(
+                inject,
+                target_pe,
+                None,
+                Some((inject, occ)),
+                Effect::LinkReserve,
+            );
         }
-        self.node.clock = now + timing.startup_cy;
+        for (off, data) in deposits {
+            self.push(
+                completion,
+                target_pe,
+                None,
+                None,
+                Effect::Poke { off, data },
+            );
+        }
+        self.hot.clock = now + timing.startup_cy;
         self.node
             .perf
             .credit(CostClass::BltStartup, timing.startup_cy);
@@ -787,12 +885,12 @@ impl MachineOps for PhasePe<'_> {
 
     fn blt_wait(&mut self, pe: usize, handle: BltHandle) {
         self.own(pe);
-        let now = self.node.clock;
+        let now = self.hot.clock;
         let waited = if self.use_event_path() {
-            crate::event::blt_wait_event(self.node, handle.completion)
+            crate::event::blt_wait_event(self.hot, self.node, handle.completion)
         } else {
-            self.node.clock = self.node.clock.max(handle.completion);
-            let w = self.node.clock - now;
+            self.hot.clock = self.hot.clock.max(handle.completion);
+            let w = self.hot.clock - now;
             self.node.perf.credit(CostClass::BltWait, w);
             w
         };
@@ -802,11 +900,13 @@ impl MachineOps for PhasePe<'_> {
     fn msg_send(&mut self, pe: usize, dst: usize, words: [u64; 4]) {
         self.own(pe);
         self.node.ops.msgs_sent += 1;
-        self.node.clock += self.sh.cfg.shell.msg_send_cy;
+        self.hot.clock += self.sh.cfg.shell.msg_send_cy;
         let send_cy = self.sh.cfg.shell.msg_send_cy;
         self.node.perf.credit(CostClass::MsgSend, send_cy);
         self.node.perf.sample(OpKind::MsgSend, send_cy);
-        let arrival = self.node.clock + self.one_way(dst);
+        let sent = self.hot.clock;
+        let lqueue = self.link_contend(dst, sent, link_occupancy_cy(32));
+        let arrival = sent + lqueue + self.one_way(dst);
         let msg = Message {
             from: pe as u32,
             words,
@@ -815,16 +915,22 @@ impl MachineOps for PhasePe<'_> {
         if dst == self.pe {
             self.node.msgq.deliver(msg);
         } else {
-            self.push(arrival, dst, None, Effect::Msg(msg));
+            self.push(
+                arrival,
+                dst,
+                None,
+                Some((sent, link_occupancy_cy(32))),
+                Effect::Msg(msg),
+            );
         }
     }
 
     fn msg_receive(&mut self, pe: usize) -> Option<Message> {
         self.own(pe);
-        let now = self.node.clock;
+        let now = self.hot.clock;
         self.node.ops.msgs_received += 1;
         let (msg, cost) = self.node.msgq.receive(now)?;
-        self.node.clock = now + cost;
+        self.hot.clock = now + cost;
         self.node.perf.credit(CostClass::MsgRecv, cost);
         self.node.perf.sample(OpKind::MsgRecv, cost);
         Some(msg)
@@ -833,18 +939,20 @@ impl MachineOps for PhasePe<'_> {
     fn fetch_inc(&mut self, pe: usize, target_pe: usize, reg: usize) -> u64 {
         self.own(pe);
         self.node.ops.atomics += 1;
-        let now = self.node.clock;
+        let now = self.hot.clock;
         let shell = self.sh.cfg.shell;
         let ready = now + shell.remote_read_shell_cy / 2 + self.one_way(target_pe);
-        let queue = self.contend(target_pe, ready, 20);
-        let cost = shell.remote_read_shell_cy + self.rtt(target_pe) + shell.amo_extra_cy + queue;
-        self.node.clock += cost;
+        let lqueue = self.link_contend(target_pe, ready, link_occupancy_cy(8));
+        let queue = self.contend(target_pe, ready + lqueue, 20);
+        let cost =
+            shell.remote_read_shell_cy + self.rtt(target_pe) + shell.amo_extra_cy + queue + lqueue;
+        self.hot.clock += cost;
         let rtt = self.rtt(target_pe);
         let p = &mut self.node.perf;
         p.credit(CostClass::ShellLaunch, shell.remote_read_shell_cy);
         p.credit(CostClass::NetHop, rtt);
         p.credit(CostClass::Amo, shell.amo_extra_cy);
-        p.credit(CostClass::Contention, queue);
+        p.credit(CostClass::Contention, queue + lqueue);
         p.sample(OpKind::FetchInc, cost);
         if target_pe == self.pe {
             self.node.fetchinc.fetch_inc(reg)
@@ -854,7 +962,8 @@ impl MachineOps for PhasePe<'_> {
             self.push(
                 ready,
                 target_pe,
-                Some((ready, 20)),
+                Some((ready + lqueue, 20)),
+                Some((ready, link_occupancy_cy(8))),
                 Effect::FetchInc { reg },
             );
             value
@@ -886,7 +995,7 @@ impl MachineOps for PhasePe<'_> {
             "atomic_swap on a remote PE is not supported inside a sharded phase \
              (swap-based locks serialize; take them through the direct engine)"
         );
-        let clk = self.node.clock;
+        let clk = self.hot.clock;
         self.node.port.apply_due(clk);
         self.flush_outbox();
         let mut buf = [0u8; 8];
@@ -896,20 +1005,25 @@ impl MachineOps for PhasePe<'_> {
         self.node
             .port
             .service_remote_write(off, &to_mem.to_le_bytes(), None);
-        let now = self.node.clock;
+        let now = self.hot.clock;
         let shell = self.sh.cfg.shell;
         let ready = now + shell.remote_read_shell_cy / 2 + self.one_way(target);
-        let queue = self.contend(target, ready, dram + 20);
-        let cost =
-            shell.remote_read_shell_cy + self.rtt(target) + shell.amo_extra_cy + dram + queue;
-        self.node.clock += cost;
+        let lqueue = self.link_contend(target, ready, link_occupancy_cy(8));
+        let queue = self.contend(target, ready + lqueue, dram + 20);
+        let cost = shell.remote_read_shell_cy
+            + self.rtt(target)
+            + shell.amo_extra_cy
+            + dram
+            + queue
+            + lqueue;
+        self.hot.clock += cost;
         let rtt = self.rtt(target);
         let p = &mut self.node.perf;
         p.credit(CostClass::ShellLaunch, shell.remote_read_shell_cy);
         p.credit(CostClass::NetHop, rtt);
         p.credit(CostClass::Amo, shell.amo_extra_cy);
         p.credit(CostClass::RemoteDram, dram);
-        p.credit(CostClass::Contention, queue);
+        p.credit(CostClass::Contention, queue + lqueue);
         p.sample(OpKind::Swap, cost);
         old_mem
     }
@@ -950,42 +1064,88 @@ impl MachineOps for PhasePe<'_> {
 fn run_shard<T>(
     pe: usize,
     node: &mut Node,
+    hot: &mut NodeHot,
     sh: &PhaseShared,
     state: &mut T,
     f: &(impl Fn(&mut dyn MachineOps, usize, &mut T) + Sync),
 ) -> Vec<TimedEffect> {
-    let mut shard = PhasePe::new(pe, node, sh);
+    let mut shard = PhasePe::new(pe, node, hot, sh);
     f(&mut shard, pe, state);
     shard.into_effects()
 }
 
+/// Reorders `items` in place so position `i` holds the element that was
+/// at `order[i]` (cycle-walking swaps, no scratch buffer of `T`).
+fn permute_in_place<T>(items: &mut [T], order: &[usize]) {
+    debug_assert_eq!(items.len(), order.len());
+    let mut visited = vec![false; order.len()];
+    for start in 0..order.len() {
+        if visited[start] {
+            continue;
+        }
+        let mut i = start;
+        loop {
+            visited[i] = true;
+            let next = order[i];
+            if next == start {
+                break;
+            }
+            items.swap(i, next);
+            i = next;
+        }
+    }
+}
+
 fn run_parallel<T: Send>(
     nodes: &mut [Node],
+    hot: &mut [NodeHot],
     states: &mut [T],
     sh: &PhaseShared,
     threads: usize,
     f: &(impl Fn(&mut dyn MachineOps, usize, &mut T) + Sync),
 ) -> Vec<TimedEffect> {
-    let n = nodes.len();
-    let per = n.div_ceil(threads);
-    let mut results: Vec<Vec<TimedEffect>> = Vec::with_capacity(threads);
+    // Partition the torus into canonical sub-cubes — the same shapes the
+    // gang scheduler allocates — and give each worker one sub-cube. A
+    // worker's PEs are topological neighbours, so the snapshot lines its
+    // shards touch stay hot within one worker instead of striding the
+    // whole machine. The node/hot/state arrays are permuted into
+    // sub-cube order for the duration of the phase (merge keys carry
+    // real PE ids, so the permutation cannot affect results).
+    let blocks = subcube::partition(sh.torus.config().dims, threads);
+    let order: Vec<usize> = blocks
+        .iter()
+        .flat_map(|b| b.coords().into_iter().map(|c| sh.torus.node_of(c) as usize))
+        .collect();
+    debug_assert_eq!(order.len(), nodes.len());
+    permute_in_place(nodes, &order);
+    permute_in_place(hot, &order);
+    permute_in_place(states, &order);
+    let mut results: Vec<Vec<TimedEffect>> = Vec::with_capacity(blocks.len());
     std::thread::scope(|s| {
         let mut handles = Vec::new();
-        let mut node_rest = nodes;
-        let mut state_rest = states;
+        let mut node_rest = &mut *nodes;
+        let mut hot_rest = &mut *hot;
+        let mut state_rest = &mut *states;
         let mut base = 0usize;
-        while !node_rest.is_empty() {
-            let take = per.min(node_rest.len());
+        for b in &blocks {
+            let take = b.pes() as usize;
             let (nchunk, nrest) = node_rest.split_at_mut(take);
+            let (hchunk, hrest) = hot_rest.split_at_mut(take);
             let (schunk, srest) = state_rest.split_at_mut(take);
             node_rest = nrest;
+            hot_rest = hrest;
             state_rest = srest;
-            let first_pe = base;
+            let pes = &order[base..base + take];
             base += take;
             handles.push(s.spawn(move || {
                 let mut out = Vec::new();
-                for (i, (node, state)) in nchunk.iter_mut().zip(schunk.iter_mut()).enumerate() {
-                    out.append(&mut run_shard(first_pe + i, node, sh, state, f));
+                for (((node, hot), state), &pe) in nchunk
+                    .iter_mut()
+                    .zip(hchunk.iter_mut())
+                    .zip(schunk.iter_mut())
+                    .zip(pes.iter())
+                {
+                    out.append(&mut run_shard(pe, node, hot, sh, state, f));
                 }
                 out
             }));
@@ -997,6 +1157,13 @@ fn run_parallel<T: Send>(
             }
         }
     });
+    let mut inv = vec![0usize; order.len()];
+    for (i, &o) in order.iter().enumerate() {
+        inv[o] = i;
+    }
+    permute_in_place(nodes, &inv);
+    permute_in_place(hot, &inv);
+    permute_in_place(states, &inv);
     results.into_iter().flatten().collect()
 }
 
@@ -1038,21 +1205,27 @@ impl Machine {
         );
         self.normalize_for_phase();
         let mut effects = {
-            let (cfg, torus, nodes) = self.phase_parts();
-            let sh = PhaseShared::capture(cfg, torus, nodes);
+            let (cfg, torus, nodes, hot, links) = self.phase_parts();
+            let sh = PhaseShared::capture(cfg, torus, nodes, hot, links);
             let threads = driver.threads_for(n);
             if threads <= 1 {
                 let mut all = Vec::new();
-                for (pe, (node, state)) in nodes.iter_mut().zip(states.iter_mut()).enumerate() {
-                    all.append(&mut run_shard(pe, node, &sh, state, &f));
+                for (pe, ((node, hot), state)) in nodes
+                    .iter_mut()
+                    .zip(hot.iter_mut())
+                    .zip(states.iter_mut())
+                    .enumerate()
+                {
+                    all.append(&mut run_shard(pe, node, hot, &sh, state, &f));
                 }
                 all
             } else {
-                run_parallel(nodes, states, &sh, threads, &f)
+                run_parallel(nodes, hot, states, &sh, threads, &f)
             }
         };
         effects.sort_by_key(|e| (e.time, e.src, e.seq));
         self.apply_effects(effects);
+        self.resync_inflight_all();
     }
 
     /// Applies merged shard effects to the real nodes, in the already
@@ -1063,21 +1236,32 @@ impl Machine {
     /// of once per record.
     fn apply_effects(&mut self, effects: Vec<TimedEffect>) {
         let contention = self.config().contention;
+        let link_contention = self.config().link_contention;
         let line = self.config().mem.l1.line as u64;
         let mut it = effects.into_iter().peekable();
         while let Some(first) = it.next() {
             let t = first.target as usize;
-            let node = self.node_mut(t);
-            apply_effect(node, first, line, contention);
+            let mut run = vec![first];
             while let Some(e) = it.next_if(|e| e.target as usize == t) {
-                apply_effect(node, e, line, contention);
+                run.push(e);
+            }
+            if link_contention {
+                for e in &run {
+                    if let Some((ready, occ)) = e.link {
+                        self.replay_link(e.src as usize, t, ready, occ);
+                    }
+                }
+            }
+            let (node, hot) = self.node_and_hot_mut(t);
+            for e in run {
+                apply_effect(node, hot, e, line, contention);
             }
         }
     }
 }
 
 /// Applies one merged shard effect to its target node.
-fn apply_effect(node: &mut Node, e: TimedEffect, line: u64, contention: bool) {
+fn apply_effect(node: &mut Node, hot: &mut NodeHot, e: TimedEffect, line: u64, contention: bool) {
     match e.eff {
         Effect::Write {
             off,
@@ -1105,11 +1289,12 @@ fn apply_effect(node: &mut Node, e: TimedEffect, line: u64, contention: bool) {
         Effect::FetchInc { reg } => {
             let _ = node.fetchinc.fetch_inc(reg);
         }
+        Effect::LinkReserve => {}
     }
     if contention {
         if let Some((ready, occ)) = e.busy {
-            let start = ready.max(node.shell_busy_until);
-            node.shell_busy_until = start + occ;
+            let start = ready.max(hot.shell_busy_until);
+            hot.shell_busy_until = start + occ;
         }
     }
 }
@@ -1163,6 +1348,32 @@ mod tests {
                 seq,
                 run(PhaseDriver::Par(threads)),
                 "parallel shards with {threads} threads diverged from the oracle"
+            );
+        }
+    }
+
+    #[test]
+    fn link_contended_shards_stay_bit_identical() {
+        // Link-contention timing rides the same effect-merge machinery:
+        // queueing is computed against the phase-start link snapshot in
+        // each shard and replayed at merge, so Seq remains a bit-exact
+        // oracle for Par at any thread count.
+        let run = |driver: PhaseDriver| {
+            let mut cfg = MachineConfig::t3d(8);
+            cfg.link_contention = true;
+            let mut m = Machine::new(cfg);
+            for _ in 0..2 {
+                m.sharded_phase(driver, exchange);
+                m.barrier_all();
+            }
+            fingerprint(&m)
+        };
+        let seq = run(PhaseDriver::Seq);
+        for threads in [2, 3, 8] {
+            assert_eq!(
+                seq,
+                run(PhaseDriver::Par(threads)),
+                "link-contended shards with {threads} threads diverged"
             );
         }
     }

@@ -15,15 +15,12 @@
 
 use crate::config::L1Config;
 
-/// One cache line: tag plus data bytes.
-#[derive(Debug, Clone)]
-struct Line {
-    valid: bool,
-    tag: u64,
-    data: Vec<u8>,
-}
-
 /// Direct-mapped L1 data cache holding real bytes.
+///
+/// Line storage is one flat allocation (line `i` at
+/// `i * line_bytes..`), with tags and valid bits in parallel vectors —
+/// three allocations per cache instead of one per line, which is what
+/// keeps constructing the thousand caches of a 1024-PE machine cheap.
 ///
 /// # Example
 ///
@@ -38,7 +35,11 @@ struct Line {
 #[derive(Debug, Clone)]
 pub struct L1Cache {
     cfg: L1Config,
-    lines: Vec<Line>,
+    /// `tags[i]` is meaningful iff `valid[i]`.
+    tags: Vec<u64>,
+    valid: Vec<bool>,
+    /// All line data, flat; line `i` occupies `i * cfg.line..(i + 1) * cfg.line`.
+    data: Vec<u8>,
     line_shift: u32,
     index_mask: u64,
 }
@@ -63,13 +64,9 @@ impl L1Cache {
         assert!(nlines > 0, "cache must have at least one line");
         L1Cache {
             cfg,
-            lines: (0..nlines)
-                .map(|_| Line {
-                    valid: false,
-                    tag: 0,
-                    data: vec![0; cfg.line],
-                })
-                .collect(),
+            tags: vec![0; nlines],
+            valid: vec![false; nlines],
+            data: vec![0; nlines * cfg.line],
             line_shift: cfg.line.trailing_zeros(),
             index_mask: (nlines - 1) as u64,
         }
@@ -98,10 +95,15 @@ impl L1Cache {
         pa >> self.line_shift
     }
 
+    /// Byte range of line `idx` in the flat data arena.
+    fn span(&self, idx: usize) -> std::ops::Range<usize> {
+        idx * self.cfg.line..(idx + 1) * self.cfg.line
+    }
+
     /// Returns the line data if `pa`'s line is resident.
     pub fn lookup(&self, pa: u64) -> Option<&[u8]> {
-        let line = &self.lines[self.index(pa)];
-        (line.valid && line.tag == self.tag(pa)).then_some(line.data.as_slice())
+        let idx = self.index(pa);
+        (self.valid[idx] && self.tags[idx] == self.tag(pa)).then(|| &self.data[self.span(idx)])
     }
 
     /// Whether `pa`'s line is resident (tag match on the full address).
@@ -119,10 +121,10 @@ impl L1Cache {
         assert_eq!(data.len(), self.cfg.line, "fill must supply one full line");
         let tag = self.tag(pa);
         let idx = self.index(pa);
-        let line = &mut self.lines[idx];
-        line.valid = true;
-        line.tag = tag;
-        line.data.copy_from_slice(data);
+        self.valid[idx] = true;
+        self.tags[idx] = tag;
+        let span = self.span(idx);
+        self.data[span].copy_from_slice(data);
     }
 
     /// Write-through update: if the line is resident, update its bytes in
@@ -135,9 +137,9 @@ impl L1Cache {
             off + bytes.len() <= self.cfg.line,
             "update must not cross a line boundary"
         );
-        let line = &mut self.lines[idx];
-        if line.valid && line.tag == tag {
-            line.data[off..off + bytes.len()].copy_from_slice(bytes);
+        if self.valid[idx] && self.tags[idx] == tag {
+            let base = idx * self.cfg.line + off;
+            self.data[base..base + bytes.len()].copy_from_slice(bytes);
             true
         } else {
             false
@@ -152,9 +154,8 @@ impl L1Cache {
     pub fn invalidate(&mut self, pa: u64) -> bool {
         let tag = self.tag(pa);
         let idx = self.index(pa);
-        let line = &mut self.lines[idx];
-        if line.valid && line.tag == tag {
-            line.valid = false;
+        if self.valid[idx] && self.tags[idx] == tag {
+            self.valid[idx] = false;
             true
         } else {
             false
@@ -164,14 +165,12 @@ impl L1Cache {
     /// Invalidates every line (whole-cache flush, used by the batched
     /// flush that makes bulk cached reads cheaper above 8 KB).
     pub fn invalidate_all(&mut self) {
-        for line in &mut self.lines {
-            line.valid = false;
-        }
+        self.valid.fill(false);
     }
 
     /// Number of currently valid lines.
     pub fn valid_lines(&self) -> usize {
-        self.lines.iter().filter(|l| l.valid).count()
+        self.valid.iter().filter(|&&v| v).count()
     }
 }
 

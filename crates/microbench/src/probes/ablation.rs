@@ -21,7 +21,9 @@ use t3d_machine::MachineConfig;
 pub fn annex_policy_read_cost(policy: AnnexPolicy, distinct_pes: usize, reads: usize) -> f64 {
     let mut cfg = SplitcConfig::t3d();
     cfg.annex_policy = policy;
-    let mut sc = SplitC::with_config(MachineConfig::t3d(1 + distinct_pes as u32), cfg);
+    // Machines are power-of-two sized; surplus PEs sit idle.
+    let nodes = (1 + distinct_pes as u32).next_power_of_two();
+    let mut sc = SplitC::with_config(MachineConfig::t3d(nodes), cfg);
     let buf = sc.alloc(8 * reads as u64, 8);
     sc.on(0, |ctx| {
         // Warm TLB entries for every target segment.

@@ -15,7 +15,8 @@ use t3d_shell::{AnnexEntry, FuncCode};
 /// Average cost (cycles) per fetch&increment when `requesters` nodes hit
 /// PE 0's register simultaneously.
 pub fn fetch_inc_hotspot_cost(requesters: u32, contention: bool) -> f64 {
-    let nodes = requesters + 1;
+    // Machines are power-of-two sized; surplus PEs sit idle.
+    let nodes = (requesters + 1).next_power_of_two();
     let cfg = if contention {
         MachineConfig::t3d_contended(nodes)
     } else {
@@ -38,7 +39,8 @@ pub fn fetch_inc_hotspot_cost(requesters: u32, contention: bool) -> f64 {
 /// Average cost per blocking store when `requesters` nodes write to PE 0
 /// versus each writing to a distinct target.
 pub fn store_hotspot_cost(requesters: u32, all_to_one: bool) -> f64 {
-    let nodes = requesters + 1;
+    // Machines are power-of-two sized; surplus PEs sit idle.
+    let nodes = (requesters + 1).next_power_of_two();
     let mut m = Machine::new(MachineConfig::t3d_contended(nodes));
     let per_node = 8u64;
     for pe in 1..=requesters as usize {

@@ -277,6 +277,44 @@ mod tests {
     }
 
     #[test]
+    fn canonical_shapes_agree_with_phase_shard_partition() {
+        // One source of truth: the phase engine's sub-cube shards
+        // (`t3d_torus::subcube::partition`) and the blocks this buddy
+        // allocator carves are the same geometry, because both reduce
+        // to `shape_of_order`. Carve an empty machine into 2^k equal
+        // first-fit blocks and they must tile it exactly like the
+        // shard partition of the same block count — for every order,
+        // including the 256-PE machine the `sweep --pes 256` ladder
+        // schedules onto.
+        use t3d_torus::subcube::partition;
+        for machine in [(4, 4, 2), (8, 8, 4), (8, 8, 8)] {
+            let total = SubCube::whole(machine).pes();
+            let mut nblocks = 1usize;
+            while nblocks as u64 <= total {
+                let shards = partition(machine, nblocks);
+                assert_eq!(shards.len(), nblocks, "machine {machine:?}");
+                let per = u32::try_from(total).expect("small machines") / nblocks as u32;
+                assert_eq!(
+                    shards[0].dims,
+                    shape_of_order(machine, per.trailing_zeros()),
+                    "shards carry the canonical shape of their order"
+                );
+                let mut a = PartitionAllocator::new(machine);
+                let mut carved: Vec<SubCube> = (0..nblocks)
+                    .map(|_| a.alloc(per).expect("equal blocks tile"))
+                    .collect();
+                assert_eq!(a.free_pes(), 0, "blocks cover the machine");
+                carved.sort_by_key(|b| (b.origin.z, b.origin.y, b.origin.x));
+                assert_eq!(
+                    carved, shards,
+                    "machine {machine:?}: allocator blocks != {nblocks} shard partition"
+                );
+                nblocks *= 2;
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "double free")]
     fn double_free_panics() {
         let mut a = PartitionAllocator::new(M);

@@ -140,9 +140,12 @@ mod tests {
         (sc, off, scratch)
     }
 
+    // Machine sizes are powers of two (`Machine::try_new` rejects the
+    // rest), so the collective sweeps cover the constructible sizes;
+    // the binomial trees themselves are size-agnostic.
     #[test]
     fn broadcast_reaches_every_node() {
-        for p in [2u32, 3, 4, 7, 8, 16] {
+        for p in [2u32, 4, 8, 16] {
             let (mut sc, off, _) = setup(p);
             sc.machine().poke8(1 % p as usize, off, 4242);
             sc.broadcast_u64(1 % p as usize, off);
@@ -154,7 +157,7 @@ mod tests {
 
     #[test]
     fn reduce_sums_all_contributions() {
-        for p in [2u32, 3, 5, 8, 16] {
+        for p in [2u32, 4, 8, 16] {
             let (mut sc, off, scratch) = setup(p);
             for pe in 0..p as usize {
                 sc.machine().poke8(pe, off, (pe as u64 + 1) * 10);

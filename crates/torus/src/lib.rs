@@ -221,6 +221,81 @@ impl Torus {
         path
     }
 
+    /// Number of directed links: six per node (±X, ±Y, ±Z). Dense link
+    /// ids from [`link_id`](Self::link_id) index `0..num_links()`.
+    pub fn num_links(&self) -> usize {
+        self.nodes() as usize * 6
+    }
+
+    /// Dense id of the directed link leaving `c` along dimension `dim`
+    /// (0 = X, 1 = Y, 2 = Z) in direction `dir` (0 = plus, 1 = minus):
+    /// `node_of(c) * 6 + dim * 2 + dir`. Deterministic and
+    /// hash-free, so per-link accounting can use a flat array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim > 2`, `dir > 1`, or `c` is out of range.
+    pub fn link_id(&self, c: Coord, dim: usize, dir: usize) -> usize {
+        assert!(dim < 3, "dimension {dim} out of range");
+        assert!(dir < 2, "direction {dir} out of range");
+        self.node_of(c) as usize * 6 + dim * 2 + dir
+    }
+
+    /// Inverse of [`link_id`](Self::link_id): the source coordinate,
+    /// dimension and direction of a dense link id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn link_of(&self, id: usize) -> (Coord, usize, usize) {
+        assert!(id < self.num_links(), "link id {id} out of range");
+        (self.coord_of((id / 6) as u32), (id % 6) / 2, id % 2)
+    }
+
+    /// The `(src, dst)` coordinates joined by a dense link id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn link_endpoints(&self, id: usize) -> (Coord, Coord) {
+        let (c, dim, dir) = self.link_of(id);
+        let (nx, ny, nz) = self.cfg.dims;
+        let mut d = c;
+        match (dim, dir) {
+            (0, 0) => d.x = (c.x + 1) % nx,
+            (0, _) => d.x = (c.x + nx - 1) % nx,
+            (1, 0) => d.y = (c.y + 1) % ny,
+            (1, _) => d.y = (c.y + ny - 1) % ny,
+            (_, 0) => d.z = (c.z + 1) % nz,
+            _ => d.z = (c.z + nz - 1) % nz,
+        }
+        (c, d)
+    }
+
+    /// The dense link id of one adjacent route step `a → b` (as produced
+    /// by consecutive [`route`](Self::route) entries). On an extent-2
+    /// ring both directions are the same physical wire; the step is
+    /// canonicalized to the plus direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` and `b` are not adjacent along exactly one
+    /// dimension.
+    pub fn step_link_id(&self, a: Coord, b: Coord) -> usize {
+        let (nx, ny, nz) = self.cfg.dims;
+        let (dim, dir) = if a.x != b.x {
+            assert!(a.y == b.y && a.z == b.z, "step {a} -> {b} moves two dims");
+            (0, usize::from((a.x + 1) % nx != b.x))
+        } else if a.y != b.y {
+            assert!(a.z == b.z, "step {a} -> {b} moves two dims");
+            (1, usize::from((a.y + 1) % ny != b.y))
+        } else {
+            assert!(a.z != b.z, "step {a} -> {b} does not move");
+            (2, usize::from((a.z + 1) % nz != b.z))
+        };
+        self.link_id(a, dim, dir)
+    }
+
     /// A neighbour of `node` at exactly one hop (used by the adjacent-node
     /// probes, which mirror the paper's measurement setup).
     ///

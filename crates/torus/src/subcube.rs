@@ -67,6 +67,40 @@ pub fn shape_of_order(machine: Dims, k: u32) -> Dims {
     d
 }
 
+/// Partitions the machine into the canonical sub-cube blocks used for
+/// phase-engine sharding: the largest power-of-two block count that is
+/// `<= max_blocks` (and `<=` the machine size), produced by repeatedly
+/// splitting every block along its canonical axis. All blocks share the
+/// canonical [`shape_of_order`] shape of their order — the same shapes
+/// the buddy allocator in `crates/sched` carves — and are returned in
+/// origin order (X fastest, matching torus node-id order of the
+/// origins).
+///
+/// This is the one source of truth for shard geometry: the scheduler's
+/// allocator and the phase engine both consume these shapes, which a
+/// cross-crate test pins.
+///
+/// # Panics
+///
+/// Panics if `machine` has a non-power-of-two extent or `max_blocks`
+/// is zero.
+pub fn partition(machine: Dims, max_blocks: usize) -> Vec<SubCube> {
+    assert!(dims_pow2(machine), "machine extents must be powers of two");
+    assert!(max_blocks > 0, "cannot partition into zero blocks");
+    let mut blocks = vec![SubCube::whole(machine)];
+    while blocks.len() * 2 <= max_blocks && blocks[0].pes() > 1 {
+        blocks = blocks
+            .into_iter()
+            .flat_map(|b| {
+                let (lo, hi) = b.split();
+                [lo, hi]
+            })
+            .collect();
+    }
+    blocks.sort_by_key(|b| (b.origin.z, b.origin.y, b.origin.x));
+    blocks
+}
+
 /// A rectangular sub-cube of a torus: an origin corner plus extents.
 /// Canonical blocks are aligned — each origin coordinate is a multiple
 /// of the corresponding extent — so aligned blocks never wrap around
@@ -298,6 +332,32 @@ mod tests {
             assert!(!hi.contains(c));
         }
         assert_eq!(lo.coords().len() as u64, lo.pes());
+    }
+
+    #[test]
+    fn partition_tiles_the_machine_with_canonical_shapes() {
+        for want in [1usize, 2, 3, 4, 7, 8, 16, 128, 1000] {
+            let blocks = partition(M, want);
+            let n = blocks.len();
+            assert!(n.is_power_of_two() && n <= want.max(1));
+            assert!(n * 2 > want || n as u64 == SubCube::whole(M).pes());
+            let shape = shape_of_order(M, blocks[0].order());
+            let mut covered = 0u64;
+            for b in &blocks {
+                assert_eq!(b.dims, shape, "all blocks share the canonical shape");
+                assert!(b.aligned());
+                covered += b.pes();
+            }
+            assert_eq!(covered, SubCube::whole(M).pes(), "blocks tile exactly");
+            for (i, w) in blocks.windows(2).enumerate() {
+                assert!(
+                    (w[0].origin.z, w[0].origin.y, w[0].origin.x)
+                        < (w[1].origin.z, w[1].origin.y, w[1].origin.x),
+                    "blocks {i},{} out of order",
+                    i + 1
+                );
+            }
+        }
     }
 
     #[test]

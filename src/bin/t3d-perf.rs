@@ -13,11 +13,20 @@
 //! Usage:
 //!
 //! ```text
-//! t3d-perf [micro|em3d|all] [--out DIR] [--compare DIR] [--tol F]
+//! t3d-perf [micro|em3d|scale|all] [--out DIR] [--compare DIR] [--tol F]
 //!          [--host-tol F] [--runs N] [--warmup N] [--report]
 //!          [--filter SUBSTR]
 //! t3d-perf compare OLD.json NEW.json [--tol F] [--host-tol F]
 //! ```
+//!
+//! `scale` is the Figure-9-style scaling sweep: EM3D plus four micro
+//! communication patterns over 8→1024 PEs, each with the contention
+//! models off and on (`.cont` entries), written to `BENCH_scale.json`.
+//! It is not part of `all` — the sweep constructs 1024-PE machines and
+//! runs separately in CI. The suite also self-gates on setup scaling:
+//! the 1024-PE machines must construct in less than 10× the 8-PE
+//! setup time, the observable contract of the demand-chunked memory
+//! arenas.
 //!
 //! `--out DIR` writes the fresh documents (default: current directory);
 //! `--compare DIR` additionally checks them against `DIR/BENCH_*.json`
@@ -42,13 +51,17 @@
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-use em3d::{run_version_profiled_engine, Em3dParams, Version};
-use t3d_machine::{EngineMode, PerfReport, PhaseDriver};
+use em3d::{run_version_profiled_contended, run_version_profiled_engine, Em3dParams, Version};
+use t3d_machine::{
+    BltHandle, EngineMode, Machine, MachineConfig, PerfMode, PerfReport, PhaseDriver,
+};
 use t3d_microbench::probes::attribution;
 use t3d_perf::{
     compare, measure, measure_split, BenchDoc, BenchEntry, RunSample, SplitSample, Throughput,
     ThroughputSpec,
 };
+use t3d_shell::blt::BltDirection;
+use t3d_shell::FuncCode;
 
 struct Opts {
     out: std::path::PathBuf,
@@ -190,6 +203,258 @@ fn run_em3d(driver: PhaseDriver, engine: EngineMode, opts: &Opts) -> Result<Benc
     Ok(doc)
 }
 
+/// One scenario of the scaling sweep: a fixed communication pattern
+/// run at every machine size, contended and not.
+struct ScaleScenario {
+    name: &'static str,
+    run: fn(&mut Machine, PhaseDriver),
+}
+
+/// Machine sizes of the scaling sweep — powers of two up to the
+/// full-size 1024-PE T3D the paper's machines shipped as.
+const SCALE_PES: [u32; 4] = [8, 64, 256, 1024];
+
+/// Total bytes checksummed across the machine after a scale scenario.
+/// Strong-scaled (per-node region = total / PEs) so the hashing half of
+/// the `setup` stat costs the same at every size and the ratio gate
+/// sees only how construction grows. Sized so the constant hash pass
+/// (a few ms) outweighs small-machine construction noise while per-node
+/// metadata allocation (~10 µs × 1024) stays well inside the 10× gate —
+/// and eagerly committing 16 MB × 1024 node arenas (seconds of zeroing)
+/// still fails it by orders of magnitude.
+const SCALE_SNAP_TOTAL: u64 = 8 << 20;
+
+/// How much larger the 1024-PE `setup` stat may be than the 8-PE one.
+/// With demand-chunked arenas, construction is per-node metadata, not
+/// per-node memory; eagerly zeroing 16 MB × 1024 nodes would blow this
+/// gate by orders of magnitude.
+const SCALE_SETUP_RATIO: f64 = 10.0;
+
+/// Ring exchange: every PE stores eight words into its right
+/// neighbor, fences and waits for acks — the put pattern whose
+/// barrier and ack classes grow fastest at scale.
+fn scale_neighbor(m: &mut Machine, d: PhaseDriver) {
+    m.sharded_phase(d, |cpu| {
+        let pe = cpu.pe();
+        let right = ((pe + 1) % cpu.nodes()) as u32;
+        cpu.annex_set(1, right, FuncCode::Uncached);
+        for i in 0..8u64 {
+            let va = cpu.va(1, 0x1000 + i * 8);
+            cpu.st8(va, ((pe as u64) << 8) | i);
+        }
+        cpu.memory_barrier();
+        cpu.wait_write_acks();
+    });
+    m.barrier_all();
+}
+
+/// Every PE atomically increments one counter on PE 0 — the hot-spot
+/// pattern that serializes through the target shell and the links into
+/// PE 0's sub-cube. Driven directly (not via a phase) so the
+/// per-sub-cube contention windows are exercised.
+fn scale_hotspot(m: &mut Machine, _d: PhaseDriver) {
+    for pe in 1..m.nodes() {
+        let _ = m.fetch_inc(pe, 0, 0);
+    }
+    m.barrier_all();
+}
+
+/// Each PE bulk-writes 8 KB to the PE half the machine away — every
+/// transfer crosses the bisection, the worst case for link occupancy.
+/// Driven directly (all PEs inject at the same virtual time) so
+/// concurrent streams genuinely stack on shared dimension-order links;
+/// under the phase engine each shard would see the phase-start link
+/// snapshot and the simultaneous streams would never meet.
+fn scale_transpose(m: &mut Machine, _d: PhaseDriver) {
+    let n = m.nodes();
+    let handles: Vec<BltHandle> = (0..n)
+        .map(|pe| {
+            m.blt_start(
+                pe,
+                BltDirection::Write,
+                0x2000,
+                (pe + n / 2) % n,
+                0x8000,
+                8192,
+            )
+        })
+        .collect();
+    for (pe, h) in handles.into_iter().enumerate() {
+        m.blt_wait(pe, h);
+    }
+    m.barrier_all();
+}
+
+/// Butterfly allreduce: log2(P) rounds of pairwise message exchange
+/// with partner `pe XOR 2^round`. Per-PE message count is flat in P;
+/// the round count (hence the barrier share) grows as log2(P).
+fn scale_allreduce(m: &mut Machine, d: PhaseDriver) {
+    let rounds = m.nodes().trailing_zeros();
+    for r in 0..rounds {
+        m.sharded_phase(d, move |cpu| {
+            let partner = cpu.pe() ^ (1usize << r);
+            cpu.msg_send(partner, [cpu.pe() as u64, u64::from(r), 0, 0]);
+        });
+        m.barrier_all();
+        m.sharded_phase(d, |cpu| {
+            let mut spins = 0;
+            while cpu.msg_receive().is_none() {
+                cpu.advance(1000);
+                spins += 1;
+                assert!(spins < 10_000, "allreduce message never arrived");
+            }
+        });
+        m.barrier_all();
+    }
+}
+
+fn scale_scenarios() -> [ScaleScenario; 4] {
+    [
+        ScaleScenario {
+            name: "neighbor",
+            run: scale_neighbor,
+        },
+        ScaleScenario {
+            name: "hotspot",
+            run: scale_hotspot,
+        },
+        ScaleScenario {
+            name: "transpose",
+            run: scale_transpose,
+        },
+        ScaleScenario {
+            name: "allreduce",
+            run: scale_allreduce,
+        },
+    ]
+}
+
+fn scale_machine(pes: u32, engine: EngineMode, contended: bool) -> (Machine, f64) {
+    let t = std::time::Instant::now();
+    let mut cfg = if contended {
+        MachineConfig::t3d_link_contended(pes)
+    } else {
+        MachineConfig::t3d(pes)
+    };
+    cfg.engine = engine;
+    let mut m = Machine::new(cfg);
+    m.set_perf_mode(PerfMode::Counters);
+    (m, t.elapsed().as_secs_f64())
+}
+
+/// The Figure-9-style scaling sweep: EM3D plus four micro scenarios
+/// over 8→1024 PEs, with the contention models off and on. Measures
+/// only the session engine (the CI matrix covers the other), and gates
+/// on [`check_setup_scaling`] before returning the document.
+fn run_scale(driver: PhaseDriver, engine: EngineMode, opts: &Opts) -> Result<BenchDoc, String> {
+    let mut doc = BenchDoc::new("scale");
+    for contended in [false, true] {
+        let suffix = if contended { ".cont" } else { "" };
+        for s in &scale_scenarios() {
+            for &pes in &SCALE_PES {
+                let name = format!("{}.p{pes}{suffix}", s.name);
+                let snap = SCALE_SNAP_TOTAL / u64::from(pes);
+                let mut first: Option<PerfReport> = None;
+                let throughput = measure_split(opts.spec, || {
+                    let (mut m, mut setup) = scale_machine(pes, engine, contended);
+                    (s.run)(&mut m, driver);
+                    let t = std::time::Instant::now();
+                    let checksum = m.snapshot_region(0, snap).fnv64();
+                    let report = m.perf();
+                    setup += t.elapsed().as_secs_f64();
+                    let sample = RunSample {
+                        sim_cycles: report.total(),
+                        sim_ops: sim_ops(&report),
+                        checksum,
+                    };
+                    first.get_or_insert(report);
+                    SplitSample {
+                        sample,
+                        setup_secs: setup,
+                    }
+                })
+                .map_err(|e| format!("{name}: {e}"))?;
+                let report = first.expect("measure ran the scenario at least once");
+                if opts.report {
+                    println!("=== {name} ===\n{}", report.render());
+                }
+                let mut e = entry_from_report(&name, &report, throughput);
+                e.extras.insert("pes".to_string(), f64::from(pes));
+                e.extras
+                    .insert("contended".to_string(), f64::from(u8::from(contended)));
+                doc.entries.push(e);
+            }
+        }
+        for &pes in &SCALE_PES {
+            let name = format!("em3d.bulk.p{pes}{suffix}");
+            let params = Em3dParams::tiny(30.0);
+            let mut first: Option<(f64, PerfReport)> = None;
+            let throughput = measure(opts.spec, || {
+                let (result, report) = if contended {
+                    run_version_profiled_contended(driver, engine, pes, params, Version::Bulk)
+                } else {
+                    run_version_profiled_engine(driver, engine, pes, params, Version::Bulk)
+                };
+                let sample = RunSample {
+                    sim_cycles: report.total(),
+                    sim_ops: sim_ops(&report),
+                    checksum: result.mem_fnv,
+                };
+                first.get_or_insert((result.us_per_edge, report));
+                sample
+            })
+            .map_err(|e| format!("{name}: {e}"))?;
+            let (us_per_edge, report) = first.expect("measure ran the version at least once");
+            if opts.report {
+                println!("=== {name} ===\n{}", report.render());
+            }
+            let mut e = entry_from_report(&name, &report, throughput);
+            e.extras.insert("pes".to_string(), f64::from(pes));
+            e.extras
+                .insert("contended".to_string(), f64::from(u8::from(contended)));
+            e.extras.insert("us_per_edge".to_string(), us_per_edge);
+            doc.entries.push(e);
+        }
+    }
+    check_setup_scaling(&doc)?;
+    Ok(doc)
+}
+
+/// The lazy-arena gate: the largest size's `setup` stat (construction
+/// plus a size-independent checksum pass) must stay within
+/// [`SCALE_SETUP_RATIO`]× of the smallest size's, per scenario and
+/// arm. Eagerly committing per-PE arenas fails this immediately.
+fn check_setup_scaling(doc: &BenchDoc) -> Result<(), String> {
+    let setup_of = |name: &str| -> Option<f64> {
+        doc.entries
+            .iter()
+            .find(|e| e.name == name)
+            .and_then(|e| e.throughput.as_ref())
+            .and_then(|t| t.setup.as_ref())
+            .map(|s| s.mean)
+    };
+    let (lo, hi) = (SCALE_PES[0], SCALE_PES[SCALE_PES.len() - 1]);
+    for s in &scale_scenarios() {
+        for suffix in ["", ".cont"] {
+            let (Some(small), Some(big)) = (
+                setup_of(&format!("{}.p{lo}{suffix}", s.name)),
+                setup_of(&format!("{}.p{hi}{suffix}", s.name)),
+            ) else {
+                continue;
+            };
+            if big > small * SCALE_SETUP_RATIO {
+                return Err(format!(
+                    "{}{suffix}: {hi}-PE setup {big:.6}s exceeds {SCALE_SETUP_RATIO}× the \
+                     {lo}-PE setup {small:.6}s — machine construction is no longer \
+                     size-independent",
+                    s.name
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 fn write_doc(doc: &BenchDoc, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
     let path = dir.join(format!("BENCH_{}.json", doc.suite));
     let mut text = doc.to_json().render_pretty();
@@ -329,8 +594,8 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    if !matches!(cmd, "micro" | "em3d" | "all") {
-        eprintln!("unknown command {cmd:?}; expected micro, em3d, all or compare");
+    if !matches!(cmd, "micro" | "em3d" | "scale" | "all") {
+        eprintln!("unknown command {cmd:?}; expected micro, em3d, scale, all or compare");
         return ExitCode::from(2);
     }
     let driver = PhaseDriver::from_env();
@@ -350,6 +615,15 @@ fn main() -> ExitCode {
             Ok(doc) => docs.push(doc),
             Err(e) => {
                 eprintln!("DETERMINISM FAILURE [em3d]: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if cmd == "scale" {
+        match run_scale(driver, engine, &opts) {
+            Ok(doc) => docs.push(doc),
+            Err(e) => {
+                eprintln!("FAILURE [scale]: {e}");
                 return ExitCode::FAILURE;
             }
         }

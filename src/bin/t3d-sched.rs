@@ -11,8 +11,8 @@
 //! t3d-sched gen [--jobs N] [--mean-gap CY] [--seed S]
 //!               [--min-order K] [--max-order K] [--out FILE]
 //! t3d-sched run TRACE.json [--machine XxYxZ] [--backfill]
-//! t3d-sched sweep [--jobs N] [--seed S] [--machine XxYxZ] [--backfill]
-//!                 [--out DIR] [--compare DIR] [--tol F]
+//! t3d-sched sweep [--jobs N] [--seed S] [--machine XxYxZ | --pes N]
+//!                 [--backfill] [--out DIR] [--compare DIR] [--tol F]
 //! t3d-sched compare OLD.json NEW.json [--tol F]
 //! ```
 //!
@@ -21,7 +21,11 @@
 //! the CI smoke matrix compares across `T3D_PAR`/`T3D_EVENT`); `sweep`
 //! runs the same job bodies at a ladder of offered loads and writes
 //! `BENCH_sched.json`, optionally comparing against a baseline
-//! directory (exit non-zero on regression). Everything is
+//! directory (exit non-zero on regression). `sweep --pes N` sizes the
+//! machine from a PE count instead of explicit extents, using the same
+//! near-cubic factorisation every other harness in the workspace uses
+//! (`--pes 256` → an 8x8x4 torus), so the saturation ladder runs on
+//! full-size sub-machines without hand-picking dims. Everything is
 //! virtual-time deterministic: the same seed yields byte-identical
 //! traces and bit-identical ledgers under both phase drivers and both
 //! time-advance engines.
@@ -198,6 +202,13 @@ fn cmd_run(mut args: Vec<String>) -> Result<(), String> {
 fn run_sweep(machine: (u32, u32, u32), jobs: u32, seed: u64, backfill: bool) -> SchedDoc {
     let env = ExecEnv::from_env();
     let machine_pes = u64::from(machine.0) * u64::from(machine.1) * u64::from(machine.2);
+    println!(
+        "sweep: {}x{}x{} machine ({machine_pes} PEs), {jobs} jobs per point, seed {seed:#x}, {}",
+        machine.0,
+        machine.1,
+        machine.2,
+        if backfill { "backfill" } else { "strict FCFS" },
+    );
     let mut cache = KernelCache::new();
 
     // Job bodies depend only on the seed: `Trace::generate` draws one
@@ -277,13 +288,28 @@ fn run_sweep(machine: (u32, u32, u32), jobs: u32, seed: u64, backfill: bool) -> 
 }
 
 fn cmd_sweep(mut args: Vec<String>) -> Result<bool, String> {
-    let mut machine = (4, 4, 2);
     let mut jobs = 96u32;
     let mut seed = 0x5EED_u64;
     let mut tol = 0.25f64;
-    if let Some(v) = take_value_flag(&mut args, "--machine")? {
-        machine = parse_machine(&v)?;
-    }
+    let machine_flag = take_value_flag(&mut args, "--machine")?;
+    let pes_flag = take_value_flag(&mut args, "--pes")?;
+    let machine = match (machine_flag, pes_flag) {
+        (Some(_), Some(_)) => {
+            return Err("--machine and --pes are mutually exclusive".to_string());
+        }
+        (Some(v), None) => parse_machine(&v)?,
+        (None, Some(v)) => {
+            let pes: u32 = v.parse().map_err(|e| format!("--pes: {e}"))?;
+            // The partition allocator buddies over power-of-two extents,
+            // so the PE count must be one too; the near-cubic
+            // factorisation then yields power-of-two extents.
+            if !pes.is_power_of_two() {
+                return Err(format!("--pes must be a power of two, got {pes}"));
+            }
+            t3d_torus::TorusConfig::for_nodes(pes).dims
+        }
+        (None, None) => (4, 4, 2),
+    };
     if let Some(v) = take_value_flag(&mut args, "--jobs")? {
         jobs = v.parse().map_err(|e| format!("--jobs: {e}"))?;
     }
